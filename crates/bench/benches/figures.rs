@@ -1,0 +1,47 @@
+//! `cargo bench` target that regenerates every figure of the paper.
+//!
+//! This is not a statistical microbenchmark (see `micro.rs` for those): the
+//! experiments run in virtual time, so their results are deterministic
+//! modulo actor interleaving and a single pass is the measurement. The
+//! output is the full set of tables for Figs. 6–9 and the §7.1 contention
+//! experiment, each annotated with the paper's reported numbers.
+
+use std::process::Command;
+
+fn run(bin: &str) {
+    println!("\n################ {bin} ################");
+    // Re-exec the figure binaries so each runs in a clean process; `cargo
+    // bench` builds them into the same target dir.
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("target dir layout");
+    let path = dir.join(bin);
+    if !path.exists() {
+        // Fall back to cargo run (slower, but always correct).
+        let status = Command::new(env!("CARGO"))
+            .args(["run", "--release", "-p", "semplar-bench", "--bin", bin])
+            .status()
+            .expect("spawn figure binary");
+        assert!(status.success(), "{bin} failed");
+        return;
+    }
+    let status = Command::new(path).status().expect("spawn figure binary");
+    assert!(status.success(), "{bin} failed");
+}
+
+fn main() {
+    // `cargo bench` passes --bench and filter args; accept and ignore them.
+    for bin in [
+        "fig6_blast",
+        "fig7_laplace",
+        "fig8_perf",
+        "fig9_compress",
+        "contention",
+        "ablations",
+        "collective_io",
+    ] {
+        run(bin);
+    }
+}

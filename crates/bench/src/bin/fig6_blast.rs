@@ -1,0 +1,60 @@
+//! Figure 6: MPI-BLAST execution time vs number of processors on the
+//! DAS-2, OSC P4, and TG-NCSA clusters — synchronous vs asynchronous I/O
+//! plus the maximum-speedup bound.
+//!
+//! Paper reference points: async improves average execution time by 20 %
+//! (DAS-2), 26 % (OSC), 22 % (TG-NCSA); 92–97 % of the maximum expected
+//! speedup is achieved.
+
+use semplar_bench::table::{pct, secs};
+use semplar_bench::{avg_gain, fig6_blast, Table};
+use semplar_clusters::all_clusters;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (procs, queries): (&[usize], usize) = if quick {
+        (&[2, 4, 8], 120)
+    } else {
+        (&[2, 3, 4, 6, 8, 10, 13], 2425)
+    };
+
+    for spec in all_clusters() {
+        let name = spec.name;
+        let rows = fig6_blast(spec, procs, queries);
+        let mut t = Table::new(
+            &format!("Fig. 6 ({name}): MPI-BLAST execution time"),
+            &[
+                "procs",
+                "sync (s)",
+                "async (s)",
+                "max-speedup (s)",
+                "gain",
+                "overlap",
+            ],
+        );
+        for r in &rows {
+            t.row(vec![
+                r.procs.to_string(),
+                secs(r.sync_secs),
+                secs(r.async_secs),
+                secs(r.max_speedup_secs),
+                pct(r.gain()),
+                format!("{:.0}%", r.overlap_fraction() * 100.0),
+            ]);
+        }
+        t.print();
+        let gain = avg_gain(rows.iter().map(|r| (r.sync_secs, r.async_secs)));
+        let overlap =
+            rows.iter().map(|r| r.overlap_fraction()).sum::<f64>() / rows.len() as f64;
+        let paper = match name {
+            "das2" => "paper: sync +20% slower, 92% overlap",
+            "osc" => "paper: sync +26% slower, 97% overlap",
+            _ => "paper: sync +22% slower, 96% overlap",
+        };
+        println!(
+            "{name}: sync slower by {} on average | overlap {:.0}% of max speedup   ({paper})",
+            pct(gain),
+            overlap * 100.0
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 7: 2D Laplace solver execution time vs number of processors —
+//! synchronous vs asynchronous (overlap) vs the maximum-speedup bound, plus
+//! the two-TCP-streams variant.
+//!
+//! Paper reference points: async improves average execution time by 7 %
+//! (DAS-2), 9 % (OSC), 6 % (TG-NCSA) — the 9:1 I/O:compute ratio bounds the
+//! gain; two TCP streams cut execution time by 38 % on DAS-2 and 23 % on
+//! TG-NCSA but are NAT-bound on OSC; 96–97 % of the maximum expected
+//! speedup is achieved.
+
+use semplar_bench::table::{pct, secs};
+use semplar_bench::{avg_gain, avg_reduction, fig7_laplace, laplace_defaults, Table};
+use semplar_clusters::all_clusters;
+use semplar_workloads::LaplaceParams;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (procs, base): (&[usize], LaplaceParams) = if quick {
+        (
+            &[2, 4],
+            LaplaceParams {
+                grid: 1201,
+                checkpoints: 2,
+                ..laplace_defaults()
+            },
+        )
+    } else {
+        (&[1, 2, 4, 6, 8, 10, 12], laplace_defaults())
+    };
+
+    for spec in all_clusters() {
+        let name = spec.name;
+        let rows = fig7_laplace(spec, procs, base);
+        let mut t = Table::new(
+            &format!("Fig. 7 ({name}): 2D Laplace solver execution time"),
+            &[
+                "procs",
+                "sync (s)",
+                "async (s)",
+                "max-speedup (s)",
+                "2 streams (s)",
+                "async gain",
+                "2-stream gain",
+            ],
+        );
+        for r in &rows {
+            t.row(vec![
+                r.procs.to_string(),
+                secs(r.sync_secs),
+                secs(r.async_secs),
+                secs(r.max_speedup_secs),
+                secs(r.two_stream_secs),
+                pct(r.gain()),
+                pct(r.two_stream_gain()),
+            ]);
+        }
+        t.print();
+        let gain = avg_gain(rows.iter().map(|r| (r.sync_secs, r.async_secs)));
+        let two = avg_reduction(rows.iter().map(|r| (r.sync_secs, r.two_stream_secs)));
+        let overlap =
+            rows.iter().map(|r| r.overlap_fraction()).sum::<f64>() / rows.len() as f64;
+        let paper = match name {
+            "das2" => "paper: sync +7% slower than async, two-stream -38% exec, 96% overlap",
+            "osc" => "paper: sync +9% slower than async, two-stream NAT-bound, 97% overlap",
+            _ => "paper: sync +6% slower than async, two-stream -23% exec, 97% overlap",
+        };
+        println!(
+            "{name}: sync slower than async by {} | 2 streams cut exec by {} | overlap {:.0}%   ({paper})",
+            pct(gain),
+            pct(two),
+            overlap * 100.0
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 8: ROMIO `perf` aggregate I/O bandwidth with one vs two
+//! concurrent TCP streams per node, on DAS-2 (up to 30 processors) and
+//! TG-NCSA (up to 10).
+//!
+//! Paper reference points (averages over the sweep): two streams improve
+//! write bandwidth by 43 % and read bandwidth by 96 % on DAS-2; by 24 % and
+//! 75 % on TG-NCSA. Each node reads/writes a 32 MB array.
+
+use semplar_bench::table::{mbps, pct};
+use semplar_bench::{avg_bw_gain, fig8_perf, Table};
+use semplar_clusters::{das2, tg_ncsa};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bytes: u64 = if quick { 8 << 20 } else { 32 << 20 };
+    let das2_procs: &[usize] = if quick {
+        &[2, 8]
+    } else {
+        &[1, 2, 4, 8, 12, 16, 20, 25, 30]
+    };
+    let tg_procs: &[usize] = if quick { &[2, 6] } else { &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10] };
+
+    for (spec, procs, paper) in [
+        (das2(), das2_procs, "paper: write +43%, read +96%"),
+        (tg_ncsa(), tg_procs, "paper: write +24%, read +75%"),
+    ] {
+        let name = spec.name;
+        let rows = fig8_perf(spec, procs, bytes);
+        let mut t = Table::new(
+            &format!("Fig. 8 ({name}): perf aggregate I/O bandwidth (Mb/s)"),
+            &[
+                "procs",
+                "write 1-stream",
+                "write 2-stream",
+                "read 1-stream",
+                "read 2-stream",
+            ],
+        );
+        for r in &rows {
+            t.row(vec![
+                r.procs.to_string(),
+                mbps(r.write_one),
+                mbps(r.write_two),
+                mbps(r.read_one),
+                mbps(r.read_two),
+            ]);
+        }
+        t.print();
+        let wgain = avg_bw_gain(rows.iter().map(|r| (r.write_one, r.write_two)));
+        let rgain = avg_bw_gain(rows.iter().map(|r| (r.read_one, r.read_two)));
+        println!(
+            "{name}: average two-stream gain — write {}, read {}   ({paper})",
+            pct(wgain),
+            pct(rgain)
+        );
+    }
+}

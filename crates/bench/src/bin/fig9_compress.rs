@@ -1,0 +1,43 @@
+//! Figure 9: on-the-fly data compression — aggregate write bandwidth of
+//! synchronous vs asynchronous (pipelined, compressed) writes, on DAS-2 and
+//! TG-NCSA. Each node ships a 100 MB nucleotide text file in 1 MB blocks.
+//!
+//! Paper reference points: average aggregate write bandwidth improves by
+//! 83 % (DAS-2) and 84 % (TG-NCSA).
+
+use semplar_bench::table::{mbps, pct};
+use semplar_bench::{avg_bw_gain, fig9_compress, Table};
+use semplar_clusters::{das2, tg_ncsa};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let file_bytes: u64 = if quick { 16 << 20 } else { 100 << 20 };
+    let das2_procs: &[usize] = if quick { &[2, 6] } else { &[1, 3, 5, 7, 9, 11, 13] };
+    let tg_procs: &[usize] = if quick { &[2, 6] } else { &[1, 3, 5, 7, 9, 11] };
+
+    for (spec, procs, paper) in [
+        (das2(), das2_procs, "paper: +83%"),
+        (tg_ncsa(), tg_procs, "paper: +84%"),
+    ] {
+        let name = spec.name;
+        let rows = fig9_compress(spec, procs, file_bytes);
+        let mut t = Table::new(
+            &format!("Fig. 9 ({name}): compression aggregate write bandwidth (Mb/s)"),
+            &["procs", "sync write", "async write", "lz ratio"],
+        );
+        for r in &rows {
+            t.row(vec![
+                r.procs.to_string(),
+                mbps(r.sync_mbps),
+                mbps(r.async_mbps),
+                format!("{:.2}", r.ratio),
+            ]);
+        }
+        t.print();
+        let gain = avg_bw_gain(rows.iter().map(|r| (r.sync_mbps, r.async_mbps)));
+        println!(
+            "{name}: average async-compressed write gain {}   ({paper})",
+            pct(gain)
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! # semplar-bench
+//!
+//! The harness that regenerates every figure of the paper's evaluation
+//! (§7). Each `fig*` function runs the corresponding experiment in virtual
+//! time and returns printable rows; the binaries under `src/bin/` and the
+//! `figures` bench target print them as tables alongside the paper's
+//! reported numbers.
+//!
+//! | Figure | Experiment | Function |
+//! |--------|------------|----------|
+//! | Fig. 6 | MPI-BLAST execution time, sync vs async vs max-speedup | [`fig6_blast`] |
+//! | Fig. 7 | 2D Laplace execution time, + two TCP streams | [`fig7_laplace`] |
+//! | §7.1   | overlap + double-connection bus contention | [`contention_experiment`] |
+//! | Fig. 8 | ROMIO perf aggregate bandwidth, one vs two streams | [`fig8_perf`] |
+//! | Fig. 9 | on-the-fly compression aggregate write bandwidth | [`fig9_compress`] |
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use semplar_clusters::{ClusterSpec, Testbed};
+use semplar_runtime::SimRuntime;
+use semplar_workloads::{
+    estgen, run_blast, run_compress, run_laplace, run_perf, BlastParams, CompressMode,
+    CompressParams, LaplaceMode, LaplaceParams, PerfParams,
+};
+
+pub mod table;
+pub use table::Table;
+
+/// Run `f` inside a fresh virtual-time simulation with a testbed of
+/// `nodes` nodes of `spec`.
+pub fn with_testbed<T, F>(spec: ClusterSpec, nodes: usize, f: F) -> T
+where
+    T: Send + 'static,
+    F: FnOnce(Arc<Testbed>) -> T + Send + 'static,
+{
+    let sim = SimRuntime::new();
+    sim.run_root(move |rt| {
+        let tb = Testbed::new(rt, spec, nodes);
+        f(tb)
+    })
+}
+
+/// One row of the Fig. 6 table.
+#[derive(Clone, Copy, Debug)]
+pub struct BlastRow {
+    /// Processes (master + workers).
+    pub procs: usize,
+    /// Synchronous execution time, s.
+    pub sync_secs: f64,
+    /// Asynchronous execution time, s.
+    pub async_secs: f64,
+    /// Expected time with perfect overlap: max(compute, I/O) phases.
+    pub max_speedup_secs: f64,
+}
+
+impl BlastRow {
+    /// Fraction of the maximum possible speedup achieved (paper: 92–97 %).
+    pub fn overlap_fraction(&self) -> f64 {
+        let max_speedup = self.sync_secs / self.max_speedup_secs;
+        let achieved = self.sync_secs / self.async_secs;
+        achieved / max_speedup
+    }
+
+    /// Async improvement over sync (paper: 20–26 %).
+    pub fn gain(&self) -> f64 {
+        1.0 - self.async_secs / self.sync_secs
+    }
+}
+
+/// Fig. 6: MPI-BLAST execution time vs processes on one cluster.
+pub fn fig6_blast(spec: ClusterSpec, procs: &[usize], queries: usize) -> Vec<BlastRow> {
+    let max_procs = procs.iter().copied().max().unwrap_or(2);
+    let procs = procs.to_vec();
+    with_testbed(spec.clone(), max_procs, move |tb| {
+        procs
+            .iter()
+            .map(|&n| {
+                let base = BlastParams::calibrated(&tb.spec, queries, 4.0);
+                let sync = run_blast(&tb, n, base.with_async(false));
+                let asy = run_blast(&tb, n, base.with_async(true));
+                // Paper §7.1: expected time under complete overlap is the
+                // larger of the measured compute and I/O phases (plus the
+                // part of the run that cannot overlap, which is negligible
+                // here as in the paper).
+                let expected = sync.compute_secs.max(sync.io_secs);
+                BlastRow {
+                    procs: n,
+                    sync_secs: sync.exec_secs,
+                    async_secs: asy.exec_secs,
+                    max_speedup_secs: expected,
+                }
+            })
+            .collect()
+    })
+}
+
+/// One row of the Fig. 7 table.
+#[derive(Clone, Copy, Debug)]
+pub struct LaplaceRow {
+    /// Processes.
+    pub procs: usize,
+    /// Synchronous execution time, s.
+    pub sync_secs: f64,
+    /// Asynchronous (overlap) execution time, s.
+    pub async_secs: f64,
+    /// Expected time with perfect overlap.
+    pub max_speedup_secs: f64,
+    /// Two-TCP-streams execution time, s.
+    pub two_stream_secs: f64,
+}
+
+impl LaplaceRow {
+    /// Async improvement over sync (paper: 6–9 %).
+    pub fn gain(&self) -> f64 {
+        1.0 - self.async_secs / self.sync_secs
+    }
+
+    /// Two-stream improvement over sync (paper: −38 % DAS-2, −23 % TG).
+    pub fn two_stream_gain(&self) -> f64 {
+        1.0 - self.two_stream_secs / self.sync_secs
+    }
+
+    /// Fraction of the maximum possible overlap speedup achieved.
+    pub fn overlap_fraction(&self) -> f64 {
+        (self.sync_secs / self.async_secs) / (self.sync_secs / self.max_speedup_secs)
+    }
+}
+
+/// Default Laplace parameters for the figure runs.
+pub fn laplace_defaults() -> LaplaceParams {
+    LaplaceParams::default()
+}
+
+/// Fig. 7: 2D Laplace solver execution time vs processes on one cluster.
+pub fn fig7_laplace(spec: ClusterSpec, procs: &[usize], base: LaplaceParams) -> Vec<LaplaceRow> {
+    let max_procs = procs.iter().copied().max().unwrap_or(1);
+    let procs = procs.to_vec();
+    with_testbed(spec, max_procs, move |tb| {
+        procs
+            .iter()
+            .map(|&n| {
+                let sync = run_laplace(
+                    &tb,
+                    n,
+                    LaplaceParams {
+                        mode: LaplaceMode::Sync,
+                        streams: 1,
+                        ..base
+                    },
+                );
+                let asy = run_laplace(
+                    &tb,
+                    n,
+                    LaplaceParams {
+                        mode: LaplaceMode::AsyncOverlap,
+                        streams: 1,
+                        ..base
+                    },
+                );
+                let two = run_laplace(
+                    &tb,
+                    n,
+                    LaplaceParams {
+                        mode: LaplaceMode::Sync,
+                        streams: 2,
+                        ..base
+                    },
+                );
+                LaplaceRow {
+                    procs: n,
+                    sync_secs: sync.exec_secs,
+                    async_secs: asy.exec_secs,
+                    max_speedup_secs: sync.compute_secs.max(sync.io_secs),
+                    two_stream_secs: two.exec_secs,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Result of the §7.1 contention experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ContentionResult {
+    /// Overlap alone (1 stream), s.
+    pub overlap_alone: f64,
+    /// Two streams alone (no overlap), s.
+    pub two_streams_alone: f64,
+    /// Both optimizations, naive structure (wait pos. 1), s.
+    pub combined_naive: f64,
+    /// Both optimizations, restructured (wait pos. 2), s.
+    pub combined_restructured: f64,
+}
+
+/// §7.1: the counter-intuitive overlap × double-connection interaction.
+pub fn contention_experiment(spec: ClusterSpec, n: usize, base: LaplaceParams) -> ContentionResult {
+    with_testbed(spec, n, move |tb| {
+        let run = |mode, streams| {
+            run_laplace(
+                &tb,
+                n,
+                LaplaceParams {
+                    mode,
+                    streams,
+                    ..base
+                },
+            )
+            .exec_secs
+        };
+        ContentionResult {
+            overlap_alone: run(LaplaceMode::AsyncOverlap, 1),
+            two_streams_alone: run(LaplaceMode::Sync, 2),
+            combined_naive: run(LaplaceMode::AsyncOverlap, 2),
+            combined_restructured: run(LaplaceMode::AsyncNoCommOverlap, 2),
+        }
+    })
+}
+
+/// One row of the Fig. 8 table.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfRow {
+    /// Processes.
+    pub procs: usize,
+    /// Aggregate write bandwidth, one stream, Mb/s.
+    pub write_one: f64,
+    /// Aggregate read bandwidth, one stream, Mb/s.
+    pub read_one: f64,
+    /// Aggregate write bandwidth, two streams, Mb/s.
+    pub write_two: f64,
+    /// Aggregate read bandwidth, two streams, Mb/s.
+    pub read_two: f64,
+}
+
+/// Fig. 8: ROMIO perf aggregate bandwidth, one vs two streams per node.
+pub fn fig8_perf(spec: ClusterSpec, procs: &[usize], bytes_per_proc: u64) -> Vec<PerfRow> {
+    let max_procs = procs.iter().copied().max().unwrap_or(1);
+    let procs = procs.to_vec();
+    with_testbed(spec, max_procs, move |tb| {
+        procs
+            .iter()
+            .map(|&n| {
+                let one = run_perf(
+                    &tb,
+                    n,
+                    PerfParams {
+                        bytes_per_proc,
+                        streams: 1,
+                    },
+                );
+                let two = run_perf(
+                    &tb,
+                    n,
+                    PerfParams {
+                        bytes_per_proc,
+                        streams: 2,
+                    },
+                );
+                PerfRow {
+                    procs: n,
+                    write_one: one.write_mbps,
+                    read_one: one.read_mbps,
+                    write_two: two.write_mbps,
+                    read_two: two.read_mbps,
+                }
+            })
+            .collect()
+    })
+}
+
+/// One row of the Fig. 9 table.
+#[derive(Clone, Copy, Debug)]
+pub struct CompressRow {
+    /// Processes.
+    pub procs: usize,
+    /// Synchronous write bandwidth, Mb/s (application bytes).
+    pub sync_mbps: f64,
+    /// Asynchronous compressed write bandwidth, Mb/s (application bytes).
+    pub async_mbps: f64,
+    /// Compression ratio achieved.
+    pub ratio: f64,
+}
+
+/// Fig. 9: on-the-fly compression aggregate write bandwidth.
+pub fn fig9_compress(spec: ClusterSpec, procs: &[usize], file_bytes: u64) -> Vec<CompressRow> {
+    let max_procs = procs.iter().copied().max().unwrap_or(1);
+    let procs = procs.to_vec();
+    let data = Arc::new(estgen::generate(
+        file_bytes as usize,
+        2006,
+        &estgen::EstGenConfig::default(),
+    ));
+    with_testbed(spec, max_procs, move |tb| {
+        procs
+            .iter()
+            .map(|&n| {
+                let base = CompressParams {
+                    file_bytes,
+                    ..CompressParams::default()
+                };
+                let sync = run_compress(
+                    &tb,
+                    n,
+                    data.clone(),
+                    CompressParams {
+                        mode: CompressMode::SyncUncompressed,
+                        ..base
+                    },
+                );
+                let asy = run_compress(
+                    &tb,
+                    n,
+                    data.clone(),
+                    CompressParams {
+                        mode: CompressMode::AsyncCompressed,
+                        ..base
+                    },
+                );
+                CompressRow {
+                    procs: n,
+                    sync_mbps: sync.agg_write_mbps,
+                    async_mbps: asy.agg_write_mbps,
+                    ratio: asy.ratio,
+                }
+            })
+            .collect()
+    })
+}
+
+/// The paper's execution-time statistic: "the average execution time of
+/// the benchmark increased by X% for the synchronous I/O run" — i.e. how
+/// much slower the baseline's average is than the improved variant's:
+/// `mean(base)/mean(improved) − 1`.
+pub fn avg_gain(pairs: impl Iterator<Item = (f64, f64)>) -> f64 {
+    let (mut base_sum, mut imp_sum) = (0.0, 0.0);
+    for (base, improved) in pairs {
+        base_sum += base;
+        imp_sum += improved;
+    }
+    if imp_sum == 0.0 {
+        0.0
+    } else {
+        base_sum / imp_sum - 1.0
+    }
+}
+
+/// The paper's "decreases the average execution time by X%" statistic:
+/// `1 − mean(improved)/mean(base)`.
+pub fn avg_reduction(pairs: impl Iterator<Item = (f64, f64)>) -> f64 {
+    let (mut base_sum, mut imp_sum) = (0.0, 0.0);
+    for (base, improved) in pairs {
+        base_sum += base;
+        imp_sum += improved;
+    }
+    if base_sum == 0.0 {
+        0.0
+    } else {
+        1.0 - imp_sum / base_sum
+    }
+}
+
+/// The paper's bandwidth statistic: "the average write bandwidth using two
+/// TCP streams was X% more" — the improved curve's mean over the baseline
+/// curve's mean, minus one.
+pub fn avg_bw_gain(pairs: impl Iterator<Item = (f64, f64)>) -> f64 {
+    let (mut base_sum, mut imp_sum) = (0.0, 0.0);
+    for (base, improved) in pairs {
+        base_sum += base;
+        imp_sum += improved;
+    }
+    if base_sum == 0.0 {
+        0.0
+    } else {
+        imp_sum / base_sum - 1.0
+    }
+}

@@ -1,0 +1,206 @@
+//! Individual file pointers.
+//!
+//! Every benchmark in the paper "uses individual file pointers and
+//! non-collective calls" (§6) — the MPI-IO mode where each process owns a
+//! private offset that implicit-offset operations advance. [`FilePointer`]
+//! layers that mode over [`File`]'s explicit-offset API: `read`/`write`
+//! mirror `MPI_File_read/write`, `iread`/`iwrite` mirror the asynchronous
+//! forms (the pointer advances at *issue* time, as MPI requires, so a
+//! pipeline of `iwrite`s lands back-to-back), and `seek` mirrors
+//! `MPI_File_seek`.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use semplar_srb::Payload;
+
+use crate::adio::IoResult;
+use crate::file::File;
+use crate::request::Request;
+
+/// Where a [`FilePointer::seek`] offset is measured from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Whence {
+    /// From the start of the file (`MPI_SEEK_SET`).
+    Set,
+    /// From the current position (`MPI_SEEK_CUR`).
+    Cur,
+    /// From the end of the file (`MPI_SEEK_END`).
+    End,
+}
+
+/// A private file pointer over a shared [`File`].
+///
+/// Multiple pointers over one `File` model MPI's individual-file-pointer
+/// mode: each rank advances its own offset independently.
+pub struct FilePointer {
+    file: Arc<File>,
+    pos: Mutex<u64>,
+}
+
+impl FilePointer {
+    /// A pointer starting at offset 0.
+    pub fn new(file: Arc<File>) -> FilePointer {
+        FilePointer {
+            file,
+            pos: Mutex::new(0),
+        }
+    }
+
+    /// The underlying file.
+    pub fn file(&self) -> &Arc<File> {
+        &self.file
+    }
+
+    /// Current offset.
+    pub fn tell(&self) -> u64 {
+        *self.pos.lock()
+    }
+
+    /// Move the pointer (`MPI_File_seek`). Seeking before the start of the
+    /// file clamps to 0.
+    pub fn seek(&self, offset: i64, whence: Whence) -> IoResult<u64> {
+        let base = match whence {
+            Whence::Set => 0,
+            Whence::Cur => self.tell(),
+            Whence::End => self.file.size()?,
+        };
+        let new = if offset >= 0 {
+            base.saturating_add(offset as u64)
+        } else {
+            base.saturating_sub(offset.unsigned_abs())
+        };
+        *self.pos.lock() = new;
+        Ok(new)
+    }
+
+    /// Blocking read at the pointer; advances by the bytes actually read.
+    pub fn read(&self, len: u64) -> IoResult<Payload> {
+        let mut pos = self.pos.lock();
+        let data = self.file.read_at(*pos, len)?;
+        *pos += data.len();
+        Ok(data)
+    }
+
+    /// Blocking write at the pointer; advances by the bytes written.
+    pub fn write(&self, data: &Payload) -> IoResult<u64> {
+        let mut pos = self.pos.lock();
+        let n = self.file.write_at(*pos, data)?;
+        *pos += n;
+        Ok(n)
+    }
+
+    /// Asynchronous read at the pointer (`MPI_File_iread`). The pointer
+    /// advances by `len` immediately — MPI semantics — so short reads at
+    /// EOF leave it past the data actually returned, exactly as a real
+    /// MPI implementation's individual pointer does after a short read.
+    pub fn iread(&self, len: u64) -> Request {
+        let mut pos = self.pos.lock();
+        let req = self.file.iread_at(*pos, len);
+        *pos += len;
+        req
+    }
+
+    /// Asynchronous write at the pointer (`MPI_File_iwrite`); advances by
+    /// the payload length at issue time, so queued writes land
+    /// back-to-back.
+    pub fn iwrite(&self, data: Payload) -> Request {
+        let mut pos = self.pos.lock();
+        let len = data.len();
+        let req = self.file.iwrite_at(*pos, data);
+        *pos += len;
+        req
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adio::MemFs;
+    use crate::file::File;
+    use semplar_srb::OpenFlags;
+    use semplar_runtime::simulate;
+
+    fn fixture(rt: &Arc<dyn semplar_runtime::Runtime>) -> (Arc<MemFs>, FilePointer) {
+        let fs = MemFs::new(rt.clone());
+        let f = Arc::new(File::open(rt, &fs, "/fp", OpenFlags::CreateRw).unwrap());
+        (fs, FilePointer::new(f))
+    }
+
+    #[test]
+    fn sequential_writes_advance_the_pointer() {
+        simulate(|rt| {
+            let (fs, fp) = fixture(&rt);
+            fp.write(&Payload::bytes(b"abc".to_vec())).unwrap();
+            fp.write(&Payload::bytes(b"def".to_vec())).unwrap();
+            assert_eq!(fp.tell(), 6);
+            fp.file().close().unwrap();
+            assert_eq!(fs.get("/fp").unwrap(), b"abcdef");
+        });
+    }
+
+    #[test]
+    fn sequential_reads_advance_and_stop_at_eof() {
+        simulate(|rt| {
+            let fs = MemFs::new(rt.clone());
+            fs.put("/fp", b"0123456789".to_vec());
+            let f = Arc::new(File::open(&rt, &fs, "/fp", OpenFlags::Read).unwrap());
+            let fp = FilePointer::new(f);
+            assert_eq!(fp.read(4).unwrap().data().unwrap(), b"0123");
+            assert_eq!(fp.read(4).unwrap().data().unwrap(), b"4567");
+            assert_eq!(fp.read(4).unwrap().data().unwrap(), b"89");
+            assert_eq!(fp.tell(), 10, "short read advances by actual bytes");
+            assert_eq!(fp.read(4).unwrap().len(), 0);
+        });
+    }
+
+    #[test]
+    fn seek_set_cur_end() {
+        simulate(|rt| {
+            let fs = MemFs::new(rt.clone());
+            fs.put("/fp", vec![0u8; 100]);
+            let f = Arc::new(File::open(&rt, &fs, "/fp", OpenFlags::ReadWrite).unwrap());
+            let fp = FilePointer::new(f);
+            assert_eq!(fp.seek(10, Whence::Set).unwrap(), 10);
+            assert_eq!(fp.seek(5, Whence::Cur).unwrap(), 15);
+            assert_eq!(fp.seek(-20, Whence::Cur).unwrap(), 0, "clamped at 0");
+            assert_eq!(fp.seek(-10, Whence::End).unwrap(), 90);
+        });
+    }
+
+    #[test]
+    fn queued_iwrites_land_back_to_back() {
+        simulate(|rt| {
+            let (fs, fp) = fixture(&rt);
+            let reqs: Vec<Request> = (0..5u8)
+                .map(|i| fp.iwrite(Payload::bytes(vec![i; 10])))
+                .collect();
+            Request::wait_all(&reqs).unwrap();
+            assert_eq!(fp.tell(), 50);
+            fp.file().close().unwrap();
+            let data = fs.get("/fp").unwrap();
+            for i in 0..5u8 {
+                assert!(data[i as usize * 10..(i as usize + 1) * 10]
+                    .iter()
+                    .all(|&b| b == i));
+            }
+        });
+    }
+
+    #[test]
+    fn two_pointers_are_independent() {
+        simulate(|rt| {
+            let fs = MemFs::new(rt.clone());
+            fs.put("/fp", (0u8..100).collect());
+            let f = Arc::new(File::open(&rt, &fs, "/fp", OpenFlags::ReadWrite).unwrap());
+            let a = FilePointer::new(f.clone());
+            let b = FilePointer::new(f);
+            a.read(10).unwrap();
+            b.seek(50, Whence::Set).unwrap();
+            assert_eq!(a.tell(), 10);
+            assert_eq!(b.tell(), 50);
+            assert_eq!(b.read(1).unwrap().data().unwrap(), &[50]);
+        });
+    }
+}

@@ -1,0 +1,337 @@
+//! Multi-stream striped files — the paper's §7.2 optimization, implemented
+//! at the library level (its stated future work).
+//!
+//! In the paper's experiment, each node calls `MPI_File_open` twice on the
+//! same file; each open yields an independent TCP connection, and
+//! asynchronous writes on the two descriptors advance simultaneously,
+//! "ideally doubling the observed throughput". [`StripedFile`] packages
+//! that pattern: it opens the file `streams` times (one connection + one
+//! I/O thread per stream, the paper's ideal one-stream-per-thread mapping)
+//! and splits every operation into `unit`-sized blocks assigned round-robin
+//! across the streams.
+//!
+//! The split-TCP approach is *not feasible with synchronous I/O*: a blocking
+//! write cannot drive two connections at once. Accordingly even
+//! [`StripedFile::write_at`] is internally asynchronous — it fans the blocks
+//! out as `iwrite`s and waits for all of them.
+
+use std::sync::Arc;
+
+use semplar_runtime::Runtime;
+use semplar_srb::{OpenFlags, Payload};
+
+use crate::adio::{AdioFs, IoResult};
+use crate::engine::EngineCfg;
+use crate::file::File;
+use crate::request::{Request, Status};
+
+/// How one operation's byte range is divided across the streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StripeUnit {
+    /// Fixed-size blocks assigned round-robin by global block index.
+    Bytes(u64),
+    /// Each operation is split into `streams` contiguous, equal chunks —
+    /// the paper's two-descriptor pattern (each connection carries half of
+    /// the node's file section).
+    Even,
+}
+
+/// A file striped across several independent connections.
+pub struct StripedFile {
+    files: Vec<File>,
+    unit: StripeUnit,
+}
+
+/// A bundle of per-block requests from one striped operation.
+pub struct MultiRequest {
+    reqs: Vec<Request>,
+    /// (stream, offset, len) per block, for reassembling striped reads.
+    layout: Vec<(usize, u64, u64)>,
+}
+
+impl MultiRequest {
+    /// Wait for every block (`MPIO_Waitall`); returns total bytes moved.
+    pub fn wait(&self) -> IoResult<u64> {
+        let statuses = Request::wait_all(&self.reqs)?;
+        Ok(statuses.iter().map(|s| s.bytes).sum())
+    }
+
+    /// Wait for every block of a striped read and reassemble the payload in
+    /// offset order.
+    pub fn wait_read(&self) -> IoResult<Payload> {
+        let statuses = Request::wait_all(&self.reqs)?;
+        assemble_read(&self.layout, &statuses)
+    }
+
+    /// `true` once all blocks have completed (`MPIO_Testall`).
+    pub fn test(&self) -> bool {
+        Request::test_all(&self.reqs)
+    }
+
+    /// Number of per-stream block requests in this bundle.
+    pub fn len(&self) -> usize {
+        self.reqs.len()
+    }
+
+    /// True if the operation was empty.
+    pub fn is_empty(&self) -> bool {
+        self.reqs.is_empty()
+    }
+}
+
+fn assemble_read(layout: &[(usize, u64, u64)], statuses: &[Status]) -> IoResult<Payload> {
+    // Sort blocks by offset; stop at the first short block (EOF).
+    let mut idx: Vec<usize> = (0..layout.len()).collect();
+    idx.sort_by_key(|&i| layout[i].1);
+    let all_real = statuses
+        .iter()
+        .all(|s| s.data.as_ref().is_some_and(|d| d.data().is_some()));
+    if all_real {
+        let mut out = Vec::new();
+        for &i in &idx {
+            let d = statuses[i].data.as_ref().expect("read status without data");
+            out.extend_from_slice(d.data().expect("checked real"));
+            if statuses[i].bytes < layout[i].2 {
+                break; // short read: EOF inside this block
+            }
+        }
+        Ok(Payload::bytes(out))
+    } else {
+        let mut total = 0u64;
+        for &i in &idx {
+            total += statuses[i].bytes;
+            if statuses[i].bytes < layout[i].2 {
+                break;
+            }
+        }
+        Ok(Payload::sized(total))
+    }
+}
+
+impl StripedFile {
+    /// Open `path` over `streams` connections with `unit`-byte striping.
+    /// Each stream gets one pre-spawned I/O thread.
+    pub fn open(
+        rt: &Arc<dyn Runtime>,
+        fs: &dyn AdioFs,
+        path: &str,
+        flags: OpenFlags,
+        streams: usize,
+        unit: StripeUnit,
+    ) -> IoResult<StripedFile> {
+        assert!(streams >= 1, "need at least one stream");
+        if let StripeUnit::Bytes(u) = unit {
+            assert!(u >= 1, "stripe unit must be positive");
+        }
+        let mut files = Vec::with_capacity(streams);
+        for _ in 0..streams {
+            files.push(File::open_with(
+                rt,
+                fs,
+                path,
+                flags,
+                EngineCfg {
+                    io_threads: 1,
+                    prespawn: true,
+                },
+            )?);
+        }
+        Ok(StripedFile { files, unit })
+    }
+
+    /// Number of streams.
+    pub fn streams(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Split `[offset, offset+len)` into stripe blocks: (stream, off, len).
+    fn blocks(&self, offset: u64, len: u64) -> Vec<(usize, u64, u64)> {
+        let n = self.files.len() as u64;
+        let mut out = Vec::new();
+        match self.unit {
+            StripeUnit::Bytes(unit) => {
+                let mut off = offset;
+                let end = offset + len;
+                while off < end {
+                    let block_idx = off / unit;
+                    let block_end = ((block_idx + 1) * unit).min(end);
+                    let stream = (block_idx % n) as usize;
+                    out.push((stream, off, block_end - off));
+                    off = block_end;
+                }
+            }
+            StripeUnit::Even => {
+                let chunk = len.div_ceil(n);
+                let mut off = offset;
+                let end = offset + len;
+                let mut stream = 0usize;
+                while off < end {
+                    let this = chunk.min(end - off);
+                    out.push((stream, off, this));
+                    off += this;
+                    stream += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Asynchronous striped write: every block is queued on its stream's
+    /// I/O thread; all streams transfer concurrently.
+    pub fn iwrite_at(&self, offset: u64, data: Payload) -> MultiRequest {
+        let layout = self.blocks(offset, data.len());
+        let reqs = layout
+            .iter()
+            .map(|&(stream, off, len)| {
+                self.files[stream].iwrite_at(off, data.slice(off - offset, len))
+            })
+            .collect();
+        MultiRequest { reqs, layout }
+    }
+
+    /// Asynchronous striped read.
+    pub fn iread_at(&self, offset: u64, len: u64) -> MultiRequest {
+        let layout = self.blocks(offset, len);
+        let reqs = layout
+            .iter()
+            .map(|&(stream, off, len)| self.files[stream].iread_at(off, len))
+            .collect();
+        MultiRequest { reqs, layout }
+    }
+
+    /// Blocking striped write (fan out + wait all).
+    pub fn write_at(&self, offset: u64, data: Payload) -> IoResult<u64> {
+        self.iwrite_at(offset, data).wait()
+    }
+
+    /// Blocking striped read.
+    pub fn read_at(&self, offset: u64, len: u64) -> IoResult<Payload> {
+        self.iread_at(offset, len).wait_read()
+    }
+
+    /// Redundant read (the paper's §4.1/§9 latency-reduction idea,
+    /// implemented here as its stated future work): issue the **same** read
+    /// on every stream and accept whichever connection delivers first — the
+    /// others are ignored. With streams routed over paths of different
+    /// quality this trades bandwidth for tail latency.
+    pub fn redundant_read_at(&self, offset: u64, len: u64) -> IoResult<Payload> {
+        let reqs: Vec<Request> = self
+            .files
+            .iter()
+            .map(|f| f.iread_at(offset, len))
+            .collect();
+        let rt = self.files[0].runtime().clone();
+        let (_winner, result) = Request::wait_any(&rt, &reqs);
+        // Losers complete in the background on their own I/O threads; their
+        // results are dropped, exactly as the paper describes.
+        let status = result?;
+        Ok(status.data.unwrap_or(Payload::sized(status.bytes)))
+    }
+
+    /// Close every stream.
+    pub fn close(&self) -> IoResult<()> {
+        let mut first_err = None;
+        for f in &self.files {
+            if let Err(e) = f.close() {
+                first_err = first_err.or(Some(e));
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adio::MemFs;
+    use proptest::prelude::*;
+    use semplar_runtime::simulate;
+
+    fn layout_for(streams: usize, unit: StripeUnit, offset: u64, len: u64) -> Vec<(usize, u64, u64)> {
+        simulate(move |rt| {
+            let fs = MemFs::new(rt.clone());
+            let f = StripedFile::open(&rt, &fs, "/l", OpenFlags::CreateRw, streams, unit).unwrap();
+            let blocks = f.blocks(offset, len);
+            f.close().unwrap();
+            blocks
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Stripe layouts exactly tile the requested byte range: contiguous,
+        /// non-overlapping, in order, with valid stream indices.
+        #[test]
+        fn blocks_tile_the_range_exactly(
+            streams in 1usize..6,
+            unit_kind in 0u8..2,
+            unit_bytes in 1u64..5000,
+            offset in 0u64..100_000,
+            len in 1u64..200_000,
+        ) {
+            let unit = if unit_kind == 0 {
+                StripeUnit::Bytes(unit_bytes)
+            } else {
+                StripeUnit::Even
+            };
+            let blocks = layout_for(streams, unit, offset, len);
+            prop_assert!(!blocks.is_empty());
+            let mut cursor = offset;
+            for &(stream, off, blen) in &blocks {
+                prop_assert!(stream < streams, "stream index out of range");
+                prop_assert_eq!(off, cursor, "gap or overlap in layout");
+                prop_assert!(blen > 0);
+                cursor += blen;
+            }
+            prop_assert_eq!(cursor, offset + len, "layout does not cover range");
+        }
+
+        /// Even striping balances: largest and smallest per-stream totals
+        /// differ by at most one chunk.
+        #[test]
+        fn even_striping_is_balanced(
+            streams in 1usize..6,
+            len in 1u64..1_000_000,
+        ) {
+            let blocks = layout_for(streams, StripeUnit::Even, 0, len);
+            let mut totals = vec![0u64; streams];
+            for &(stream, _, blen) in &blocks {
+                totals[stream] += blen;
+            }
+            let max = *totals.iter().max().unwrap();
+            let min = *totals.iter().min().unwrap();
+            let chunk = len.div_ceil(streams as u64);
+            prop_assert!(max - min <= chunk, "imbalance {max}-{min} > chunk {chunk}");
+            prop_assert_eq!(totals.iter().sum::<u64>(), len);
+        }
+
+        /// Striped writes followed by striped reads round-trip arbitrary
+        /// data at arbitrary offsets, across both stripe kinds.
+        #[test]
+        fn striped_roundtrip_property(
+            streams in 1usize..5,
+            unit in prop_oneof![
+                (16u64..4096).prop_map(StripeUnit::Bytes),
+                Just(StripeUnit::Even)
+            ],
+            offset in 0u64..10_000,
+            data in proptest::collection::vec(any::<u8>(), 1..20_000),
+        ) {
+            let ok = simulate(move |rt| {
+                let fs = MemFs::new(rt.clone());
+                let f = StripedFile::open(&rt, &fs, "/rt", OpenFlags::CreateRw, streams, unit)
+                    .unwrap();
+                f.write_at(offset, Payload::bytes(data.clone())).unwrap();
+                let back = f.read_at(offset, data.len() as u64).unwrap();
+                let ok = back.data().unwrap() == &data[..];
+                f.close().unwrap();
+                ok
+            });
+            prop_assert!(ok);
+        }
+    }
+}

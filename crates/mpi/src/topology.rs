@@ -1,0 +1,89 @@
+//! Interconnect topology: where MPI traffic flows.
+//!
+//! A [`Topology`] maps a (source rank, destination rank) pair to a link path
+//! on the shared [`Network`], plus a per-message software latency and an
+//! optional per-message rate cap. Cluster models build topologies whose
+//! paths traverse each node's **I/O bus link** as well as its interconnect
+//! NIC — that shared bus is what produces the paper's §7.1 counter-intuitive
+//! result (overlapped MPI communication and remote I/O contending inside the
+//! node).
+
+use std::sync::Arc;
+
+use semplar_netsim::net::{BusId, DeviceClass, XferOpts};
+use semplar_netsim::{Bw, LinkId, Network};
+use semplar_runtime::Dur;
+
+/// Path function: (src, dst) → (links crossed, I/O buses crossed).
+type PathFn = dyn Fn(usize, usize) -> (Vec<LinkId>, Vec<BusId>) + Send + Sync;
+
+/// The interconnect seen by one MPI world.
+pub struct Topology {
+    net: Arc<Network>,
+    paths: Box<PathFn>,
+    /// Per-message software/NIC latency (on top of link latencies).
+    pub sw_latency: Dur,
+    /// Optional per-message rate cap.
+    pub msg_cap: Option<Bw>,
+}
+
+impl Topology {
+    /// Build from an arbitrary path function.
+    pub fn new(
+        net: Arc<Network>,
+        sw_latency: Dur,
+        msg_cap: Option<Bw>,
+        paths: impl Fn(usize, usize) -> (Vec<LinkId>, Vec<BusId>) + Send + Sync + 'static,
+    ) -> Arc<Topology> {
+        Arc::new(Topology {
+            net,
+            paths: Box::new(paths),
+            sw_latency,
+            msg_cap,
+        })
+    }
+
+    /// A uniform switched fabric: every node gets an ingress and egress link
+    /// of `nic_bw`; the path i→j is `[out_i, in_j]`.
+    pub fn uniform(
+        net: Arc<Network>,
+        nodes: usize,
+        nic_bw: Bw,
+        link_latency: Dur,
+        sw_latency: Dur,
+    ) -> Arc<Topology> {
+        let outs: Vec<LinkId> = (0..nodes)
+            .map(|i| net.add_link(&format!("ic/out{i}"), nic_bw, link_latency))
+            .collect();
+        let ins: Vec<LinkId> = (0..nodes)
+            .map(|i| net.add_link(&format!("ic/in{i}"), nic_bw, Dur::ZERO))
+            .collect();
+        Topology::new(net, sw_latency, None, move |src, dst| {
+            (vec![outs[src], ins[dst]], Vec::new())
+        })
+    }
+
+    /// The network this topology charges traffic to.
+    pub fn network(&self) -> &Arc<Network> {
+        &self.net
+    }
+
+    /// Deliver a `bytes`-sized message from `src` to `dst`, blocking the
+    /// caller for the modelled duration (eager-send semantics: the sender
+    /// pays the wire time; the message is then instantly available).
+    pub fn deliver(&self, src: usize, dst: usize, bytes: u64) {
+        self.net.runtime().sleep(self.sw_latency);
+        if src == dst {
+            return; // self-sends cost only the software overhead
+        }
+        let (path, buses) = (self.paths)(src, dst);
+        let opts = XferOpts {
+            cap: self.msg_cap,
+            buses: buses
+                .into_iter()
+                .map(|b| (b, DeviceClass::Interconnect))
+                .collect(),
+        };
+        self.net.send_message_opts(&path, bytes, &opts);
+    }
+}

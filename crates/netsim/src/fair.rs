@@ -1,0 +1,312 @@
+//! Max-min fair rate allocation by progressive filling.
+//!
+//! Given a set of links with finite capacities and a set of flows, each
+//! crossing a subset of the links and optionally carrying its own rate cap
+//! (e.g. a TCP window limit `cwnd/RTT`), compute the max-min fair rate for
+//! every flow: repeatedly find the most constrained resource (a bottleneck
+//! link's equal share, or a flow's own cap), freeze the flows it binds, and
+//! subtract their rates from the residual capacities.
+//!
+//! This is the standard fluid model for steady-state TCP bandwidth sharing
+//! and is the mechanism behind all of the paper's §7.2 results: a single WAN
+//! stream is window-limited far below the uplink capacity, so a second
+//! stream from the same node nearly doubles throughput until a shared link
+//! (the transoceanic path, the OSC NAT host, or the SRB server NICs)
+//! saturates.
+
+/// One flow: the link indices it traverses plus an optional per-flow cap in
+/// capacity units per second.
+#[derive(Clone, Debug)]
+pub struct FlowSpec<'a> {
+    /// Indices into the link capacity array. May be empty for a purely
+    /// cap-limited flow (e.g. the CPU model's single implicit resource).
+    pub path: &'a [usize],
+    /// Per-flow rate ceiling (`None` = unlimited).
+    pub cap: Option<f64>,
+}
+
+/// Rate assigned to a flow with an empty path and no cap. Effectively
+/// "infinitely fast" while staying comfortably inside `f64`.
+pub const UNCONSTRAINED_RATE: f64 = 1e30;
+
+/// Compute max-min fair rates.
+///
+/// `link_caps[l]` is link `l`'s capacity. Returns one rate per flow, in the
+/// same units. Zero-capacity links yield zero rates for their flows.
+pub fn max_min_rates(link_caps: &[f64], flows: &[FlowSpec<'_>]) -> Vec<f64> {
+    let nf = flows.len();
+    let nl = link_caps.len();
+    let mut rates = vec![0.0f64; nf];
+    if nf == 0 {
+        return rates;
+    }
+    let mut fixed = vec![false; nf];
+    let mut residual: Vec<f64> = link_caps.to_vec();
+    let mut count = vec![0usize; nl];
+    for f in flows {
+        for &l in f.path {
+            count[l] += 1;
+        }
+    }
+    let mut remaining = nf;
+    while remaining > 0 {
+        // The tightest link share among links still carrying unfixed flows.
+        let mut best_share = f64::INFINITY;
+        let mut best_link = usize::MAX;
+        for l in 0..nl {
+            if count[l] > 0 {
+                let share = (residual[l]).max(0.0) / count[l] as f64;
+                if share < best_share {
+                    best_share = share;
+                    best_link = l;
+                }
+            }
+        }
+        // Any unfixed flow whose own cap binds before the link share is
+        // frozen at its cap first.
+        let mut froze_capped = false;
+        for (i, f) in flows.iter().enumerate() {
+            if fixed[i] {
+                continue;
+            }
+            let effective_cap = match f.cap {
+                Some(c) => c,
+                None if f.path.is_empty() => UNCONSTRAINED_RATE,
+                None => continue,
+            };
+            if effective_cap <= best_share {
+                rates[i] = effective_cap;
+                fixed[i] = true;
+                remaining -= 1;
+                for &l in f.path {
+                    residual[l] -= effective_cap;
+                    count[l] -= 1;
+                }
+                froze_capped = true;
+            }
+        }
+        if froze_capped {
+            continue;
+        }
+        if best_link == usize::MAX {
+            // Remaining flows have no finite constraint at all.
+            for (i, f) in flows.iter().enumerate() {
+                if !fixed[i] {
+                    rates[i] = f.cap.unwrap_or(UNCONSTRAINED_RATE);
+                    fixed[i] = true;
+                }
+            }
+            break;
+        }
+        // Freeze every unfixed flow on the bottleneck link at the fair share.
+        for (i, f) in flows.iter().enumerate() {
+            if fixed[i] || !f.path.contains(&best_link) {
+                continue;
+            }
+            rates[i] = best_share;
+            fixed[i] = true;
+            remaining -= 1;
+            for &l in f.path {
+                residual[l] -= best_share;
+                count[l] -= 1;
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates(caps: &[f64], flows: &[(&[usize], Option<f64>)]) -> Vec<f64> {
+        let specs: Vec<FlowSpec> = flows
+            .iter()
+            .map(|&(path, cap)| FlowSpec { path, cap })
+            .collect();
+        max_min_rates(caps, &specs)
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() <= 1e-6 * b.abs().max(1.0), "{a} != {b}");
+    }
+
+    #[test]
+    fn single_flow_gets_full_link() {
+        let r = rates(&[100.0], &[(&[0], None)]);
+        assert_close(r[0], 100.0);
+    }
+
+    #[test]
+    fn equal_split_on_shared_link() {
+        let r = rates(&[90.0], &[(&[0], None), (&[0], None), (&[0], None)]);
+        for &x in &r {
+            assert_close(x, 30.0);
+        }
+    }
+
+    #[test]
+    fn per_flow_cap_binds_before_link_share() {
+        let r = rates(&[100.0], &[(&[0], Some(10.0)), (&[0], None)]);
+        assert_close(r[0], 10.0);
+        assert_close(r[1], 90.0); // the uncapped flow takes the slack
+    }
+
+    #[test]
+    fn window_capped_streams_double_with_two_connections() {
+        // The §7.2 mechanism in miniature: link 100, per-stream cap 11.
+        let one = rates(&[100.0], &[(&[0], Some(11.0))]);
+        let two = rates(&[100.0], &[(&[0], Some(11.0)), (&[0], Some(11.0))]);
+        assert_close(one.iter().sum::<f64>(), 11.0);
+        assert_close(two.iter().sum::<f64>(), 22.0);
+    }
+
+    #[test]
+    fn shared_bottleneck_limits_aggregate() {
+        // 10 capped streams through a NAT-like 50-unit link.
+        let flows: Vec<(&[usize], Option<f64>)> = (0..10).map(|_| (&[0][..], Some(11.0))).collect();
+        let r = rates(&[50.0], &flows);
+        assert_close(r.iter().sum::<f64>(), 50.0);
+        for &x in &r {
+            assert_close(x, 5.0);
+        }
+    }
+
+    #[test]
+    fn multi_link_path_bound_by_tightest() {
+        // Flow A crosses both links; flow B only the fat one.
+        let r = rates(&[10.0, 100.0], &[(&[0, 1], None), (&[1], None)]);
+        assert_close(r[0], 10.0);
+        assert_close(r[1], 90.0);
+    }
+
+    #[test]
+    fn classic_max_min_example() {
+        // Three links of cap 10, 20, 30; flow 0 on all, flow 1 on {0},
+        // flow 2 on {1}, flow 3 on {2}.
+        let r = rates(
+            &[10.0, 20.0, 30.0],
+            &[
+                (&[0, 1, 2], None),
+                (&[0], None),
+                (&[1], None),
+                (&[2], None),
+            ],
+        );
+        assert_close(r[0], 5.0); // bottleneck link 0 splits 10 two ways
+        assert_close(r[1], 5.0);
+        assert_close(r[2], 15.0);
+        assert_close(r[3], 25.0);
+    }
+
+    #[test]
+    fn zero_capacity_link_starves_flows() {
+        let r = rates(&[0.0, 100.0], &[(&[0, 1], None), (&[1], None)]);
+        assert_close(r[0], 0.0);
+        assert_close(r[1], 100.0);
+    }
+
+    #[test]
+    fn empty_path_uncapped_is_unconstrained() {
+        let r = rates(&[], &[(&[], None)]);
+        assert_eq!(r[0], UNCONSTRAINED_RATE);
+    }
+
+    #[test]
+    fn empty_path_with_cap_runs_at_cap() {
+        let r = rates(&[], &[(&[], Some(3.5))]);
+        assert_close(r[0], 3.5);
+    }
+
+    #[test]
+    fn no_flows_is_empty() {
+        assert!(rates(&[10.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn cpu_model_timeshares_cores() {
+        // 2 "cores", 3 tasks each capped at 1 core: fair share 2/3 each.
+        let flows: Vec<(&[usize], Option<f64>)> = (0..3).map(|_| (&[0][..], Some(1.0))).collect();
+        let r = rates(&[2.0], &flows);
+        for &x in &r {
+            assert_close(x, 2.0 / 3.0);
+        }
+        // 2 tasks on 2 cores: each runs at full speed.
+        let flows2: Vec<(&[usize], Option<f64>)> = (0..2).map(|_| (&[0][..], Some(1.0))).collect();
+        let r2 = rates(&[2.0], &flows2);
+        for &x in &r2 {
+            assert_close(x, 1.0);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// No link is ever oversubscribed, and rates are non-negative
+            /// and respect per-flow caps.
+            #[test]
+            fn allocation_is_feasible(
+                caps in proptest::collection::vec(0.1f64..1000.0, 1..6),
+                flow_seeds in proptest::collection::vec(
+                    (proptest::collection::vec(0usize..6, 0..4), proptest::option::of(0.01f64..500.0)),
+                    1..12
+                ),
+            ) {
+                let nl = caps.len();
+                let paths: Vec<Vec<usize>> = flow_seeds
+                    .iter()
+                    .map(|(p, _)| {
+                        let mut v: Vec<usize> = p.iter().map(|x| x % nl).collect();
+                        v.sort_unstable();
+                        v.dedup();
+                        v
+                    })
+                    .collect();
+                let specs: Vec<FlowSpec> = paths
+                    .iter()
+                    .zip(flow_seeds.iter())
+                    .map(|(p, (_, cap))| FlowSpec { path: p, cap: *cap })
+                    .collect();
+                let r = max_min_rates(&caps, &specs);
+                for (i, spec) in specs.iter().enumerate() {
+                    prop_assert!(r[i] >= -1e-9);
+                    if let Some(c) = spec.cap {
+                        prop_assert!(r[i] <= c * (1.0 + 1e-9));
+                    }
+                }
+                for (l, &cap) in caps.iter().enumerate() {
+                    let load: f64 = specs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.path.contains(&l))
+                        .map(|(i, _)| r[i])
+                        .sum();
+                    prop_assert!(load <= cap * (1.0 + 1e-6) + 1e-6,
+                        "link {l} oversubscribed: {load} > {cap}");
+                }
+            }
+
+            /// Work conservation: every flow is stopped by *something* — its
+            /// own cap or a saturated link on its path.
+            #[test]
+            fn allocation_is_work_conserving(
+                caps in proptest::collection::vec(1.0f64..1000.0, 1..5),
+                nflows in 1usize..10,
+            ) {
+                // All flows cross all links, no caps: everyone gets an equal
+                // share of the tightest link.
+                let nl = caps.len();
+                let path: Vec<usize> = (0..nl).collect();
+                let specs: Vec<FlowSpec> = (0..nflows).map(|_| FlowSpec { path: &path, cap: None }).collect();
+                let r = max_min_rates(&caps, &specs);
+                let tightest = caps.iter().cloned().fold(f64::INFINITY, f64::min);
+                let want = tightest / nflows as f64;
+                for &x in &r {
+                    prop_assert!((x - want).abs() < 1e-6 * want.max(1.0));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,737 @@
+//! The shared-network object: links, flows, and blocking transfers.
+//!
+//! A [`Network`] is a set of links plus the currently active flows. An actor
+//! moves data by calling [`Network::transfer`] (or the latency-inclusive
+//! [`Network::send_message`]): the engine inserts a flow, recomputes the
+//! max-min fair allocation, and the calling actor sleeps until its flow
+//! drains. Whenever any flow starts or finishes, every affected flow's
+//! progress is settled at the current instant and its owner re-arms its
+//! completion timer against the new rate — a standard fluid ("piecewise
+//! constant rate") model.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use semplar_runtime::{Dur, Event, Runtime, Time};
+
+use crate::fair::{max_min_rates, FlowSpec};
+
+/// A bandwidth, stored in bits per second.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+pub struct Bw(pub f64);
+
+impl Bw {
+    /// Bits per second.
+    pub const fn bps(b: f64) -> Bw {
+        Bw(b)
+    }
+    /// Megabits per second (10^6 bits/s, the paper's unit in Figs. 8-9).
+    pub const fn mbps(m: f64) -> Bw {
+        Bw(m * 1e6)
+    }
+    /// Gigabits per second.
+    pub const fn gbps(g: f64) -> Bw {
+        Bw(g * 1e9)
+    }
+    /// Megabytes per second.
+    pub const fn mbyte_per_s(m: f64) -> Bw {
+        Bw(m * 8e6)
+    }
+    /// The value in bits per second.
+    pub fn as_bps(self) -> f64 {
+        self.0
+    }
+    /// The value in megabits per second.
+    pub fn as_mbps(self) -> f64 {
+        self.0 / 1e6
+    }
+}
+
+/// Identifier of a link within one [`Network`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LinkId(pub(crate) usize);
+
+/// Identifier of an I/O bus within one [`Network`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BusId(pub(crate) usize);
+
+/// Which device a flow's DMA traffic belongs to on its node's I/O bus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceClass {
+    /// The cluster interconnect NIC (Myrinet / GigE MPI fabric).
+    Interconnect,
+    /// The wide-area Ethernet NIC (SEMPLAR's TCP streams).
+    Wan,
+}
+
+/// The I/O-bus contention model (paper §7.1).
+///
+/// The paper found that overlapping MPI communication with two-stream remote
+/// I/O forfeited the second stream's benefit: "the reason for this
+/// unexpected result is the I/O bus contention between the interconnect and
+/// Ethernet network cards". Max-min fair sharing cannot produce this (a fair
+/// allocator never hurts a small flow), because PCI arbitration is not fair:
+/// interrupt and DMA contention disproportionately degrades the NICs.
+///
+/// This is modelled phenomenologically: when at least one *interconnect*
+/// flow and at least `min_wan_streams` *WAN* flows are simultaneously active
+/// on the same bus, every WAN flow on the bus becomes **contended** —
+/// stickily, for its whole remaining lifetime (TCP that backs off under
+/// interrupt starvation does not instantly recover) — and runs at
+/// `penalty × rate`. A single window-limited WAN stream fits within the
+/// bus's DMA slack (`min_wan_streams = 2` by default), which is why plain
+/// computation/I-O overlap (§7.1) is unaffected while the combined
+/// overlap+double-connection experiment collapses to single-stream speed.
+#[derive(Clone, Copy, Debug)]
+pub struct BusSpec {
+    /// Rate multiplier applied to contended WAN flows (0 < penalty ≤ 1).
+    pub penalty: f64,
+    /// Number of concurrent WAN flows needed (with interconnect traffic) to
+    /// trigger contention.
+    pub min_wan_streams: usize,
+}
+
+impl Default for BusSpec {
+    fn default() -> Self {
+        BusSpec {
+            penalty: 0.5,
+            min_wan_streams: 2,
+        }
+    }
+}
+
+/// Options for [`Network::transfer_opts`].
+#[derive(Clone, Debug, Default)]
+pub struct XferOpts {
+    /// Per-flow rate cap (TCP window limit).
+    pub cap: Option<Bw>,
+    /// I/O buses this flow's DMA crosses, with its device class on each.
+    pub buses: Vec<(BusId, DeviceClass)>,
+}
+
+struct LinkState {
+    name: String,
+    cap: f64, // bits/s
+    latency: Dur,
+    bits_moved: f64,
+}
+
+struct FlowState {
+    path: Vec<usize>,
+    cap: Option<f64>,
+    rate: f64,
+    bits_rem: f64,
+    last_settle: Time,
+    ev: Event,
+    buses: Vec<(usize, DeviceClass)>,
+    /// Sticky contention flag (see [`BusSpec`]).
+    contended: bool,
+}
+
+struct BusState {
+    spec: BusSpec,
+}
+
+struct NetInner {
+    links: Vec<LinkState>,
+    buses: Vec<BusState>,
+    flows: HashMap<u64, FlowState>,
+    next_flow: u64,
+    completed_flows: u64,
+}
+
+/// A simulated network shared by all actors of an experiment.
+pub struct Network {
+    rt: Arc<dyn Runtime>,
+    inner: Mutex<NetInner>,
+}
+
+/// Threshold below which a flow counts as drained (half a bit).
+const DONE_BITS: f64 = 0.5;
+/// Rates below this are treated as stalled; the owner waits for a recompute.
+const MIN_RATE: f64 = 1e-9;
+
+impl Network {
+    /// An empty network using `rt` for time and blocking.
+    pub fn new(rt: Arc<dyn Runtime>) -> Arc<Network> {
+        Arc::new(Network {
+            rt,
+            inner: Mutex::new(NetInner {
+                links: Vec::new(),
+                buses: Vec::new(),
+                flows: HashMap::new(),
+                next_flow: 0,
+                completed_flows: 0,
+            }),
+        })
+    }
+
+    /// The runtime this network charges time against.
+    pub fn runtime(&self) -> &Arc<dyn Runtime> {
+        &self.rt
+    }
+
+    /// Add a link with the given capacity and one-way latency contribution.
+    pub fn add_link(&self, name: &str, cap: Bw, latency: Dur) -> LinkId {
+        let mut g = self.inner.lock();
+        g.links.push(LinkState {
+            name: name.to_string(),
+            cap: cap.as_bps(),
+            latency,
+            bits_moved: 0.0,
+        });
+        LinkId(g.links.len() - 1)
+    }
+
+    /// Register an I/O bus with the given contention behaviour.
+    pub fn add_bus(&self, spec: BusSpec) -> BusId {
+        let mut g = self.inner.lock();
+        g.buses.push(BusState { spec });
+        BusId(g.buses.len() - 1)
+    }
+
+    /// Sum of one-way latencies along `path`.
+    pub fn path_latency(&self, path: &[LinkId]) -> Dur {
+        let g = self.inner.lock();
+        path.iter()
+            .fold(Dur::ZERO, |acc, l| acc + g.links[l.0].latency)
+    }
+
+    /// Total bits that have crossed `link` so far (for assertions/stats).
+    pub fn link_bits_moved(&self, link: LinkId) -> f64 {
+        self.inner.lock().links[link.0].bits_moved
+    }
+
+    /// Number of flows that have completed on this network.
+    pub fn completed_flows(&self) -> u64 {
+        self.inner.lock().completed_flows
+    }
+
+    /// Advance every flow's progress to `now` and accumulate link counters.
+    fn settle_locked(g: &mut NetInner, now: Time) {
+        for f in g.flows.values_mut() {
+            let dt = now.since(f.last_settle).as_secs_f64();
+            if dt > 0.0 {
+                let moved = (f.rate * dt).min(f.bits_rem.max(0.0));
+                f.bits_rem -= moved;
+                for &l in &f.path {
+                    g.links[l].bits_moved += moved;
+                }
+            }
+            f.last_settle = now;
+        }
+    }
+
+    /// Recompute max-min rates and nudge every flow whose rate changed.
+    fn recompute_locked(g: &mut NetInner) {
+        // Bus-contention pass: trigger and stick the contended flag.
+        for bus in 0..g.buses.len() {
+            let spec = g.buses[bus].spec;
+            let ic_active = g.flows.values().any(|f| {
+                f.buses
+                    .iter()
+                    .any(|&(b, c)| b == bus && c == DeviceClass::Interconnect)
+            });
+            if !ic_active {
+                continue;
+            }
+            let wan: Vec<u64> = g
+                .flows
+                .iter()
+                .filter(|(_, f)| {
+                    f.buses.iter().any(|&(b, c)| b == bus && c == DeviceClass::Wan)
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            if wan.len() >= spec.min_wan_streams {
+                for id in wan {
+                    g.flows.get_mut(&id).expect("flow vanished").contended = true;
+                }
+            }
+        }
+        let caps: Vec<f64> = g.links.iter().map(|l| l.cap).collect();
+        let ids: Vec<u64> = g.flows.keys().copied().collect();
+        let specs: Vec<FlowSpec> = ids
+            .iter()
+            .map(|id| {
+                let f = &g.flows[id];
+                FlowSpec {
+                    path: &f.path,
+                    cap: f.cap,
+                }
+            })
+            .collect();
+        let rates = max_min_rates(&caps, &specs);
+        let mut to_signal = Vec::new();
+        for (id, rate) in ids.iter().zip(rates) {
+            let f = g.flows.get_mut(id).expect("flow vanished");
+            let mut rate = rate;
+            if f.contended {
+                // Penalized flows underutilize their allocation — that is
+                // the point: bus arbitration wastes cycles, it does not
+                // hand them to anyone else.
+                let penalty = f
+                    .buses
+                    .iter()
+                    .filter(|&&(_, c)| c == DeviceClass::Wan)
+                    .map(|&(b, _)| g.buses[b].spec.penalty)
+                    .fold(1.0f64, f64::min);
+                rate *= penalty;
+            }
+            if (f.rate - rate).abs() > 1e-9 * rate.max(1.0) {
+                f.rate = rate;
+                to_signal.push(f.ev.clone());
+            }
+        }
+        // Signal outside the borrow of `flows`; each owner re-polls and
+        // re-arms its completion timer against the new rate. Signals bank a
+        // permit, so an owner that has not blocked yet cannot miss one.
+        for ev in to_signal {
+            ev.signal();
+        }
+    }
+
+    /// Move `bytes` through `path`, blocking the calling actor until the
+    /// flow drains under max-min fair sharing. `flow_cap` models a per-flow
+    /// ceiling such as a TCP window limit. Latency is *not* included — see
+    /// [`Network::send_message`].
+    pub fn transfer(&self, path: &[LinkId], bytes: u64, flow_cap: Option<Bw>) {
+        self.transfer_opts(
+            path,
+            bytes,
+            &XferOpts {
+                cap: flow_cap,
+                buses: Vec::new(),
+            },
+        );
+    }
+
+    /// Move `bytes` through `path` with full options (per-flow cap and I/O
+    /// bus tags for the contention model).
+    pub fn transfer_opts(&self, path: &[LinkId], bytes: u64, opts: &XferOpts) {
+        self.transfer_units_opts(
+            path,
+            bytes as f64 * 8.0,
+            opts.cap.map(|b| b.as_bps()),
+            &opts.buses,
+        );
+    }
+
+    /// Like [`Network::transfer`] but in raw capacity units (used by the CPU
+    /// model, where a "unit" is one core-nanosecond of work).
+    pub fn transfer_units(&self, path: &[LinkId], units: f64, flow_cap: Option<f64>) {
+        self.transfer_units_opts(path, units, flow_cap, &[]);
+    }
+
+    fn transfer_units_opts(
+        &self,
+        path: &[LinkId],
+        units: f64,
+        flow_cap: Option<f64>,
+        buses: &[(BusId, DeviceClass)],
+    ) {
+        if units <= 0.0 {
+            return;
+        }
+        let ev = self.rt.event();
+        let id = {
+            let mut g = self.inner.lock();
+            let now = self.rt.now();
+            Self::settle_locked(&mut g, now);
+            let id = g.next_flow;
+            g.next_flow += 1;
+            g.flows.insert(
+                id,
+                FlowState {
+                    path: path.iter().map(|l| l.0).collect(),
+                    cap: flow_cap,
+                    rate: 0.0,
+                    bits_rem: units,
+                    last_settle: now,
+                    ev: ev.clone(),
+                    buses: buses.iter().map(|&(b, c)| (b.0, c)).collect(),
+                    contended: false,
+                },
+            );
+            Self::recompute_locked(&mut g);
+            id
+        };
+        loop {
+            let wait = {
+                let mut g = self.inner.lock();
+                let now = self.rt.now();
+                Self::settle_locked(&mut g, now);
+                let f = g.flows.get(&id).expect("own flow vanished");
+                if f.bits_rem <= DONE_BITS {
+                    g.flows.remove(&id);
+                    g.completed_flows += 1;
+                    Self::recompute_locked(&mut g);
+                    return;
+                }
+                if f.rate <= MIN_RATE {
+                    None // stalled: wait for a recompute signal
+                } else {
+                    // +1ns guards against round-down re-poll spinning.
+                    Some(Dur::from_secs_f64(f.bits_rem / f.rate) + Dur::from_nanos(1))
+                }
+            };
+            match wait {
+                Some(d) => {
+                    let _ = ev.wait_timeout(d);
+                }
+                None => ev.wait(),
+            }
+        }
+    }
+
+    /// Deliver a `bytes`-sized message over `path`: one-way latency plus the
+    /// fluid transfer time. This is the building block for protocol messages
+    /// (SRB requests/responses, MPI sends).
+    pub fn send_message(&self, path: &[LinkId], bytes: u64, flow_cap: Option<Bw>) {
+        let lat = self.path_latency(path);
+        self.rt.sleep(lat);
+        self.transfer(path, bytes, flow_cap);
+    }
+
+    /// [`Network::send_message`] with bus tags for the contention model.
+    pub fn send_message_opts(&self, path: &[LinkId], bytes: u64, opts: &XferOpts) {
+        let lat = self.path_latency(path);
+        self.rt.sleep(lat);
+        self.transfer_opts(path, bytes, opts);
+    }
+
+    /// Human-readable description of a link (used in diagnostics).
+    pub fn link_name(&self, link: LinkId) -> String {
+        self.inner.lock().links[link.0].name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semplar_runtime::{simulate, spawn};
+
+    fn secs(t: Dur) -> f64 {
+        t.as_secs_f64()
+    }
+
+    #[test]
+    fn single_transfer_takes_bytes_over_bandwidth() {
+        let elapsed = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let l = net.add_link("lan", Bw::mbps(8.0), Dur::ZERO);
+            let t0 = rt.now();
+            net.transfer(&[l], 1_000_000, None); // 8 Mbit over 8 Mb/s = 1 s
+            rt.now() - t0
+        });
+        assert!((secs(elapsed) - 1.0).abs() < 1e-6, "{elapsed}");
+    }
+
+    #[test]
+    fn flow_cap_limits_single_stream() {
+        let elapsed = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let l = net.add_link("wan", Bw::mbps(100.0), Dur::ZERO);
+            let t0 = rt.now();
+            net.transfer(&[l], 1_000_000, Some(Bw::mbps(8.0)));
+            rt.now() - t0
+        });
+        assert!((secs(elapsed) - 1.0).abs() < 1e-6, "{elapsed}");
+    }
+
+    #[test]
+    fn two_concurrent_transfers_share_the_link() {
+        let elapsed = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let l = net.add_link("lan", Bw::mbps(8.0), Dur::ZERO);
+            let t0 = rt.now();
+            let net2 = net.clone();
+            let h = spawn(&rt, "peer", move || {
+                net2.transfer(&[l], 1_000_000, None);
+            });
+            net.transfer(&[l], 1_000_000, None);
+            h.join_unwrap();
+            rt.now() - t0
+        });
+        // Two 1s-alone transfers sharing fairly: both finish at t=2s.
+        assert!((secs(elapsed) - 2.0).abs() < 1e-6, "{elapsed}");
+    }
+
+    #[test]
+    fn late_second_flow_slows_the_first() {
+        let (t_first, t_second) = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let l = net.add_link("lan", Bw::mbps(8.0), Dur::ZERO);
+            let net2 = net.clone();
+            let rt2 = rt.clone();
+            let h = spawn(&rt, "late", move || {
+                rt2.sleep(Dur::from_millis(500));
+                net2.transfer(&[l], 1_000_000, None);
+            });
+            let t0 = rt.now();
+            net.transfer(&[l], 1_000_000, None);
+            let t_first = rt.now() - t0;
+            h.join_unwrap();
+            // second flow: starts at 0.5s; shares until first done, then full
+            // first: 0.5s alone (0.5 Mbyte moved) + remaining 0.5MB at half
+            // rate = 1s more => finishes at 1.5s.
+            (t_first, rt.now() - t0)
+        });
+        assert!((secs(t_first) - 1.5).abs() < 1e-6, "first {t_first}");
+        // Second: 1s shared (0.5MB) + 0.5MB at full rate (0.5s) => done at 2s.
+        assert!((secs(t_second) - 2.0).abs() < 1e-6, "second {t_second}");
+    }
+
+    #[test]
+    fn message_includes_path_latency() {
+        let elapsed = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let a = net.add_link("hop-a", Bw::mbps(8.0), Dur::from_millis(91));
+            let b = net.add_link("hop-b", Bw::mbps(8.0), Dur::from_millis(91));
+            let t0 = rt.now();
+            net.send_message(&[a, b], 1_000_000, None);
+            rt.now() - t0
+        });
+        // 182 ms latency + 1 s transfer.
+        assert!((secs(elapsed) - 1.182).abs() < 1e-6, "{elapsed}");
+    }
+
+    #[test]
+    fn two_capped_streams_double_throughput() {
+        // The §7.2 mechanism: window cap 4 Mb/s on a 100 Mb/s link.
+        let (one, two) = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let l = net.add_link("wan", Bw::mbps(100.0), Dur::ZERO);
+            let t0 = rt.now();
+            net.transfer(&[l], 1_000_000, Some(Bw::mbps(4.0)));
+            let one = rt.now() - t0;
+
+            let t1 = rt.now();
+            let net2 = net.clone();
+            let h = spawn(&rt, "stream2", move || {
+                net2.transfer(&[l], 500_000, Some(Bw::mbps(4.0)));
+            });
+            net.transfer(&[l], 500_000, Some(Bw::mbps(4.0)));
+            h.join_unwrap();
+            (one, rt.now() - t1)
+        });
+        // One stream: 8 Mbit / 4 Mb/s = 2 s. Two streams, half the bytes
+        // each, run concurrently at 4 Mb/s each: 1 s.
+        assert!((secs(one) - 2.0).abs() < 1e-6, "{one}");
+        assert!((secs(two) - 1.0).abs() < 1e-6, "{two}");
+    }
+
+    #[test]
+    fn shared_nat_bottleneck_nullifies_extra_streams() {
+        // 4 nodes × cap-4 streams through a 8 Mb/s NAT: doubling the number
+        // of streams cannot raise aggregate throughput.
+        let (t_one_each, t_two_each) = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let nat = net.add_link("nat", Bw::mbps(8.0), Dur::ZERO);
+            let run = |streams_per_node: usize| {
+                let t0 = rt.now();
+                let mut hs = Vec::new();
+                for n in 0..4 {
+                    for s in 0..streams_per_node {
+                        let net2 = net.clone();
+                        let bytes = 1_000_000 / streams_per_node as u64;
+                        hs.push(spawn(&rt, &format!("n{n}s{s}"), move || {
+                            net2.transfer(&[nat], bytes, Some(Bw::mbps(4.0)));
+                        }));
+                    }
+                }
+                for h in hs {
+                    h.join_unwrap();
+                }
+                rt.now() - t0
+            };
+            (run(1), run(2))
+        });
+        assert!(
+            (secs(t_one_each) - secs(t_two_each)).abs() < 1e-3,
+            "NAT-bound: one={t_one_each} two={t_two_each}"
+        );
+    }
+
+    #[test]
+    fn link_counters_track_bytes() {
+        simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let l = net.add_link("lan", Bw::mbps(8.0), Dur::ZERO);
+            net.transfer(&[l], 250_000, None);
+            let bits = net.link_bits_moved(l);
+            assert!((bits - 2_000_000.0).abs() < 1.0, "{bits}");
+            assert_eq!(net.completed_flows(), 1);
+        });
+    }
+
+    #[test]
+    fn bus_contention_penalizes_dual_wan_streams_under_mpi_traffic() {
+        // One interconnect flow + two WAN streams on the same bus: the WAN
+        // streams drop to half rate (sticky), so two streams move data no
+        // faster than one did — the paper's §7.1 anomaly.
+        let (one_clean, two_contended) = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let wan = net.add_link("wan", Bw::mbps(100.0), Dur::ZERO);
+            let ic = net.add_link("myrinet", Bw::gbps(2.0), Dur::ZERO);
+            let bus = net.add_bus(BusSpec { penalty: 0.5, min_wan_streams: 2 });
+            let cap = Some(Bw::mbps(4.0));
+
+            // Background interconnect traffic for the whole experiment.
+            let net_ic = net.clone();
+            let ic_h = spawn(&rt, "mpi-traffic", move || {
+                net_ic.transfer_opts(
+                    &[ic],
+                    2_000_000_000, // 8 s at 2 Gb/s: outlives both WAN phases
+                    &XferOpts { cap: None, buses: vec![(bus, DeviceClass::Interconnect)] },
+                );
+            });
+
+            // One WAN stream: below the trigger, runs at full cap.
+            let t0 = rt.now();
+            net.transfer_opts(
+                &[wan],
+                1_000_000,
+                &XferOpts { cap, buses: vec![(bus, DeviceClass::Wan)] },
+            );
+            let one_clean = rt.now() - t0;
+
+            // Two WAN streams: trigger fires, both run at half rate.
+            let t1 = rt.now();
+            let net2 = net.clone();
+            let h = spawn(&rt, "wan2", move || {
+                net2.transfer_opts(
+                    &[wan],
+                    500_000,
+                    &XferOpts { cap, buses: vec![(bus, DeviceClass::Wan)] },
+                );
+            });
+            net.transfer_opts(
+                &[wan],
+                500_000,
+                &XferOpts { cap, buses: vec![(bus, DeviceClass::Wan)] },
+            );
+            h.join_unwrap();
+            let two_contended = rt.now() - t1;
+            ic_h.join_unwrap();
+            (one_clean, two_contended)
+        });
+        // One stream: 8 Mbit at 4 Mb/s = 2 s. Two contended streams: 4 Mbit
+        // each at 2 Mb/s = 2 s — no better.
+        assert!((secs(one_clean) - 2.0).abs() < 1e-6, "{one_clean}");
+        assert!((secs(two_contended) - 2.0).abs() < 1e-6, "{two_contended}");
+    }
+
+    #[test]
+    fn bus_contention_needs_interconnect_traffic() {
+        // Two WAN streams with NO interconnect activity: no penalty.
+        let elapsed = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let wan = net.add_link("wan", Bw::mbps(100.0), Dur::ZERO);
+            let bus = net.add_bus(BusSpec::default());
+            let cap = Some(Bw::mbps(4.0));
+            let t0 = rt.now();
+            let net2 = net.clone();
+            let h = spawn(&rt, "wan2", move || {
+                net2.transfer_opts(
+                    &[wan],
+                    500_000,
+                    &XferOpts { cap, buses: vec![(bus, DeviceClass::Wan)] },
+                );
+            });
+            net.transfer_opts(
+                &[wan],
+                500_000,
+                &XferOpts { cap, buses: vec![(bus, DeviceClass::Wan)] },
+            );
+            h.join_unwrap();
+            rt.now() - t0
+        });
+        assert!((secs(elapsed) - 1.0).abs() < 1e-6, "{elapsed}");
+    }
+
+    #[test]
+    fn contention_is_sticky_for_flow_lifetime() {
+        // The interconnect flow ends early, but already-contended WAN flows
+        // stay penalized until they finish.
+        let elapsed = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let wan = net.add_link("wan", Bw::mbps(100.0), Dur::ZERO);
+            let ic = net.add_link("myrinet", Bw::gbps(1.0), Dur::ZERO);
+            let bus = net.add_bus(BusSpec { penalty: 0.5, min_wan_streams: 2 });
+            let cap = Some(Bw::mbps(8.0));
+            // Short interconnect burst (finishes in 8 ms).
+            let net_ic = net.clone();
+            let ic_h = spawn(&rt, "mpi-burst", move || {
+                net_ic.transfer_opts(
+                    &[ic],
+                    1_000_000,
+                    &XferOpts { cap: None, buses: vec![(bus, DeviceClass::Interconnect)] },
+                );
+            });
+            let t0 = rt.now();
+            let net2 = net.clone();
+            let h = spawn(&rt, "wan2", move || {
+                net2.transfer_opts(
+                    &[wan],
+                    1_000_000,
+                    &XferOpts { cap, buses: vec![(bus, DeviceClass::Wan)] },
+                );
+            });
+            net.transfer_opts(
+                &[wan],
+                1_000_000,
+                &XferOpts { cap, buses: vec![(bus, DeviceClass::Wan)] },
+            );
+            h.join_unwrap();
+            ic_h.join_unwrap();
+            rt.now() - t0
+        });
+        // 8 Mbit at the penalized 4 Mb/s = 2 s (vs 1 s unpenalized).
+        assert!((secs(elapsed) - 2.0).abs() < 1e-3, "{elapsed}");
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_free() {
+        simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let l = net.add_link("lan", Bw::mbps(8.0), Dur::ZERO);
+            let t0 = rt.now();
+            net.transfer(&[l], 0, None);
+            assert_eq!(rt.now(), t0);
+        });
+    }
+
+    #[test]
+    fn many_flows_conserve_bytes() {
+        // 20 concurrent flows with varied sizes: total bits over the link
+        // equals total bits sent, and total time equals total bits / cap.
+        let (elapsed, ok) = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let l = net.add_link("lan", Bw::mbps(80.0), Dur::ZERO);
+            let t0 = rt.now();
+            let mut hs = Vec::new();
+            let mut total = 0u64;
+            for i in 1..=20u64 {
+                let bytes = i * 50_000;
+                total += bytes;
+                let net2 = net.clone();
+                hs.push(spawn(&rt, &format!("f{i}"), move || {
+                    net2.transfer(&[l], bytes, None);
+                }));
+            }
+            for h in hs {
+                h.join_unwrap();
+            }
+            let elapsed = rt.now() - t0;
+            let bits = net.link_bits_moved(l);
+            ((elapsed, (bits - total as f64 * 8.0).abs() < 10.0), )
+        })
+        .0;
+        // total = 50k * (1+..+20) = 10.5 MB = 84 Mbit over 80 Mb/s = 1.05 s
+        assert!(ok, "byte conservation violated");
+        assert!((secs(elapsed) - 1.05).abs() < 1e-4, "{elapsed}");
+    }
+}

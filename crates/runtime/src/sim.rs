@@ -1,0 +1,818 @@
+//! The virtual-time runtime.
+//!
+//! # Model
+//!
+//! Every simulated entity (an MPI rank, an SRB server connection handler, a
+//! SEMPLAR I/O thread) is a **real OS thread** registered with the engine as
+//! an *actor*. Actors may only block through the engine — via
+//! [`Runtime::sleep`], or by waiting on an engine-created [`Event`]. The
+//! engine keeps a count of *runnable* actors; when the last runnable actor
+//! blocks, the virtual clock jumps to the earliest pending timer and the
+//! corresponding sleepers are released. Virtual time therefore advances in
+//! discrete hops and never passes while any actor still has work to do.
+//!
+//! If every actor is blocked and no timer is pending, the simulation has
+//! genuinely deadlocked; the engine panics with a table of every actor and
+//! what it is blocked on, then poisons itself so all other actors unwind
+//! too.
+//!
+//! # Why threads rather than an event loop?
+//!
+//! The point of this reproduction is to run the *actual* SEMPLAR
+//! implementation — compute thread, FIFO I/O queue, condition-variable
+//! wakeups (Fig. 2 of the paper) — not a model of it. Mapping each simulated
+//! thread onto a real thread lets the identical library code run under
+//! virtual time (for the WAN-scale experiments) and wall-clock time (unit
+//! tests, examples) without modification.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, Ordering as AtOrd};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use crate::runtime::{Event, EventApi, JoinHandle, Runtime, Wake};
+use crate::time::{Dur, Time};
+
+thread_local! {
+    static CURRENT_ACTOR: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+const SLOT_PENDING: u8 = 0;
+const SLOT_SIGNALED: u8 = 1;
+const SLOT_TIMEOUT: u8 = 2;
+const SLOT_SHUTDOWN: u8 = 3;
+
+/// Panic payload used to unwind daemon actors at simulation quiescence.
+/// The spawn wrapper recognizes it and treats the exit as clean.
+struct ShutdownSignal;
+
+/// One blocked wait. All fields are only mutated while the engine lock is
+/// held; the atomics exist purely to avoid `unsafe` interior mutability.
+struct WaitSlot {
+    state: AtomicU8,
+    actor: u64,
+}
+
+impl WaitSlot {
+    fn new(actor: u64) -> Arc<WaitSlot> {
+        Arc::new(WaitSlot {
+            state: AtomicU8::new(SLOT_PENDING),
+            actor,
+        })
+    }
+
+    fn is_woken(&self) -> bool {
+        self.state.load(AtOrd::Relaxed) != SLOT_PENDING
+    }
+}
+
+struct TimerEntry {
+    at: u64,
+    seq: u64,
+    slot: Arc<WaitSlot>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    // Reversed so the BinaryHeap (a max-heap) pops the earliest timer first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct ActorInfo {
+    name: String,
+    /// True while the actor counts toward `runnable`.
+    counted: bool,
+    /// What the actor is blocked on, for deadlock diagnostics.
+    blocked_on: Option<&'static str>,
+    /// Daemon actors (e.g. server connection handlers parked on their
+    /// request channel) do not keep the simulation alive: when only daemons
+    /// remain blocked and no timer is pending, they are unwound cleanly.
+    daemon: bool,
+}
+
+#[derive(Default)]
+struct EngineState {
+    now: u64,
+    runnable: usize,
+    actors: HashMap<u64, ActorInfo>,
+    next_actor: u64,
+    timers: BinaryHeap<TimerEntry>,
+    next_seq: u64,
+    /// Every currently blocked slot, so a poisoned engine can wake them all.
+    blocked_slots: HashMap<u64, Arc<WaitSlot>>,
+    next_slot: u64,
+    poisoned: bool,
+    /// Human-readable cause of the poisoning (first panic / deadlock).
+    poison_cause: String,
+    clock_advances: u64,
+    max_actors: usize,
+}
+
+struct Engine {
+    state: Mutex<EngineState>,
+    cond: Condvar,
+}
+
+impl Engine {
+    fn current_actor(&self) -> u64 {
+        CURRENT_ACTOR.with(|c| c.get()).unwrap_or_else(|| {
+            panic!(
+                "blocking SimRuntime operation called from a thread that is not a \
+                 registered actor; spawn work via SimRuntime::spawn (or run_root)"
+            )
+        })
+    }
+
+    fn wake_locked(&self, st: &mut EngineState, slot: &Arc<WaitSlot>, reason: u8) {
+        if slot.is_woken() {
+            return;
+        }
+        slot.state.store(reason, AtOrd::Relaxed);
+        if let Some(info) = st.actors.get_mut(&slot.actor) {
+            if !info.counted {
+                info.counted = true;
+                info.blocked_on = None;
+                st.runnable += 1;
+            }
+        }
+        self.cond.notify_all();
+    }
+
+    /// Advance the clock while no actor is runnable. Must be called with the
+    /// lock held, immediately after decrementing `runnable`.
+    fn advance_locked(&self, st: &mut EngineState) {
+        while st.runnable == 0 && !st.actors.is_empty() {
+            // Drop timers whose waiters were already woken by a signal.
+            while st
+                .timers
+                .peek()
+                .map(|e| e.slot.is_woken())
+                .unwrap_or(false)
+            {
+                st.timers.pop();
+            }
+            let Some(first) = st.timers.peek() else {
+                if st.actors.values().all(|a| a.daemon) {
+                    // Quiescence: only parked daemons remain. Unwind them
+                    // cleanly; the simulation is complete.
+                    let slots: Vec<_> = st.blocked_slots.values().cloned().collect();
+                    for s in slots {
+                        self.wake_locked(st, &s, SLOT_SHUTDOWN);
+                    }
+                    return;
+                }
+                let mut table = String::new();
+                let mut actors: Vec<_> = st.actors.iter().collect();
+                actors.sort_by_key(|(id, _)| **id);
+                for (id, a) in actors {
+                    table.push_str(&format!(
+                        "\n  actor #{id} {:?}: blocked on {}",
+                        a.name,
+                        a.blocked_on.unwrap_or("(exiting)")
+                    ));
+                }
+                let msg = format!(
+                    "simulation deadlock at {}: every actor is blocked and no timer is pending{table}",
+                    Time(st.now)
+                );
+                self.poison_locked(st, &msg);
+                panic!("{msg}");
+            };
+            let t = first.at;
+            debug_assert!(t >= st.now, "timer in the past");
+            st.now = t;
+            st.clock_advances += 1;
+            while let Some(e) = st.timers.peek() {
+                if e.at != t {
+                    break;
+                }
+                let e = st.timers.pop().expect("peeked");
+                let slot = e.slot;
+                self.wake_locked(st, &slot, SLOT_TIMEOUT);
+            }
+        }
+        if st.actors.is_empty() {
+            // Simulation finished; release anyone in wait_done().
+            self.cond.notify_all();
+        }
+    }
+
+    fn poison_locked(&self, st: &mut EngineState, cause: &str) {
+        if !st.poisoned {
+            st.poisoned = true;
+            st.poison_cause = cause.to_string();
+        }
+        let slots: Vec<_> = st.blocked_slots.values().cloned().collect();
+        for s in slots {
+            self.wake_locked(st, &s, SLOT_SIGNALED);
+        }
+        self.cond.notify_all();
+    }
+
+    /// Block the current actor on `slot`, with the engine lock already held.
+    /// Returns the wake reason.
+    fn block_locked(
+        &self,
+        st: &mut MutexGuard<'_, EngineState>,
+        slot: &Arc<WaitSlot>,
+        why: &'static str,
+    ) -> Wake {
+        if st.poisoned {
+            panic!("simulation poisoned: {}", st.poison_cause);
+        }
+        let slot_id = st.next_slot;
+        st.next_slot += 1;
+        st.blocked_slots.insert(slot_id, slot.clone());
+        {
+            let info = st
+                .actors
+                .get_mut(&slot.actor)
+                .expect("blocking actor not registered");
+            debug_assert!(info.counted, "actor blocked twice");
+            info.counted = false;
+            info.blocked_on = Some(why);
+        }
+        st.runnable -= 1;
+        if st.runnable == 0 {
+            self.advance_locked(st);
+        }
+        while !slot.is_woken() {
+            self.cond.wait(st);
+        }
+        st.blocked_slots.remove(&slot_id);
+        if st.poisoned {
+            panic!("simulation poisoned: {}", st.poison_cause);
+        }
+        match slot.state.load(AtOrd::Relaxed) {
+            SLOT_SIGNALED => Wake::Signaled,
+            SLOT_TIMEOUT => Wake::Timeout,
+            SLOT_SHUTDOWN => std::panic::panic_any(ShutdownSignal),
+            _ => unreachable!("woken slot left pending"),
+        }
+    }
+
+    fn push_timer_locked(&self, st: &mut EngineState, at: u64, slot: Arc<WaitSlot>) {
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.timers.push(TimerEntry { at, seq, slot });
+    }
+
+    fn actor_exit(&self, id: u64) {
+        let mut st = self.state.lock();
+        if let Some(info) = st.actors.remove(&id) {
+            if info.counted {
+                st.runnable -= 1;
+            }
+        }
+        if st.runnable == 0 {
+            self.advance_locked(&mut st);
+        }
+        self.cond.notify_all();
+    }
+}
+
+/// Counters describing a finished (or running) simulation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStats {
+    /// How many times the virtual clock hopped forward.
+    pub clock_advances: u64,
+    /// The largest number of concurrently registered actors.
+    pub max_actors: usize,
+}
+
+/// The virtual-time [`Runtime`]. See the module docs for the model.
+pub struct SimRuntime {
+    eng: Arc<Engine>,
+}
+
+impl Default for SimRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimRuntime {
+    /// Create a fresh simulation with the clock at [`Time::ZERO`].
+    pub fn new() -> SimRuntime {
+        SimRuntime {
+            eng: Arc::new(Engine {
+                state: Mutex::new(EngineState::default()),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A shareable `Arc<dyn Runtime>` handle.
+    pub fn handle(&self) -> Arc<dyn Runtime> {
+        Arc::new(SimRuntime {
+            eng: self.eng.clone(),
+        })
+    }
+
+    /// Block the *calling OS thread* (which must not be an actor) until every
+    /// actor has exited.
+    pub fn wait_done(&self) {
+        let mut st = self.eng.state.lock();
+        while !st.actors.is_empty() {
+            self.eng.cond.wait(&mut st);
+        }
+    }
+
+    /// Spawn `f` as the root actor, wait for the whole simulation to finish,
+    /// and return `f`'s result. Panics from any actor propagate.
+    pub fn run_root<T, F>(&self, f: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce(Arc<dyn Runtime>) -> T + Send + 'static,
+    {
+        let rt = self.handle();
+        let out: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let out2 = out.clone();
+        let h = self.handle().spawn(
+            "root",
+            Box::new(move || {
+                let v = f(rt);
+                *out2.lock() = Some(v);
+            }),
+        );
+        self.wait_done();
+        h.join_unwrap();
+        let v = out.lock().take();
+        v.expect("root actor did not produce a value")
+    }
+
+    /// Simulation counters.
+    pub fn stats(&self) -> SimStats {
+        let st = self.eng.state.lock();
+        SimStats {
+            clock_advances: st.clock_advances,
+            max_actors: st.max_actors,
+        }
+    }
+}
+
+/// One-shot helper: build a [`SimRuntime`], run `f` as the root actor, and
+/// return its result once the simulation drains.
+pub fn simulate<T, F>(f: F) -> T
+where
+    T: Send + 'static,
+    F: FnOnce(Arc<dyn Runtime>) -> T + Send + 'static,
+{
+    SimRuntime::new().run_root(f)
+}
+
+impl Runtime for SimRuntime {
+    fn now(&self) -> Time {
+        Time(self.eng.state.lock().now)
+    }
+
+    fn sleep(&self, d: Dur) {
+        if d.is_zero() {
+            return;
+        }
+        let actor = self.eng.current_actor();
+        let slot = WaitSlot::new(actor);
+        let mut st = self.eng.state.lock();
+        let at = st.now.saturating_add(d.as_nanos());
+        self.eng.push_timer_locked(&mut st, at, slot.clone());
+        self.eng.block_locked(&mut st, &slot, "sleep");
+    }
+
+    fn spawn(&self, name: &str, f: Box<dyn FnOnce() + Send + 'static>) -> JoinHandle {
+        self.spawn_inner(name, f, false)
+    }
+
+    fn spawn_daemon(&self, name: &str, f: Box<dyn FnOnce() + Send + 'static>) -> JoinHandle {
+        self.spawn_inner(name, f, true)
+    }
+
+    fn event(&self) -> Event {
+        Arc::new(SimEvent {
+            eng: self.eng.clone(),
+            inner: Mutex::new(EventInner::default()),
+        })
+    }
+
+    fn is_simulated(&self) -> bool {
+        true
+    }
+}
+
+impl SimRuntime {
+    fn spawn_inner(
+        &self,
+        name: &str,
+        f: Box<dyn FnOnce() + Send + 'static>,
+        daemon: bool,
+    ) -> JoinHandle {
+        let done = self.event();
+        let (mut handle, exit) = JoinHandle::new(done);
+        let id = {
+            let mut st = self.eng.state.lock();
+            if st.poisoned {
+                panic!("cannot spawn into a poisoned simulation");
+            }
+            let id = st.next_actor;
+            st.next_actor += 1;
+            st.actors.insert(
+                id,
+                ActorInfo {
+                    name: name.to_string(),
+                    counted: true,
+                    blocked_on: None,
+                    daemon,
+                },
+            );
+            st.runnable += 1;
+            st.max_actors = st.max_actors.max(st.actors.len());
+            id
+        };
+        let eng = self.eng.clone();
+        let t = std::thread::Builder::new()
+            .name(format!("sim:{name}"))
+            .spawn(move || {
+                CURRENT_ACTOR.with(|c| c.set(Some(id)));
+                let r = catch_unwind(AssertUnwindSafe(f));
+                let payload = match r {
+                    Ok(()) => None,
+                    Err(p) if p.is::<ShutdownSignal>() => None, // clean daemon unwind
+                    Err(p) => {
+                        // Poison so the rest of the simulation unwinds instead
+                        // of hanging on events this actor will never signal.
+                        let cause = p
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| p.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        let mut st = eng.state.lock();
+                        eng.poison_locked(&mut st, &format!("panic in an actor: {cause}"));
+                        Some(p)
+                    }
+                };
+                // Publish completion *before* deregistering: a joiner must be
+                // runnable again before our exit can trigger clock advance,
+                // otherwise the engine would see a spurious deadlock.
+                exit.finish(payload);
+                eng.actor_exit(id);
+            })
+            .expect("spawn sim actor thread");
+        handle.set_thread(t);
+        handle
+    }
+}
+
+#[derive(Default)]
+struct EventInner {
+    permits: usize,
+    waiters: VecDeque<Arc<WaitSlot>>,
+}
+
+/// An [`Event`] bound to a virtual-time engine.
+///
+/// Lock order is strictly engine-state → event-inner; every method takes the
+/// engine lock first, so the two locks can never deadlock against each other.
+struct SimEvent {
+    eng: Arc<Engine>,
+    inner: Mutex<EventInner>,
+}
+
+impl EventApi for SimEvent {
+    fn wait(&self) {
+        let mut st = self.eng.state.lock();
+        let slot = {
+            let mut inner = self.inner.lock();
+            if inner.permits > 0 {
+                inner.permits -= 1;
+                return;
+            }
+            // Only a registered actor may actually block; non-actor threads
+            // (e.g. the harness thread joining after wait_done) succeed above
+            // because the permit is already banked.
+            let slot = WaitSlot::new(self.eng.current_actor());
+            inner.waiters.push_back(slot.clone());
+            slot
+        };
+        self.eng.block_locked(&mut st, &slot, "event wait");
+    }
+
+    fn wait_timeout(&self, d: Dur) -> Wake {
+        let mut st = self.eng.state.lock();
+        let slot = {
+            let mut inner = self.inner.lock();
+            if inner.permits > 0 {
+                inner.permits -= 1;
+                return Wake::Signaled;
+            }
+            if d.is_zero() {
+                return Wake::Timeout;
+            }
+            let slot = WaitSlot::new(self.eng.current_actor());
+            inner.waiters.push_back(slot.clone());
+            slot
+        };
+        if d != Dur::MAX {
+            let at = st.now.saturating_add(d.as_nanos());
+            self.eng.push_timer_locked(&mut st, at, slot.clone());
+        }
+        self.eng.block_locked(&mut st, &slot, "event wait (timeout)")
+    }
+
+    fn signal(&self) {
+        let mut st = self.eng.state.lock();
+        let mut inner = self.inner.lock();
+        loop {
+            match inner.waiters.pop_front() {
+                Some(w) if w.is_woken() => continue, // raced with a timeout
+                Some(w) => {
+                    self.eng.wake_locked(&mut st, &w, SLOT_SIGNALED);
+                    return;
+                }
+                None => {
+                    inner.permits += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn notify_all(&self) {
+        let mut st = self.eng.state.lock();
+        let mut inner = self.inner.lock();
+        while let Some(w) = inner.waiters.pop_front() {
+            self.eng.wake_locked(&mut st, &w, SLOT_SIGNALED);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::spawn;
+    use std::sync::atomic::{AtomicUsize, Ordering as AO};
+
+    #[test]
+    fn sleep_advances_virtual_time_instantly() {
+        let wall = std::time::Instant::now();
+        let end = simulate(|rt| {
+            rt.sleep(Dur::from_secs(3600));
+            rt.now()
+        });
+        assert_eq!(end, Time::ZERO + Dur::from_secs(3600));
+        assert!(wall.elapsed().as_secs() < 5, "virtual hour took wall time");
+    }
+
+    #[test]
+    fn sleepers_wake_in_timestamp_order() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o2 = order.clone();
+        simulate(move |rt| {
+            let mut hs = Vec::new();
+            for (i, ms) in [(0u32, 30u64), (1, 10), (2, 20)] {
+                let rt2 = rt.clone();
+                let o = o2.clone();
+                hs.push(spawn(&rt, &format!("s{i}"), move || {
+                    rt2.sleep(Dur::from_millis(ms));
+                    o.lock().push((i, rt2.now().as_nanos()));
+                }));
+            }
+            for h in hs {
+                h.join_unwrap();
+            }
+        });
+        let got = order.lock().clone();
+        let mut sorted = got.clone();
+        sorted.sort_by_key(|&(_, t)| t);
+        assert_eq!(got, sorted);
+        assert_eq!(
+            got.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn event_signal_wakes_waiter_without_time_passing() {
+        let t = simulate(|rt| {
+            let ev = rt.event();
+            let ev2 = ev.clone();
+            let rt2 = rt.clone();
+            let h = spawn(&rt, "waiter", move || {
+                ev2.wait();
+                let _ = rt2.now();
+            });
+            rt.sleep(Dur::from_millis(5));
+            ev.signal();
+            h.join_unwrap();
+            rt.now()
+        });
+        assert_eq!(t, Time::ZERO + Dur::from_millis(5));
+    }
+
+    #[test]
+    fn event_permits_count() {
+        simulate(|rt| {
+            let ev = rt.event();
+            ev.signal();
+            ev.signal();
+            assert_eq!(ev.wait_timeout(Dur::from_millis(1)), Wake::Signaled);
+            assert_eq!(ev.wait_timeout(Dur::from_millis(1)), Wake::Signaled);
+            assert_eq!(ev.wait_timeout(Dur::from_millis(1)), Wake::Timeout);
+        });
+    }
+
+    #[test]
+    fn wait_timeout_times_out_at_exact_virtual_instant() {
+        let (start, end) = simulate(|rt| {
+            let ev = rt.event();
+            let s = rt.now();
+            assert_eq!(ev.wait_timeout(Dur::from_millis(250)), Wake::Timeout);
+            (s, rt.now())
+        });
+        assert_eq!(end - start, Dur::from_millis(250));
+    }
+
+    #[test]
+    fn signal_beats_timeout() {
+        simulate(|rt| {
+            let ev = rt.event();
+            let ev2 = ev.clone();
+            let rt2 = rt.clone();
+            let h = spawn(&rt, "signaller", move || {
+                rt2.sleep(Dur::from_millis(10));
+                ev2.signal();
+            });
+            assert_eq!(ev.wait_timeout(Dur::from_secs(100)), Wake::Signaled);
+            assert_eq!(rt.now(), Time::ZERO + Dur::from_millis(10));
+            h.join_unwrap();
+        });
+    }
+
+    #[test]
+    fn notify_all_releases_every_waiter() {
+        let woken = Arc::new(AtomicUsize::new(0));
+        let w2 = woken.clone();
+        simulate(move |rt| {
+            let ev = rt.event();
+            let mut hs = Vec::new();
+            for i in 0..8 {
+                let ev2 = ev.clone();
+                let w = w2.clone();
+                hs.push(spawn(&rt, &format!("w{i}"), move || {
+                    ev2.wait();
+                    w.fetch_add(1, AO::SeqCst);
+                }));
+            }
+            rt.sleep(Dur::from_millis(1)); // let them all block
+            ev.notify_all();
+            for h in hs {
+                h.join_unwrap();
+            }
+        });
+        assert_eq!(woken.load(AO::SeqCst), 8);
+    }
+
+    #[test]
+    fn join_returns_after_child_exits() {
+        let t = simulate(|rt| {
+            let rt2 = rt.clone();
+            let h = spawn(&rt, "child", move || {
+                rt2.sleep(Dur::from_secs(2));
+            });
+            h.join_unwrap();
+            rt.now()
+        });
+        assert_eq!(t, Time::ZERO + Dur::from_secs(2));
+    }
+
+    #[test]
+    fn join_propagates_panic_payload() {
+        let sim = SimRuntime::new();
+        let rt = sim.handle();
+        let h = rt.spawn(
+            "panicker",
+            Box::new(|| {
+                panic!("boom-42");
+            }),
+        );
+        sim.wait_done();
+        let err = h.join().unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom-42");
+    }
+
+    #[test]
+    fn daemons_do_not_block_completion() {
+        // A "server" daemon parked forever on an event must not trip the
+        // deadlock detector; the sim completes when the root finishes.
+        let end = simulate(|rt| {
+            let ev = rt.event();
+            let rt2 = rt.clone();
+            let _h = rt.spawn_daemon(
+                "server-conn",
+                Box::new(move || {
+                    ev.wait(); // never signaled
+                    let _ = rt2.now();
+                }),
+            );
+            rt.sleep(Dur::from_millis(7));
+            rt.now()
+        });
+        assert_eq!(end, Time::ZERO + Dur::from_millis(7));
+    }
+
+    #[test]
+    fn daemon_loops_are_unwound_cleanly() {
+        use crate::sync::Channel;
+        let served = Arc::new(AtomicUsize::new(0));
+        let s2 = served.clone();
+        simulate(move |rt| {
+            let ch: Channel<u32> = Channel::new(&rt);
+            let ch2 = ch.clone();
+            let s3 = s2.clone();
+            rt.spawn_daemon(
+                "handler",
+                Box::new(move || {
+                    while ch2.recv().is_ok() {
+                        s3.fetch_add(1, AO::SeqCst);
+                    }
+                }),
+            );
+            for i in 0..5 {
+                ch.send(i).unwrap();
+            }
+            rt.sleep(Dur::from_millis(1)); // let the daemon drain
+        });
+        assert_eq!(served.load(AO::SeqCst), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected_and_reported() {
+        simulate(|rt| {
+            let ev = rt.event();
+            ev.wait(); // nobody will ever signal
+        });
+    }
+
+    #[test]
+    fn many_actors_interleave_consistently() {
+        // 20 actors each sleep 10 times; total virtual time is the max, and
+        // every actor observes monotonically non-decreasing time.
+        let end = simulate(|rt| {
+            let mut hs = Vec::new();
+            for i in 0..20u64 {
+                let rt2 = rt.clone();
+                hs.push(spawn(&rt, &format!("a{i}"), move || {
+                    let mut last = rt2.now();
+                    for _ in 0..10 {
+                        rt2.sleep(Dur::from_micros(i + 1));
+                        let now = rt2.now();
+                        assert!(now >= last);
+                        last = now;
+                    }
+                }));
+            }
+            for h in hs {
+                h.join_unwrap();
+            }
+            rt.now()
+        });
+        assert_eq!(end, Time::ZERO + Dur::from_micros(200)); // 20µs * 10
+    }
+
+    #[test]
+    fn stats_track_advances_and_actors() {
+        let sim = SimRuntime::new();
+        sim.run_root(|rt| {
+            let rt2 = rt.clone();
+            let h = spawn(&rt, "x", move || rt2.sleep(Dur::from_millis(1)));
+            rt.sleep(Dur::from_millis(2));
+            h.join_unwrap();
+        });
+        let s = sim.stats();
+        assert!(s.clock_advances >= 2);
+        assert!(s.max_actors >= 2);
+    }
+
+    #[test]
+    fn zero_sleep_is_noop() {
+        simulate(|rt| {
+            rt.sleep(Dur::ZERO);
+            assert_eq!(rt.now(), Time::ZERO);
+        });
+    }
+}

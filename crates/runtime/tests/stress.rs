@@ -1,0 +1,157 @@
+//! Randomized stress tests for the virtual-time engine: many actors doing
+//! interleaved sleeps, channel traffic, barriers, and mutex work must always
+//! drain without deadlock, preserve causality, and conserve messages.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use semplar_runtime::sync::{Barrier, Channel, RtMutex};
+use semplar_runtime::{simulate, spawn, Dur};
+
+#[test]
+fn chaotic_actor_mix_always_drains() {
+    for seed in 0..8u64 {
+        let sent = Arc::new(AtomicU64::new(0));
+        let received = Arc::new(AtomicU64::new(0));
+        let s2 = sent.clone();
+        let r2 = received.clone();
+        simulate(move |rt| {
+            let ch: Channel<u64> = Channel::new(&rt);
+            let n_workers = 6;
+            let msgs_per_worker = 40;
+            let mut hs = Vec::new();
+            // Producers with randomized pacing.
+            for w in 0..n_workers {
+                let ch2 = ch.clone();
+                let rt2 = rt.clone();
+                let s3 = s2.clone();
+                hs.push(spawn(&rt, &format!("prod{w}"), move || {
+                    let mut rng = StdRng::seed_from_u64(seed * 100 + w);
+                    for i in 0..msgs_per_worker {
+                        rt2.sleep(Dur::from_micros(rng.gen_range(0..50)));
+                        ch2.send(w * 1000 + i).unwrap();
+                        s3.fetch_add(1, Ordering::SeqCst);
+                    }
+                }));
+            }
+            // Consumers.
+            for c in 0..2 {
+                let ch2 = ch.clone();
+                let rt2 = rt.clone();
+                let r3 = r2.clone();
+                hs.push(spawn(&rt, &format!("cons{c}"), move || {
+                    let mut rng = StdRng::seed_from_u64(seed * 77 + c);
+                    while ch2.recv().is_ok() {
+                        r3.fetch_add(1, Ordering::SeqCst);
+                        rt2.sleep(Dur::from_micros(rng.gen_range(0..20)));
+                    }
+                }));
+            }
+            // A closer that waits for all producers to finish.
+            let producers: Vec<_> = hs.drain(0..n_workers as usize).collect();
+            for p in producers {
+                p.join_unwrap();
+            }
+            ch.close();
+            for h in hs {
+                h.join_unwrap();
+            }
+        });
+        assert_eq!(
+            sent.load(Ordering::SeqCst),
+            received.load(Ordering::SeqCst),
+            "seed {seed}: lost or duplicated messages"
+        );
+        assert_eq!(sent.load(Ordering::SeqCst), 240);
+    }
+}
+
+#[test]
+fn randomized_barrier_phases_keep_actors_aligned() {
+    for seed in 0..4u64 {
+        simulate(move |rt| {
+            let n = 5;
+            let phases = 12;
+            let b = Barrier::new(&rt, n);
+            let phase_counter = Arc::new(RtMutex::new(&rt, vec![0u32; phases]));
+            let mut hs = Vec::new();
+            for a in 0..n {
+                let b2 = b.clone();
+                let rt2 = rt.clone();
+                let pc = phase_counter.clone();
+                hs.push(spawn(&rt, &format!("a{a}"), move || {
+                    let mut rng = StdRng::seed_from_u64(seed * 31 + a as u64);
+                    for ph in 0..phases {
+                        rt2.sleep(Dur::from_micros(rng.gen_range(1..200)));
+                        {
+                            let mut g = pc.lock();
+                            g[ph] += 1;
+                        }
+                        b2.wait();
+                        // After the barrier, everyone must have ticked this
+                        // phase.
+                        assert_eq!(pc.lock()[ph], n as u32, "phase {ph} desync");
+                    }
+                }));
+            }
+            for h in hs {
+                h.join_unwrap();
+            }
+        });
+    }
+}
+
+#[test]
+fn virtual_time_is_monotonic_under_chaos() {
+    simulate(|rt| {
+        let mut hs = Vec::new();
+        for a in 0..10u64 {
+            let rt2 = rt.clone();
+            hs.push(spawn(&rt, &format!("m{a}"), move || {
+                let mut rng = StdRng::seed_from_u64(a);
+                let mut last = rt2.now();
+                for _ in 0..100 {
+                    let d = Dur::from_nanos(rng.gen_range(0..10_000));
+                    rt2.sleep(d);
+                    let now = rt2.now();
+                    assert!(now >= last + d, "slept less than requested");
+                    last = now;
+                }
+            }));
+        }
+        for h in hs {
+            h.join_unwrap();
+        }
+    });
+}
+
+#[test]
+fn deep_spawn_trees_complete() {
+    // Actors recursively spawning actors (like nested File opens spawning
+    // I/O threads spawning server handlers).
+    fn tree(rt: Arc<dyn semplar_runtime::Runtime>, depth: usize, fanout: usize) -> u64 {
+        if depth == 0 {
+            rt.sleep(Dur::from_micros(1));
+            return 1;
+        }
+        let total = Arc::new(AtomicU64::new(0));
+        let mut hs = Vec::new();
+        for i in 0..fanout {
+            let rt2 = rt.clone();
+            let t2 = total.clone();
+            hs.push(spawn(&rt, &format!("t{depth}-{i}"), move || {
+                let leaves = tree(rt2, depth - 1, fanout);
+                t2.fetch_add(leaves, Ordering::SeqCst);
+            }));
+        }
+        for h in hs {
+            h.join_unwrap();
+        }
+        total.load(Ordering::SeqCst)
+    }
+    let leaves = simulate(|rt| tree(rt, 4, 3));
+    assert_eq!(leaves, 81);
+}

@@ -1,0 +1,179 @@
+//! The SRB client: one TCP connection plus a POSIX-like remote file API.
+//!
+//! Each [`SrbConn`] corresponds to one TCP stream between a cluster node and
+//! the server (the paper's SEMPLAR opens one per `MPI_File_open`, and two
+//! when double-streaming, §7.2). All operations on one connection are
+//! serialized through a runtime-aware lock — a TCP stream can carry one
+//! synchronous SRB exchange at a time — which is precisely why multi-stream
+//! transfers require the asynchronous interface to make progress on both
+//! connections simultaneously.
+
+use std::sync::Arc;
+
+use semplar_netsim::net::XferOpts;
+use semplar_netsim::{LinkId, Network};
+use semplar_runtime::sync::{Channel, RtMutex};
+use semplar_runtime::Runtime;
+
+use crate::proto::{Request, Response};
+use crate::types::{ObjStat, OpenFlags, Payload, SrbError, SrbResult};
+
+/// A live connection to an SRB server. Obtain via
+/// [`SrbServer::connect`](crate::server::SrbServer::connect).
+pub struct SrbConn {
+    rt: Arc<dyn Runtime>,
+    net: Arc<Network>,
+    fwd: Vec<LinkId>,
+    fwd_opts: XferOpts,
+    req_ch: Channel<Request>,
+    resp_ch: Channel<Response>,
+    lock: RtMutex<()>,
+}
+
+impl SrbConn {
+    pub(crate) fn new(
+        rt: Arc<dyn Runtime>,
+        net: Arc<Network>,
+        fwd: Vec<LinkId>,
+        fwd_opts: XferOpts,
+        req_ch: Channel<Request>,
+        resp_ch: Channel<Response>,
+    ) -> SrbConn {
+        let lock = RtMutex::new(&rt, ());
+        SrbConn {
+            rt,
+            net,
+            fwd,
+            fwd_opts,
+            req_ch,
+            resp_ch,
+            lock,
+        }
+    }
+
+    /// Issue one synchronous request/response exchange. Charges the request
+    /// transmission to the caller; the server handler charges processing,
+    /// disk, and the response transmission before replying.
+    fn call(&self, req: Request) -> SrbResult<Response> {
+        let _g = self.lock.lock();
+        self.net
+            .send_message_opts(&self.fwd, req.wire_size(), &self.fwd_opts);
+        self.req_ch.send(req).map_err(|_| SrbError::Disconnected)?;
+        self.resp_ch.recv().map_err(|_| SrbError::Disconnected)
+    }
+
+    fn expect_ok(&self, req: Request) -> SrbResult<()> {
+        match self.call(req)? {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(SrbError::InvalidArg(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Create a collection.
+    pub fn mk_coll(&self, path: &str) -> SrbResult<()> {
+        self.expect_ok(Request::MkColl(path.to_string()))
+    }
+
+    /// Remove an empty collection.
+    pub fn rm_coll(&self, path: &str) -> SrbResult<()> {
+        self.expect_ok(Request::RmColl(path.to_string()))
+    }
+
+    /// Register a new data object.
+    pub fn create(&self, path: &str) -> SrbResult<()> {
+        self.expect_ok(Request::Create(path.to_string()))
+    }
+
+    /// Open a data object.
+    pub fn open(&self, path: &str, flags: OpenFlags) -> SrbResult<u32> {
+        match self.call(Request::Open(path.to_string(), flags))? {
+            Response::Fd(fd) => Ok(fd),
+            Response::Error(e) => Err(e),
+            other => Err(SrbError::InvalidArg(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Close a descriptor.
+    pub fn close_fd(&self, fd: u32) -> SrbResult<()> {
+        self.expect_ok(Request::Close(fd))
+    }
+
+    /// Read up to `len` bytes at `offset`.
+    pub fn read(&self, fd: u32, offset: u64, len: u64) -> SrbResult<Payload> {
+        match self.call(Request::Read { fd, offset, len })? {
+            Response::Data(p) => Ok(p),
+            Response::Error(e) => Err(e),
+            other => Err(SrbError::InvalidArg(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Write `payload` at `offset`, returning bytes written.
+    pub fn write(&self, fd: u32, offset: u64, payload: Payload) -> SrbResult<u64> {
+        match self.call(Request::Write {
+            fd,
+            offset,
+            payload,
+        })? {
+            Response::Written(n) => Ok(n),
+            Response::Error(e) => Err(e),
+            other => Err(SrbError::InvalidArg(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Object metadata.
+    pub fn stat(&self, path: &str) -> SrbResult<ObjStat> {
+        match self.call(Request::Stat(path.to_string()))? {
+            Response::Stat(s) => Ok(s),
+            Response::Error(e) => Err(e),
+            other => Err(SrbError::InvalidArg(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Remove a data object.
+    pub fn unlink(&self, path: &str) -> SrbResult<()> {
+        self.expect_ok(Request::Unlink(path.to_string()))
+    }
+
+    /// Immediate children of a collection.
+    pub fn list(&self, path: &str) -> SrbResult<Vec<String>> {
+        match self.call(Request::List(path.to_string()))? {
+            Response::Names(n) => Ok(n),
+            Response::Error(e) => Err(e),
+            other => Err(SrbError::InvalidArg(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Server-side Adler-32 checksum of a whole object — verify a transfer
+    /// without pulling the bytes back over the WAN.
+    pub fn checksum(&self, path: &str) -> SrbResult<u32> {
+        match self.call(Request::Checksum(path.to_string()))? {
+            Response::Checksum(c) => Ok(c),
+            Response::Error(e) => Err(e),
+            other => Err(SrbError::InvalidArg(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Replicate an object to a federated peer server (§8). Blocks until
+    /// the copy completes on the peer.
+    pub fn replicate(&self, path: &str, peer: &str) -> SrbResult<()> {
+        self.expect_ok(Request::Replicate {
+            path: path.to_string(),
+            peer: peer.to_string(),
+        })
+    }
+
+    /// Gracefully close the connection. Further calls fail with
+    /// [`SrbError::Disconnected`].
+    pub fn disconnect(&self) -> SrbResult<()> {
+        let r = self.expect_ok(Request::Disconnect);
+        self.req_ch.close();
+        self.resp_ch.close();
+        r
+    }
+
+    /// The runtime this connection charges time against.
+    pub fn runtime(&self) -> &Arc<dyn Runtime> {
+        &self.rt
+    }
+}

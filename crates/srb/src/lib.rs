@@ -1,0 +1,412 @@
+//! # semplar-srb
+//!
+//! A from-scratch Storage Resource Broker — the remote-storage substrate the
+//! SEMPLAR paper builds on (Ali & Lauria, HPDC 2006, §3.1).
+//!
+//! The real SRB (SDSC, v3.2.1 in the paper) gives applications a logical
+//! remote filesystem: a metadata catalog (MCAT) that maps a `/collection/…`
+//! namespace onto storage resources, servers that broker POSIX-like I/O to
+//! their vaults, and a synchronous request/response wire protocol. This
+//! crate reimplements that essence over the simulated WAN:
+//!
+//! * [`Mcat`] — collections, data-object records, users;
+//! * [`Vault`] — the object store with a shared-disk bandwidth model;
+//! * [`SrbServer`] — per-connection handler actors behind round-robin NICs;
+//! * [`SrbConn`] — the client handle; one instance per TCP stream.
+//!
+//! The protocol's cost structure (a full RTT per synchronous call, payload
+//! transfer under per-stream TCP window caps, disk and NIC sharing at the
+//! server) is what the paper's three asynchronous optimizations exploit.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod mcat;
+pub mod proto;
+pub mod server;
+pub mod types;
+pub mod vault;
+
+pub use client::SrbConn;
+pub use mcat::Mcat;
+pub use server::{ConnRoute, ServerStats, SrbServer, SrbServerCfg};
+pub use types::{adler32, ObjStat, OpenFlags, Payload, SrbError, SrbResult};
+pub use vault::{DiskSpec, Vault};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semplar_netsim::{Bw, Network};
+    use semplar_runtime::{simulate, spawn, Dur, Runtime};
+    use std::sync::Arc;
+
+    /// A client one 10 ms / 100 Mb/s hop away from the server.
+    fn setup(rt: &Arc<dyn Runtime>) -> (Arc<SrbServer>, ConnRoute) {
+        let net = Network::new(rt.clone());
+        let up = net.add_link("uplink-up", Bw::mbps(100.0), Dur::from_millis(10));
+        let down = net.add_link("uplink-down", Bw::mbps(100.0), Dur::from_millis(10));
+        let server = SrbServer::new(net, SrbServerCfg::default());
+        server.mcat().add_user("alin", "pw");
+        let route = ConnRoute {
+            fwd: vec![up],
+            rev: vec![down],
+            send_cap: None,
+            recv_cap: None,
+            bus: None,
+        };
+        (server, route)
+    }
+
+    #[test]
+    fn connect_authenticates() {
+        simulate(|rt| {
+            let (server, route) = setup(&rt);
+            assert!(server.connect(route.clone(), "alin", "pw").is_ok());
+            assert!(matches!(
+                server.connect(route, "alin", "bad").err(),
+                Some(SrbError::PermissionDenied)
+            ));
+            assert_eq!(server.stats().connections, 1);
+        });
+    }
+
+    #[test]
+    fn full_file_lifecycle_roundtrips_data() {
+        simulate(|rt| {
+            let (server, route) = setup(&rt);
+            let conn = server.connect(route, "alin", "pw").unwrap();
+            conn.mk_coll("/home").unwrap();
+            conn.create("/home/est.fasta").unwrap();
+            let fd = conn.open("/home/est.fasta", OpenFlags::ReadWrite).unwrap();
+            conn.write(fd, 0, Payload::bytes(b"ACGTACGT".to_vec()))
+                .unwrap();
+            conn.write(fd, 4, Payload::bytes(b"TTTT".to_vec())).unwrap();
+            let back = conn.read(fd, 0, 8).unwrap();
+            assert_eq!(back.data().unwrap(), b"ACGTTTTT");
+            assert_eq!(conn.stat("/home/est.fasta").unwrap().size, 8);
+            assert_eq!(conn.list("/home").unwrap(), vec!["/home/est.fasta"]);
+            conn.close_fd(fd).unwrap();
+            conn.unlink("/home/est.fasta").unwrap();
+            conn.disconnect().unwrap();
+        });
+    }
+
+    #[test]
+    fn every_sync_call_pays_a_round_trip() {
+        let elapsed = simulate(|rt| {
+            let (server, route) = setup(&rt);
+            let conn = server.connect(route, "alin", "pw").unwrap();
+            conn.mk_coll("/c").unwrap();
+            let t0 = rt.now();
+            for i in 0..5 {
+                conn.create(&format!("/c/o{i}")).unwrap();
+            }
+            rt.now() - t0
+        });
+        // 5 metadata ops × ≥20 ms RTT each; tiny payloads.
+        assert!(elapsed >= Dur::from_millis(100), "elapsed {elapsed}");
+        assert!(elapsed < Dur::from_millis(130), "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn bulk_write_is_bandwidth_dominated() {
+        let elapsed = simulate(|rt| {
+            let (server, route) = setup(&rt);
+            let conn = server.connect(route, "alin", "pw").unwrap();
+            let fd = conn.open("/data", OpenFlags::CreateRw).unwrap();
+            let t0 = rt.now();
+            conn.write(fd, 0, Payload::sized(10_000_000)).unwrap();
+            rt.now() - t0
+        });
+        // 80 Mbit at 100 Mb/s = 0.8 s (+ RTT + disk). Must be near 0.85 s.
+        let s = elapsed.as_secs_f64();
+        assert!((0.8..1.0).contains(&s), "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn per_stream_window_cap_limits_throughput() {
+        let elapsed = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let up = net.add_link("up", Bw::mbps(100.0), Dur::ZERO);
+            let down = net.add_link("down", Bw::mbps(100.0), Dur::ZERO);
+            let server = SrbServer::new(net, SrbServerCfg::default());
+            server.mcat().add_user("u", "p");
+            let route = ConnRoute {
+                fwd: vec![up],
+                rev: vec![down],
+                send_cap: Some(Bw::mbps(8.0)),
+                recv_cap: Some(Bw::mbps(8.0)),
+                bus: None,
+            };
+            let conn = server.connect(route, "u", "p").unwrap();
+            let fd = conn.open("/x", OpenFlags::CreateRw).unwrap();
+            let t0 = rt.now();
+            conn.write(fd, 0, Payload::sized(1_000_000)).unwrap();
+            rt.now() - t0
+        });
+        // 8 Mbit at the 8 Mb/s window cap ≈ 1 s even though the link is 100.
+        let s = elapsed.as_secs_f64();
+        assert!((1.0..1.1).contains(&s), "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn two_connections_from_one_node_progress_concurrently() {
+        // The §7.2 mechanism at SRB level: two window-capped streams move
+        // a file section in roughly half the time of one.
+        let (one, two) = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let up = net.add_link("up", Bw::mbps(100.0), Dur::ZERO);
+            let down = net.add_link("down", Bw::mbps(100.0), Dur::ZERO);
+            let server = SrbServer::new(net, SrbServerCfg::default());
+            server.mcat().add_user("u", "p");
+            let route = ConnRoute {
+                fwd: vec![up],
+                rev: vec![down],
+                send_cap: Some(Bw::mbps(8.0)),
+                recv_cap: Some(Bw::mbps(8.0)),
+                bus: None,
+            };
+            // One stream, 2 MB.
+            let c1 = server.connect(route.clone(), "u", "p").unwrap();
+            let fd1 = c1.open("/one", OpenFlags::CreateRw).unwrap();
+            let t0 = rt.now();
+            c1.write(fd1, 0, Payload::sized(2_000_000)).unwrap();
+            let one = rt.now() - t0;
+
+            // Two streams, 1 MB each, concurrently.
+            let c2 = server.connect(route.clone(), "u", "p").unwrap();
+            let c3 = server.connect(route, "u", "p").unwrap();
+            let fd2 = c2.open("/two", OpenFlags::CreateRw).unwrap();
+            let fd3 = c3.open("/two", OpenFlags::CreateRw).unwrap();
+            let t1 = rt.now();
+            let h = spawn(&rt, "stream-b", move || {
+                c3.write(fd3, 1_000_000, Payload::sized(1_000_000)).unwrap();
+            });
+            c2.write(fd2, 0, Payload::sized(1_000_000)).unwrap();
+            h.join_unwrap();
+            (one, rt.now() - t1)
+        });
+        let speedup = one.as_secs_f64() / two.as_secs_f64();
+        assert!(speedup > 1.8, "two-stream speedup only {speedup:.2}x ({one} vs {two})");
+    }
+
+    #[test]
+    fn error_paths_surface_cleanly() {
+        simulate(|rt| {
+            let (server, route) = setup(&rt);
+            let conn = server.connect(route, "alin", "pw").unwrap();
+            assert!(matches!(
+                conn.open("/missing", OpenFlags::Read),
+                Err(SrbError::NotFound(_))
+            ));
+            assert!(matches!(
+                conn.read(99, 0, 10),
+                Err(SrbError::BadFd(99))
+            ));
+            let fd = conn.open("/ro", OpenFlags::CreateRw).unwrap();
+            conn.close_fd(fd).unwrap();
+            assert!(matches!(
+                conn.write(fd, 0, Payload::sized(1)),
+                Err(SrbError::BadFd(_))
+            ));
+            let fd = conn.open("/ro", OpenFlags::Read).unwrap();
+            assert!(matches!(
+                conn.write(fd, 0, Payload::sized(1)),
+                Err(SrbError::InvalidArg(_))
+            ));
+            conn.disconnect().unwrap();
+            assert!(matches!(conn.stat("/ro"), Err(SrbError::Disconnected)));
+        });
+    }
+
+    /// Two servers on one network, federated: replicate an object across
+    /// the inter-server link and read it back from the peer (§8).
+    #[test]
+    fn federation_replicates_objects_to_a_peer() {
+        simulate(|rt| {
+            let net = Network::new(rt.clone());
+            // Client ↔ primary.
+            let c_up = net.add_link("c-up", Bw::mbps(100.0), Dur::from_millis(5));
+            let c_down = net.add_link("c-down", Bw::mbps(100.0), Dur::from_millis(5));
+            // Primary ↔ peer (a fast data-center interconnect).
+            let f_up = net.add_link("fed-up", Bw::gbps(1.0), Dur::from_millis(1));
+            let f_down = net.add_link("fed-down", Bw::gbps(1.0), Dur::from_millis(1));
+
+            let primary = SrbServer::new(net.clone(), SrbServerCfg::default());
+            primary.mcat().add_user("u", "p");
+            let peer = SrbServer::new(
+                net.clone(),
+                SrbServerCfg {
+                    name: "peer".into(),
+                    ..SrbServerCfg::default()
+                },
+            );
+            peer.mcat().add_user("fed-svc", "secret");
+            primary.add_peer(
+                "sdsc-mirror",
+                peer.clone(),
+                ConnRoute {
+                    fwd: vec![f_up],
+                    rev: vec![f_down],
+                    send_cap: None,
+                    recv_cap: None,
+                    bus: None,
+                },
+                "fed-svc",
+                "secret",
+            );
+
+            let conn = primary
+                .connect(
+                    ConnRoute {
+                        fwd: vec![c_up],
+                        rev: vec![c_down],
+                        send_cap: None,
+                        recv_cap: None,
+                        bus: None,
+                    },
+                    "u",
+                    "p",
+                )
+                .unwrap();
+            conn.mk_coll("/proj").unwrap();
+            let fd = conn.open("/proj/data", OpenFlags::CreateRw).unwrap();
+            let data: Vec<u8> = (0..3_000_000u32).map(|i| (i % 253) as u8).collect();
+            conn.write(fd, 0, Payload::bytes(data.clone())).unwrap();
+            conn.close_fd(fd).unwrap();
+
+            // Replicate and check the metadata.
+            conn.replicate("/proj/data", "sdsc-mirror").unwrap();
+            assert_eq!(conn.stat("/proj/data").unwrap().replicas, 2);
+
+            // Unknown peers error cleanly.
+            assert!(matches!(
+                conn.replicate("/proj/data", "nowhere"),
+                Err(SrbError::NotFound(_))
+            ));
+            conn.disconnect().unwrap();
+
+            // Read the copy straight from the peer.
+            let pconn = peer
+                .connect(
+                    ConnRoute {
+                        fwd: vec![f_up],
+                        rev: vec![f_down],
+                        send_cap: None,
+                        recv_cap: None,
+                        bus: None,
+                    },
+                    "fed-svc",
+                    "secret",
+                )
+                .unwrap();
+            assert_eq!(pconn.stat("/proj/data").unwrap().size, data.len() as u64);
+            let fd = pconn.open("/proj/data", OpenFlags::Read).unwrap();
+            let back = pconn.read(fd, 0, data.len() as u64).unwrap();
+            assert_eq!(back.data().unwrap(), &data[..]);
+            pconn.disconnect().unwrap();
+            assert_eq!(peer.stats().bytes_written, data.len() as u64);
+        });
+    }
+
+    #[test]
+    fn replication_charges_transfer_time() {
+        let elapsed = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let c_up = net.add_link("c-up", Bw::gbps(1.0), Dur::ZERO);
+            let c_down = net.add_link("c-down", Bw::gbps(1.0), Dur::ZERO);
+            // Slow federation link: 8 Mb/s.
+            let f_up = net.add_link("fed-up", Bw::mbps(8.0), Dur::from_millis(10));
+            let f_down = net.add_link("fed-down", Bw::mbps(8.0), Dur::from_millis(10));
+            let primary = SrbServer::new(net.clone(), SrbServerCfg::default());
+            primary.mcat().add_user("u", "p");
+            let peer = SrbServer::new(net.clone(), SrbServerCfg::default());
+            peer.mcat().add_user("s", "s");
+            primary.add_peer(
+                "mirror",
+                peer,
+                ConnRoute {
+                    fwd: vec![f_up],
+                    rev: vec![f_down],
+                    send_cap: None,
+                    recv_cap: None,
+                    bus: None,
+                },
+                "s",
+                "s",
+            );
+            let conn = primary
+                .connect(
+                    ConnRoute {
+                        fwd: vec![c_up],
+                        rev: vec![c_down],
+                        send_cap: None,
+                        recv_cap: None,
+                        bus: None,
+                    },
+                    "u",
+                    "p",
+                )
+                .unwrap();
+            let fd = conn.open("/big", OpenFlags::CreateRw).unwrap();
+            conn.write(fd, 0, Payload::sized(1_000_000)).unwrap();
+            conn.close_fd(fd).unwrap();
+            let t0 = rt.now();
+            conn.replicate("/big", "mirror").unwrap();
+            let dt = rt.now() - t0;
+            conn.disconnect().unwrap();
+            dt
+        });
+        // 8 Mbit over the 8 Mb/s federation link ≈ 1 s (+ per-chunk RTTs).
+        let s = elapsed.as_secs_f64();
+        assert!((1.0..1.3).contains(&s), "replication took {elapsed}");
+    }
+
+    #[test]
+    fn checksums_verify_transfers_without_reading_back() {
+        simulate(|rt| {
+            let (server, route) = setup(&rt);
+            let conn = server.connect(route, "alin", "pw").unwrap();
+            let fd = conn.open("/sum", OpenFlags::CreateRw).unwrap();
+            let data = b"The quick brown fox jumps over the lazy dog".to_vec();
+            conn.write(fd, 0, Payload::bytes(data.clone())).unwrap();
+            let remote = conn.checksum("/sum").unwrap();
+            assert_eq!(remote, types::adler32(&data));
+            // Sparse objects cannot be checksummed.
+            let fd2 = conn.open("/sparse", OpenFlags::CreateRw).unwrap();
+            conn.write(fd2, 0, Payload::sized(100)).unwrap();
+            assert!(matches!(
+                conn.checksum("/sparse"),
+                Err(SrbError::InvalidArg(_))
+            ));
+            assert!(matches!(conn.checksum("/nope"), Err(SrbError::NotFound(_))));
+            conn.disconnect().unwrap();
+        });
+    }
+
+    #[test]
+    fn adler32_matches_reference_vectors() {
+        // Classic test vectors.
+        assert_eq!(types::adler32(b""), 1);
+        assert_eq!(types::adler32(b"Wikipedia"), 0x11E6_0398);
+        // Large input exercises the modular chunking.
+        let big = vec![0xABu8; 1_000_000];
+        let c = types::adler32(&big);
+        assert_eq!(types::adler32(&big), c);
+    }
+
+    #[test]
+    fn server_counts_traffic() {
+        simulate(|rt| {
+            let (server, route) = setup(&rt);
+            let conn = server.connect(route, "alin", "pw").unwrap();
+            let fd = conn.open("/t", OpenFlags::CreateRw).unwrap();
+            conn.write(fd, 0, Payload::sized(1000)).unwrap();
+            conn.read(fd, 0, 400).unwrap();
+            let st = server.stats();
+            assert_eq!(st.bytes_written, 1000);
+            assert_eq!(st.bytes_read, 400);
+            assert!(st.requests >= 3);
+        });
+    }
+}

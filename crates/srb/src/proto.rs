@@ -1,0 +1,133 @@
+//! The SRB wire protocol.
+//!
+//! Every operation is a synchronous request/response exchange — the client
+//! sends a request message over its TCP stream and blocks for the server's
+//! response. This is the protocol economics that makes SEMPLAR's
+//! asynchronous primitives valuable: each synchronous call pays one full
+//! round trip, and on a 182 ms transoceanic path (DAS-2 → SDSC) those RTTs
+//! dominate small operations.
+
+use crate::types::{ObjStat, OpenFlags, Payload, SrbError};
+
+/// Fixed per-message framing/header overhead, bytes.
+pub const WIRE_HDR: u64 = 256;
+
+/// A client → server request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Create a collection.
+    MkColl(String),
+    /// Remove an empty collection.
+    RmColl(String),
+    /// Register a new data object.
+    Create(String),
+    /// Open a data object, returning a descriptor.
+    Open(String, OpenFlags),
+    /// Close a descriptor.
+    Close(u32),
+    /// Read `len` bytes at `offset`.
+    Read {
+        /// Descriptor from [`Request::Open`].
+        fd: u32,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes requested.
+        len: u64,
+    },
+    /// Write the payload at `offset`.
+    Write {
+        /// Descriptor from [`Request::Open`].
+        fd: u32,
+        /// Byte offset.
+        offset: u64,
+        /// Data to write.
+        payload: Payload,
+    },
+    /// Object metadata.
+    Stat(String),
+    /// Remove a data object.
+    Unlink(String),
+    /// Immediate children of a collection.
+    List(String),
+    /// Server-side Adler-32 checksum of a whole object.
+    Checksum(String),
+    /// Copy a data object to a federated peer server (§8: the SRB server
+    /// "can be configured to run in a federated mode where one server can
+    /// act as a client to other servers").
+    Replicate {
+        /// Logical path of the object to copy.
+        path: String,
+        /// Peer name registered via `SrbServer::add_peer`.
+        peer: String,
+    },
+    /// Tear the connection down.
+    Disconnect,
+}
+
+impl Request {
+    /// Bytes this request occupies on the wire (header + inline payload).
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            Request::Write { payload, .. } => WIRE_HDR + payload.len(),
+            _ => WIRE_HDR,
+        }
+    }
+}
+
+/// A server → client response.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// Success with no body.
+    Ok,
+    /// A freshly opened descriptor.
+    Fd(u32),
+    /// Read data.
+    Data(Payload),
+    /// Bytes accepted by a write.
+    Written(u64),
+    /// `stat` result.
+    Stat(ObjStat),
+    /// Collection listing.
+    Names(Vec<String>),
+    /// Whole-object checksum.
+    Checksum(u32),
+    /// Operation failed.
+    Error(SrbError),
+}
+
+impl Response {
+    /// Bytes this response occupies on the wire.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            Response::Data(p) => WIRE_HDR + p.len(),
+            Response::Names(n) => WIRE_HDR + n.iter().map(|s| s.len() as u64 + 8).sum::<u64>(),
+            _ => WIRE_HDR,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_requests_carry_payload_on_the_wire() {
+        let r = Request::Write {
+            fd: 1,
+            offset: 0,
+            payload: Payload::sized(1_000_000),
+        };
+        assert_eq!(r.wire_size(), WIRE_HDR + 1_000_000);
+        assert_eq!(Request::Open("/x".into(), OpenFlags::Read).wire_size(), WIRE_HDR);
+    }
+
+    #[test]
+    fn read_responses_carry_payload_on_the_wire() {
+        assert_eq!(
+            Response::Data(Payload::sized(4096)).wire_size(),
+            WIRE_HDR + 4096
+        );
+        assert_eq!(Response::Ok.wire_size(), WIRE_HDR);
+        assert!(Response::Names(vec!["/a/b".into()]).wire_size() > WIRE_HDR);
+    }
+}

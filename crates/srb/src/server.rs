@@ -1,0 +1,434 @@
+//! The SRB server.
+//!
+//! Models `orion.sdsc.edu` (§5 of the paper): a large SMP with several
+//! gigabit NICs fronting an MCAT and a storage vault. Each accepted client
+//! connection gets its own handler actor — the analogue of the per-
+//! connection server thread — which serializes that connection's requests,
+//! charges per-operation processing overhead, performs vault/MCAT work, and
+//! transmits the response over the connection's reverse path through one of
+//! the server NICs (assigned round-robin at connect time, like IP-level
+//! load balancing across `orion`'s interfaces).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use semplar_netsim::net::{BusId, DeviceClass, XferOpts};
+use semplar_netsim::{Bw, LinkId, Network};
+use semplar_runtime::sync::Channel;
+use semplar_runtime::{Dur, Runtime};
+
+use crate::client::SrbConn;
+use crate::mcat::Mcat;
+use crate::proto::{Request, Response, WIRE_HDR};
+use crate::types::{OpenFlags, SrbError, SrbResult};
+use crate::vault::{DiskSpec, Vault};
+
+/// Server sizing parameters.
+#[derive(Clone, Debug)]
+pub struct SrbServerCfg {
+    /// Server name (actor/diagnostic label).
+    pub name: String,
+    /// Number of data NICs (orion has 6).
+    pub nics: usize,
+    /// Per-NIC bandwidth, each direction.
+    pub nic_bw: Bw,
+    /// Disk subsystem.
+    pub disk: DiskSpec,
+    /// Per-request processing/catalog overhead.
+    pub op_overhead: Dur,
+    /// Name of the default storage resource objects are created on.
+    pub resource: String,
+}
+
+impl Default for SrbServerCfg {
+    fn default() -> Self {
+        SrbServerCfg {
+            name: "orion".into(),
+            nics: 6,
+            nic_bw: Bw::gbps(1.0),
+            disk: DiskSpec::default(),
+            op_overhead: Dur::from_micros(300),
+            resource: "sdsc-vault".into(),
+        }
+    }
+}
+
+/// How a client reaches the server: the link paths between the client node
+/// and the server's NICs, plus the per-stream TCP window caps in each
+/// direction. Cluster models construct these.
+#[derive(Clone, Debug)]
+pub struct ConnRoute {
+    /// Links from client to server (NIC appended by the server).
+    pub fwd: Vec<LinkId>,
+    /// Links from server to client (NIC prepended by the server).
+    pub rev: Vec<LinkId>,
+    /// Per-stream cap client→server (TCP send-window / RTT).
+    pub send_cap: Option<Bw>,
+    /// Per-stream cap server→client (TCP receive-window / RTT).
+    pub recv_cap: Option<Bw>,
+    /// The client node's I/O bus (for the §7.1 contention model); both
+    /// directions of this connection DMA across it as [`DeviceClass::Wan`].
+    pub bus: Option<BusId>,
+}
+
+impl ConnRoute {
+    /// Transfer options for traffic on this connection.
+    pub fn opts(&self, cap: Option<Bw>) -> XferOpts {
+        XferOpts {
+            cap,
+            buses: self.bus.iter().map(|&b| (b, DeviceClass::Wan)).collect(),
+        }
+    }
+}
+
+/// Cumulative server-side counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Total connections accepted.
+    pub connections: u64,
+    /// Requests served.
+    pub requests: u64,
+    /// Payload bytes written into the vault.
+    pub bytes_written: u64,
+    /// Payload bytes read out of the vault.
+    pub bytes_read: u64,
+}
+
+struct FdEntry {
+    path: String,
+    obj_id: u64,
+    flags: OpenFlags,
+}
+
+struct Peer {
+    server: Arc<SrbServer>,
+    route: ConnRoute,
+    user: String,
+    password: String,
+}
+
+/// The Storage Resource Broker server.
+pub struct SrbServer {
+    rt: Arc<dyn Runtime>,
+    net: Arc<Network>,
+    cfg: SrbServerCfg,
+    nic_in: Vec<LinkId>,
+    nic_out: Vec<LinkId>,
+    next_nic: AtomicUsize,
+    next_conn: AtomicU64,
+    mcat: Arc<Mcat>,
+    vault: Arc<Vault>,
+    peers: Mutex<std::collections::HashMap<String, Peer>>,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+impl SrbServer {
+    /// Stand up a server on `net`, creating its NIC links.
+    pub fn new(net: Arc<Network>, cfg: SrbServerCfg) -> Arc<SrbServer> {
+        let rt = net.runtime().clone();
+        let nic_in = (0..cfg.nics)
+            .map(|i| net.add_link(&format!("{}/nic{i}-in", cfg.name), cfg.nic_bw, Dur::ZERO))
+            .collect();
+        let nic_out = (0..cfg.nics)
+            .map(|i| net.add_link(&format!("{}/nic{i}-out", cfg.name), cfg.nic_bw, Dur::ZERO))
+            .collect();
+        let vault = Vault::new(rt.clone(), cfg.disk);
+        Arc::new(SrbServer {
+            rt,
+            net,
+            cfg,
+            nic_in,
+            nic_out,
+            next_nic: AtomicUsize::new(0),
+            next_conn: AtomicU64::new(0),
+            mcat: Arc::new(Mcat::new()),
+            vault,
+            peers: Mutex::new(Default::default()),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        })
+    }
+
+    /// The metadata catalog (for account setup and test assertions).
+    pub fn mcat(&self) -> &Arc<Mcat> {
+        &self.mcat
+    }
+
+    /// Register a federated peer this server can replicate objects to
+    /// (paper §8). `route` is the network path from this server to the
+    /// peer; the credentials are the service account used for federation.
+    pub fn add_peer(
+        &self,
+        name: &str,
+        server: Arc<SrbServer>,
+        route: ConnRoute,
+        user: &str,
+        password: &str,
+    ) {
+        self.peers.lock().insert(
+            name.to_string(),
+            Peer {
+                server,
+                route,
+                user: user.to_string(),
+                password: password.to_string(),
+            },
+        );
+    }
+
+    fn replicate(&self, path: &str, peer_name: &str) -> SrbResult<()> {
+        let (peer_server, route, user, password) = {
+            let g = self.peers.lock();
+            let p = g
+                .get(peer_name)
+                .ok_or_else(|| SrbError::NotFound(format!("peer {peer_name}")))?;
+            (
+                p.server.clone(),
+                p.route.clone(),
+                p.user.clone(),
+                p.password.clone(),
+            )
+        };
+        let rec = self.mcat.lookup(path)?;
+        // Federation: this server acts as a *client* of the peer. The
+        // connection, transfer, and the peer's disk work all charge real
+        // (virtual) time to this handler actor.
+        let conn = peer_server.connect(route, &user, &password)?;
+        // mkdir -p the parent collections on the peer.
+        let mut prefix = String::new();
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            let next = format!("{prefix}/{comp}");
+            if next != path {
+                match conn.mk_coll(&next) {
+                    Ok(()) | Err(SrbError::AlreadyExists(_)) => {}
+                    Err(e) => {
+                        let _ = conn.disconnect();
+                        return Err(e);
+                    }
+                }
+            }
+            prefix = next;
+        }
+        let fd = conn.open(path, OpenFlags::CreateRw)?;
+        // Stream the object in 1 MiB chunks (disk read here, WAN transfer
+        // and peer disk write inside `conn.write`).
+        const CHUNK: u64 = 1 << 20;
+        let mut off = 0u64;
+        while off < rec.size {
+            let len = CHUNK.min(rec.size - off);
+            let data = self.vault.read(rec.obj_id, off, len);
+            conn.write(fd, off, data)?;
+            off += len;
+        }
+        conn.close_fd(fd)?;
+        conn.disconnect()?;
+        self.mcat.add_replica(path)?;
+        Ok(())
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Establish a connection: authenticates `user`, assigns a NIC, spawns
+    /// the per-connection handler actor, and returns the client handle.
+    /// Charges the TCP + SRB handshake (one round trip) to the caller.
+    pub fn connect(
+        self: &Arc<Self>,
+        route: ConnRoute,
+        user: &str,
+        password: &str,
+    ) -> SrbResult<SrbConn> {
+        let nic = self.next_nic.fetch_add(1, Ordering::Relaxed) % self.cfg.nics.max(1);
+        let mut fwd = route.fwd.clone();
+        fwd.push(self.nic_in[nic]);
+        let mut rev = vec![self.nic_out[nic]];
+        rev.extend_from_slice(&route.rev);
+
+        // Handshake: connection setup + auth exchange, one full RTT, charged
+        // to the connecting actor.
+        self.net
+            .send_message_opts(&fwd, WIRE_HDR, &route.opts(route.send_cap));
+        self.rt.sleep(self.cfg.op_overhead);
+        let auth = self.mcat.authenticate(user, password);
+        self.net
+            .send_message_opts(&rev, WIRE_HDR, &route.opts(route.recv_cap));
+        auth?;
+
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let req_ch: Channel<Request> = Channel::new(&self.rt);
+        let resp_ch: Channel<Response> = Channel::new(&self.rt);
+
+        let server = self.clone();
+        let handler_req = req_ch.clone();
+        let handler_resp = resp_ch.clone();
+        let rev2 = rev.clone();
+        let rev_opts = route.opts(route.recv_cap);
+        // Daemon: an idle connection handler parked on its request channel
+        // must not keep the simulation alive (clients that crash or never
+        // disconnect would otherwise wedge the virtual clock).
+        self.rt.spawn_daemon(
+            &format!("{}/conn-{conn_id}", self.cfg.name),
+            Box::new(move || {
+                server.serve_connection(handler_req, handler_resp, rev2, rev_opts);
+            }),
+        );
+
+        Ok(SrbConn::new(
+            self.rt.clone(),
+            self.net.clone(),
+            fwd,
+            route.opts(route.send_cap),
+            req_ch,
+            resp_ch,
+        ))
+    }
+
+    fn serve_connection(
+        &self,
+        req_ch: Channel<Request>,
+        resp_ch: Channel<Response>,
+        rev: Vec<LinkId>,
+        rev_opts: XferOpts,
+    ) {
+        let fds: Mutex<std::collections::HashMap<u32, FdEntry>> = Mutex::new(Default::default());
+        let mut next_fd: u32 = 3;
+        // Loop until the client disconnects or drops the channel.
+        while let Ok(req) = req_ch.recv() {
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            self.rt.sleep(self.cfg.op_overhead);
+            let last = matches!(req, Request::Disconnect);
+            let resp = self.handle(req, &fds, &mut next_fd);
+            self.net.send_message_opts(&rev, resp.wire_size(), &rev_opts);
+            if resp_ch.send(resp).is_err() {
+                break;
+            }
+            if last {
+                break;
+            }
+        }
+    }
+
+    fn handle(
+        &self,
+        req: Request,
+        fds: &Mutex<std::collections::HashMap<u32, FdEntry>>,
+        next_fd: &mut u32,
+    ) -> Response {
+        match self.handle_inner(req, fds, next_fd) {
+            Ok(r) => r,
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    fn handle_inner(
+        &self,
+        req: Request,
+        fds: &Mutex<std::collections::HashMap<u32, FdEntry>>,
+        next_fd: &mut u32,
+    ) -> SrbResult<Response> {
+        match req {
+            Request::MkColl(p) => {
+                self.mcat.mk_coll(&p)?;
+                Ok(Response::Ok)
+            }
+            Request::RmColl(p) => {
+                self.mcat.rm_coll(&p)?;
+                Ok(Response::Ok)
+            }
+            Request::Create(p) => {
+                let id = self.mcat.create_obj(&p, &self.cfg.resource)?;
+                self.vault.create(id);
+                Ok(Response::Ok)
+            }
+            Request::Open(p, flags) => {
+                let rec = match self.mcat.lookup(&p) {
+                    Ok(r) => r,
+                    Err(SrbError::NotFound(_)) if flags == OpenFlags::CreateRw => {
+                        let id = self.mcat.create_obj(&p, &self.cfg.resource)?;
+                        self.vault.create(id);
+                        self.mcat.lookup(&p)?
+                    }
+                    Err(e) => return Err(e),
+                };
+                let fd = *next_fd;
+                *next_fd += 1;
+                fds.lock().insert(
+                    fd,
+                    FdEntry {
+                        path: p,
+                        obj_id: rec.obj_id,
+                        flags,
+                    },
+                );
+                Ok(Response::Fd(fd))
+            }
+            Request::Close(fd) => {
+                fds.lock().remove(&fd).ok_or(SrbError::BadFd(fd))?;
+                Ok(Response::Ok)
+            }
+            Request::Read { fd, offset, len } => {
+                let obj_id = {
+                    let g = fds.lock();
+                    let e = g.get(&fd).ok_or(SrbError::BadFd(fd))?;
+                    if !e.flags.readable() {
+                        return Err(SrbError::InvalidArg("fd not open for read".into()));
+                    }
+                    e.obj_id
+                };
+                let data = self.vault.read(obj_id, offset, len);
+                self.bytes_read.fetch_add(data.len(), Ordering::Relaxed);
+                Ok(Response::Data(data))
+            }
+            Request::Write {
+                fd,
+                offset,
+                payload,
+            } => {
+                let (obj_id, path) = {
+                    let g = fds.lock();
+                    let e = g.get(&fd).ok_or(SrbError::BadFd(fd))?;
+                    if !e.flags.writable() {
+                        return Err(SrbError::InvalidArg("fd not open for write".into()));
+                    }
+                    (e.obj_id, e.path.clone())
+                };
+                let n = payload.len();
+                let new_size = self.vault.write(obj_id, offset, &payload);
+                self.mcat.update_size(&path, new_size)?;
+                self.bytes_written.fetch_add(n, Ordering::Relaxed);
+                Ok(Response::Written(n))
+            }
+            Request::Stat(p) => Ok(Response::Stat(self.mcat.stat(&p)?)),
+            Request::Unlink(p) => {
+                let id = self.mcat.unlink(&p)?;
+                self.vault.remove(id);
+                Ok(Response::Ok)
+            }
+            Request::List(p) => Ok(Response::Names(self.mcat.list(&p)?)),
+            Request::Checksum(p) => {
+                let rec = self.mcat.lookup(&p)?;
+                Ok(Response::Checksum(self.vault.checksum(rec.obj_id)?))
+            }
+            Request::Replicate { path, peer } => {
+                self.replicate(&path, &peer)?;
+                Ok(Response::Ok)
+            }
+            Request::Disconnect => Ok(Response::Ok),
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Remote collective I/O — the paper's second stated piece of future work
+//! (§9: "we would also like to study the effect of asynchronous primitives
+//! on remote, collective I/O").
+//!
+//! The workload is the classic two-phase-I/O motivator: a matrix stored
+//! row-major in a shared remote file, distributed by *columns* across
+//! ranks, so each rank's data is many small strided chunks. Three
+//! strategies:
+//!
+//! * [`CollectiveMode::Naive`] — every rank writes its own cells with
+//!   independent small writes. Over a WAN each small write pays a full
+//!   RTT: this is catastrophically latency-bound, which is exactly why
+//!   remote collective I/O is interesting.
+//! * [`CollectiveMode::TwoPhaseSync`] — ROMIO-style two-phase I/O:
+//!   ranks exchange cells over the fast interconnect so that a few
+//!   *aggregator* ranks each write one large contiguous region per row
+//!   band, synchronously.
+//! * [`CollectiveMode::TwoPhaseAsync`] — the paper's question answered:
+//!   aggregators issue each band's write asynchronously, so the *exchange
+//!   phase of band b+1 overlaps the remote write of band b* — combining
+//!   collective aggregation with SEMPLAR's asynchronous primitives.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use semplar::{File, OpenFlags, Payload, Request};
+use semplar_clusters::Testbed;
+use semplar_mpi::run_world;
+
+const TAG_CELLS: u32 = 31;
+
+/// Write strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollectiveMode {
+    /// Independent strided writes from every rank.
+    Naive,
+    /// Two-phase I/O with synchronous aggregator writes.
+    TwoPhaseSync,
+    /// Two-phase I/O with asynchronous aggregator writes overlapping the
+    /// next band's exchange.
+    TwoPhaseAsync,
+}
+
+/// Workload parameters: an `rows × procs` cell matrix, column-distributed.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CollectiveParams {
+    /// Matrix rows (= cells per rank).
+    pub rows: usize,
+    /// Bytes per cell.
+    pub cell_bytes: u64,
+    /// Aggregator ranks (two-phase modes; clamped to world size).
+    pub aggregators: usize,
+    /// Row bands processed per exchange/write cycle (two-phase modes).
+    pub bands: usize,
+    /// Timesteps: the collective runs once per step, with a compute phase
+    /// in between (the usual simulation-loop shape). With
+    /// [`CollectiveMode::TwoPhaseAsync`] the last band's write of step *s*
+    /// overlaps the compute phase of step *s+1*.
+    pub steps: usize,
+    /// Reference-CPU seconds of computation per rank per step.
+    pub compute_per_step: f64,
+    /// Strategy.
+    pub mode: CollectiveMode,
+}
+
+impl Default for CollectiveParams {
+    fn default() -> Self {
+        CollectiveParams {
+            rows: 64,
+            cell_bytes: 64 * 1024,
+            aggregators: 2,
+            bands: 4,
+            steps: 1,
+            compute_per_step: 0.0,
+            mode: CollectiveMode::TwoPhaseAsync,
+        }
+    }
+}
+
+/// Timing from one collective write.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CollectiveReport {
+    /// Processes.
+    pub procs: usize,
+    /// Strategy used.
+    pub mode: CollectiveMode,
+    /// Execution time of the collective, seconds.
+    pub exec_secs: f64,
+    /// Remote write operations issued (the latency-bound quantity).
+    pub remote_ops: u64,
+}
+
+/// Which rows aggregator `a` of `n_agg` owns within `rows`.
+fn agg_rows(rows: usize, n_agg: usize, a: usize) -> (usize, usize) {
+    let base = rows / n_agg;
+    let extra = rows % n_agg;
+    let mine = base + usize::from(a < extra);
+    let start = a * base + a.min(extra);
+    (start, mine)
+}
+
+/// Run the collective write on `n` ranks of `tb`. The shared file holds a
+/// `params.rows × n` matrix of `cell_bytes` cells, row-major; rank `r` owns
+/// column `r`.
+pub fn run_collective(tb: &Arc<Testbed>, n: usize, params: CollectiveParams) -> CollectiveReport {
+    assert!(n <= tb.nodes());
+    let tb2 = tb.clone();
+    let results = run_world(tb.topo.clone(), n, move |r| {
+        let rt = r.runtime().clone();
+        let p = params;
+        let n_agg = p.aggregators.clamp(1, r.size);
+        let row_bytes = p.cell_bytes * r.size as u64;
+        let is_agg = r.rank < n_agg && p.mode != CollectiveMode::Naive;
+        let needs_file = p.mode == CollectiveMode::Naive || is_agg;
+        let fs = tb2.srbfs(r.rank);
+        let file = if needs_file {
+            Some(File::open(&rt, &fs, "/collective", OpenFlags::CreateRw).expect("open"))
+        } else {
+            None
+        };
+        let mut remote_ops = 0u64;
+
+        r.barrier();
+        let t0 = rt.now();
+        let mut pending: Option<Request> = None;
+        for step in 0..p.steps.max(1) {
+            if p.compute_per_step > 0.0 {
+                // The application's own computation; in the async mode the
+                // previous step's in-flight band write overlaps this.
+                tb2.compute(
+                    r.rank,
+                    semplar_runtime::Dur::from_secs_f64(p.compute_per_step),
+                );
+            }
+            match p.mode {
+                CollectiveMode::Naive => {
+                    let f = file.as_ref().expect("naive writer has a file");
+                    // Column r: one small write per row, each a full RTT away.
+                    for row in 0..p.rows {
+                        let off = row as u64 * row_bytes + r.rank as u64 * p.cell_bytes;
+                        f.write_at(off, &Payload::sized(p.cell_bytes)).expect("cell");
+                        remote_ops += 1;
+                    }
+                }
+                CollectiveMode::TwoPhaseSync | CollectiveMode::TwoPhaseAsync => {
+                    let asynchronous = p.mode == CollectiveMode::TwoPhaseAsync;
+                    for band in 0..p.bands {
+                        let band_rows0 = band * p.rows / p.bands;
+                        let band_rows1 = (band + 1) * p.rows / p.bands;
+                        // Phase 1: every rank ships its cells for this band
+                        // to each aggregator over the interconnect.
+                        for a in 0..n_agg {
+                            let (a0, am) = agg_rows(band_rows1 - band_rows0, n_agg, a);
+                            let bytes = am as u64 * p.cell_bytes;
+                            if a != r.rank {
+                                r.send(a, TAG_CELLS, (step, band, a0), bytes);
+                            }
+                        }
+                        if is_agg {
+                            // Collect the other ranks' cells.
+                            for _ in 0..r.size - 1 {
+                                let _ = r.recv::<(usize, usize, usize)>(None, TAG_CELLS);
+                            }
+                            // Phase 2: one large contiguous write per slice.
+                            let (rel0, rows_mine) =
+                                agg_rows(band_rows1 - band_rows0, n_agg, r.rank);
+                            let row0 = band_rows0 + rel0;
+                            let off = row0 as u64 * row_bytes;
+                            let len = rows_mine as u64 * row_bytes;
+                            if len > 0 {
+                                let f = file.as_ref().expect("aggregator has a file");
+                                if asynchronous {
+                                    // Wait for the previous band's write only
+                                    // now — it overlapped the exchange above
+                                    // and, across steps, the compute phase.
+                                    if let Some(prev) = pending.take() {
+                                        prev.wait().expect("band write");
+                                    }
+                                    pending = Some(f.iwrite_at(off, Payload::sized(len)));
+                                } else {
+                                    f.write_at(off, &Payload::sized(len))
+                                        .expect("band write");
+                                }
+                                remote_ops += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(prev) = pending.take() {
+            prev.wait().expect("final band write");
+        }
+        r.barrier();
+        let exec = (rt.now() - t0).as_secs_f64();
+        if let Some(f) = file {
+            f.close().expect("close");
+        }
+        (exec, remote_ops)
+    });
+    CollectiveReport {
+        procs: n,
+        mode: params.mode,
+        exec_secs: results.iter().map(|r| r.0).fold(0.0, f64::max),
+        remote_ops: results.iter().map(|r| r.1).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semplar_clusters::{das2, Testbed};
+    use semplar_runtime::simulate;
+
+    fn params(mode: CollectiveMode) -> CollectiveParams {
+        // Small cells: the naive strategy is RTT-bound (the regime remote
+        // collective I/O exists for).
+        CollectiveParams {
+            rows: 64,
+            cell_bytes: 8 * 1024,
+            aggregators: 2,
+            bands: 4,
+            steps: 1,
+            compute_per_step: 0.0,
+            mode,
+        }
+    }
+
+    #[test]
+    fn agg_rows_partition_is_exact() {
+        for rows in [1usize, 7, 32, 64] {
+            for n_agg in 1..=5 {
+                let mut next = 0;
+                let mut total = 0;
+                for a in 0..n_agg {
+                    let (start, mine) = agg_rows(rows, n_agg, a);
+                    assert_eq!(start, next);
+                    next += mine;
+                    total += mine;
+                }
+                assert_eq!(total, rows, "rows={rows} aggs={n_agg}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_phase_crushes_naive_on_the_wan() {
+        let (naive, two) = simulate(|rt| {
+            let tb = Testbed::new(rt, das2(), 4);
+            (
+                run_collective(&tb, 4, params(CollectiveMode::Naive)),
+                run_collective(&tb, 4, params(CollectiveMode::TwoPhaseSync)),
+            )
+        });
+        // Naive: 4 ranks × 64 cells = 256 RTT-bound small writes.
+        assert_eq!(naive.remote_ops, 256);
+        assert_eq!(two.remote_ops, 8); // 2 aggregators × 4 bands
+        assert!(
+            two.exec_secs < naive.exec_secs * 0.6,
+            "two-phase {:.1}s should crush naive {:.1}s",
+            two.exec_secs,
+            naive.exec_secs
+        );
+    }
+
+    #[test]
+    fn async_aggregation_beats_sync_in_a_timestep_loop() {
+        // A simulation loop: compute, collective checkpoint, repeat. The
+        // asynchronous aggregator write overlaps the next compute phase.
+        let stepped = |mode| CollectiveParams {
+            steps: 4,
+            compute_per_step: 0.7, // ≈ one band's WAN write time
+            ..params(mode)
+        };
+        let (sync2, async2) = simulate(move |rt| {
+            let tb = Testbed::new(rt, das2(), 4);
+            (
+                run_collective(&tb, 4, stepped(CollectiveMode::TwoPhaseSync)),
+                run_collective(&tb, 4, stepped(CollectiveMode::TwoPhaseAsync)),
+            )
+        });
+        assert!(
+            async2.exec_secs < sync2.exec_secs * 0.95,
+            "async two-phase {:.2}s should beat sync {:.2}s",
+            async2.exec_secs,
+            sync2.exec_secs
+        );
+    }
+
+    #[test]
+    fn file_contents_cover_the_whole_matrix() {
+        simulate(|rt| {
+            let tb = Testbed::new(rt.clone(), das2(), 3);
+            let p = CollectiveParams {
+                rows: 6,
+                cell_bytes: 100,
+                aggregators: 2,
+                bands: 2,
+                steps: 1,
+                compute_per_step: 0.0,
+                mode: CollectiveMode::TwoPhaseSync,
+            };
+            run_collective(&tb, 3, p);
+            // The shared object must span the full matrix.
+            let conn = tb.server.connect(tb.route(0), "semplar", "hpdc06").unwrap();
+            let st = conn.stat("/collective").unwrap();
+            assert_eq!(st.size, 6 * 3 * 100);
+            conn.disconnect().unwrap();
+        });
+    }
+}

@@ -1,0 +1,157 @@
+//! The ROMIO `perf` benchmark (paper §6, Fig. 8).
+//!
+//! "Each process writes a data array to a shared file at a fixed location
+//! using `MPI_File_write`. The data is then read back using
+//! `MPI_File_read`. The location from which a process reads and writes data
+//! is determined by its rank. The benchmark uses individual file pointers
+//! and non-collective calls." We run it with one or two TCP streams per
+//! node (§7.2): the two-stream variant opens the shared file twice per node
+//! and drives both descriptors with asynchronous calls.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use semplar::{OpenFlags, Payload, StripeUnit, StripedFile};
+use semplar_clusters::Testbed;
+use semplar_mpi::run_world;
+
+/// Parameters for one perf run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PerfParams {
+    /// Array size written and read per process (paper: 32 MB).
+    pub bytes_per_proc: u64,
+    /// TCP streams per node (1 or 2 in the paper).
+    pub streams: usize,
+}
+
+impl Default for PerfParams {
+    fn default() -> Self {
+        PerfParams {
+            bytes_per_proc: 32 << 20,
+            streams: 1,
+        }
+    }
+}
+
+/// Aggregate bandwidths from one perf run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Processes.
+    pub procs: usize,
+    /// Streams per node.
+    pub streams: usize,
+    /// Aggregate write bandwidth, Mb/s (the paper's unit).
+    pub write_mbps: f64,
+    /// Aggregate read bandwidth, Mb/s.
+    pub read_mbps: f64,
+}
+
+/// Run perf with `n` processes on `tb`.
+pub fn run_perf(tb: &Arc<Testbed>, n: usize, params: PerfParams) -> PerfReport {
+    assert!(n <= tb.nodes(), "testbed has only {} nodes", tb.nodes());
+    let tb2 = tb.clone();
+    let phases = run_world(tb.topo.clone(), n, move |r| {
+        let rt = r.runtime().clone();
+        let fs = tb2.srbfs(r.rank);
+        let f = StripedFile::open(
+            &rt,
+            &fs,
+            "/perf-shared",
+            OpenFlags::CreateRw,
+            params.streams,
+            StripeUnit::Even,
+        )
+        .expect("open perf file");
+        let off = r.rank as u64 * params.bytes_per_proc;
+
+        r.barrier();
+        let w0 = rt.now();
+        f.write_at(off, Payload::sized(params.bytes_per_proc))
+            .expect("perf write");
+        r.barrier();
+        let w1 = rt.now();
+
+        let r0 = rt.now();
+        let got = f.read_at(off, params.bytes_per_proc).expect("perf read");
+        assert_eq!(got.len(), params.bytes_per_proc, "short perf read");
+        r.barrier();
+        let r1 = rt.now();
+
+        f.close().expect("close perf file");
+        ((w1 - w0).as_secs_f64(), (r1 - r0).as_secs_f64())
+    });
+
+    // All ranks leave each barrier together; the phase time is the max.
+    let wt = phases.iter().map(|p| p.0).fold(0.0f64, f64::max);
+    let rdt = phases.iter().map(|p| p.1).fold(0.0f64, f64::max);
+    let total_bits = n as f64 * params.bytes_per_proc as f64 * 8.0;
+    PerfReport {
+        procs: n,
+        streams: params.streams,
+        write_mbps: total_bits / wt / 1e6,
+        read_mbps: total_bits / rdt / 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semplar_clusters::{das2, tg_ncsa, Testbed};
+    use semplar_runtime::simulate;
+
+    fn small(bytes: u64, streams: usize) -> PerfParams {
+        PerfParams {
+            bytes_per_proc: bytes,
+            streams,
+        }
+    }
+
+    #[test]
+    fn single_das2_node_is_window_limited() {
+        let rep = simulate(|rt| {
+            let tb = Testbed::new(rt, das2(), 1);
+            run_perf(&tb, 1, small(4 << 20, 1))
+        });
+        // Write cap 2.88 Mb/s; allow protocol overheads.
+        assert!(
+            (2.2..=2.95).contains(&rep.write_mbps),
+            "write {:.2} Mb/s",
+            rep.write_mbps
+        );
+        // Read cap is half the write cap (32 KiB window).
+        assert!(rep.read_mbps < rep.write_mbps, "{rep:?}");
+    }
+
+    #[test]
+    fn two_streams_nearly_double_das2_bandwidth() {
+        let (one, two) = simulate(|rt| {
+            let tb = Testbed::new(rt, das2(), 4);
+            (
+                run_perf(&tb, 4, small(4 << 20, 1)),
+                run_perf(&tb, 4, small(4 << 20, 2)),
+            )
+        });
+        let wgain = two.write_mbps / one.write_mbps;
+        let rgain = two.read_mbps / one.read_mbps;
+        assert!(wgain > 1.7, "write gain {wgain:.2}");
+        assert!(rgain > 1.7, "read gain {rgain:.2}");
+    }
+
+    #[test]
+    fn aggregate_bandwidth_scales_with_procs_until_shared_path() {
+        let (p2, p8) = simulate(|rt| {
+            let tb = Testbed::new(rt, tg_ncsa(), 8);
+            (
+                run_perf(&tb, 2, small(4 << 20, 1)),
+                run_perf(&tb, 8, small(4 << 20, 1)),
+            )
+        });
+        assert!(
+            p8.write_mbps > 3.0 * p2.write_mbps,
+            "p2 {:.1} vs p8 {:.1}",
+            p2.write_mbps,
+            p8.write_mbps
+        );
+    }
+}

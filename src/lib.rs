@@ -1,0 +1,27 @@
+//! # semplar-repro
+//!
+//! Umbrella crate for the reproduction of Ali & Lauria, *Improving the
+//! Performance of Remote I/O Using Asynchronous Primitives* (HPDC 2006).
+//! It re-exports every layer of the stack so the examples under
+//! `examples/` and the integration tests under `tests/` read top-down:
+//!
+//! * [`runtime`] — virtual-time / wall-clock execution;
+//! * [`netsim`] — the flow-level WAN and CPU models;
+//! * [`srb`] — the Storage Resource Broker substrate;
+//! * [`mpi`] — the thread-per-rank message-passing runtime;
+//! * [`compress`] — the LZO-class codec;
+//! * [`semplar`] — the paper's library: MPI-IO-style API, async engine,
+//!   multi-stream striping, compression pipeline;
+//! * [`clusters`] — DAS-2 / OSC / TG-NCSA testbed models;
+//! * [`workloads`] — the paper's benchmarks.
+
+#![warn(missing_docs)]
+
+pub use semplar;
+pub use semplar_clusters as clusters;
+pub use semplar_compress as compress;
+pub use semplar_mpi as mpi;
+pub use semplar_netsim as netsim;
+pub use semplar_runtime as runtime;
+pub use semplar_srb as srb;
+pub use semplar_workloads as workloads;

@@ -1,0 +1,117 @@
+//! Failure-injection tests: errors must surface cleanly through every layer
+//! (SRB protocol → ADIO → async engine → Request), and misuse must be loud
+//! rather than wedging the virtual clock.
+
+use semplar_repro::clusters::{das2, Testbed};
+use semplar_repro::runtime::{simulate, Dur};
+use semplar_repro::semplar::{File, IoError, OpenFlags, Payload};
+use semplar_repro::srb::SrbError;
+
+#[test]
+fn open_missing_file_fails_fast() {
+    simulate(|rt| {
+        let tb = Testbed::new(rt.clone(), das2(), 1);
+        let fs = tb.srbfs(0);
+        let err = File::open(&rt, &fs, "/ghost", OpenFlags::Read).err().expect("must fail");
+        assert!(matches!(err, IoError::Srb(SrbError::NotFound(_))), "{err:?}");
+    });
+}
+
+#[test]
+fn bad_credentials_are_rejected_at_connect() {
+    simulate(|rt| {
+        let tb = Testbed::new(rt.clone(), das2(), 1);
+        let mut route = tb.route(0);
+        route.send_cap = None;
+        let err = tb.server.connect(route, "intruder", "guess").err().expect("must fail");
+        assert_eq!(err, SrbError::PermissionDenied);
+    });
+}
+
+#[test]
+fn write_errors_propagate_through_the_async_engine() {
+    simulate(|rt| {
+        let tb = Testbed::new(rt.clone(), das2(), 1);
+        let fs = tb.srbfs(0);
+        // Create the object, then reopen read-only.
+        let f = File::open(&rt, &fs, "/ro", OpenFlags::CreateRw).unwrap();
+        f.write_at(0, &Payload::sized(10)).unwrap();
+        f.close().unwrap();
+        let f = File::open(&rt, &fs, "/ro", OpenFlags::Read).unwrap();
+        let err = f.iwrite_at(0, Payload::sized(1)).wait().unwrap_err();
+        assert!(matches!(err, IoError::Srb(SrbError::InvalidArg(_))), "{err:?}");
+        // The engine survives the error and keeps serving.
+        let ok = f.iread_at(0, 10).wait().unwrap();
+        assert_eq!(ok.bytes, 10);
+        f.close().unwrap();
+    });
+}
+
+#[test]
+fn requests_after_close_fail_with_closed() {
+    simulate(|rt| {
+        let tb = Testbed::new(rt.clone(), das2(), 1);
+        let fs = tb.srbfs(0);
+        let f = File::open(&rt, &fs, "/c", OpenFlags::CreateRw).unwrap();
+        f.close().unwrap();
+        let err = f.iwrite_at(0, Payload::sized(1)).wait().unwrap_err();
+        assert!(matches!(err, IoError::Closed), "{err:?}");
+        let err = f.write_at(0, &Payload::sized(1)).unwrap_err();
+        assert!(matches!(err, IoError::Closed), "{err:?}");
+    });
+}
+
+#[test]
+fn double_close_is_idempotent() {
+    simulate(|rt| {
+        let tb = Testbed::new(rt.clone(), das2(), 1);
+        let fs = tb.srbfs(0);
+        let f = File::open(&rt, &fs, "/dc", OpenFlags::CreateRw).unwrap();
+        f.close().unwrap();
+        f.close().unwrap();
+    });
+}
+
+#[test]
+fn abandoned_files_do_not_wedge_the_simulation() {
+    // Opening a file spawns a server-side handler (daemon) and, after the
+    // first async op, an I/O thread (daemon). Dropping everything without
+    // close() must still let the simulation terminate.
+    let end = simulate(|rt| {
+        let tb = Testbed::new(rt.clone(), das2(), 1);
+        let fs = tb.srbfs(0);
+        let f = File::open(&rt, &fs, "/leak", OpenFlags::CreateRw).unwrap();
+        f.iwrite_at(0, Payload::sized(1000)).wait().unwrap();
+        std::mem::forget(f); // deliberately leak without close
+        rt.sleep(Dur::from_millis(1));
+        rt.now()
+    });
+    assert!(end >= semplar_repro::runtime::Time::ZERO);
+}
+
+#[test]
+fn unlink_missing_object_errors() {
+    simulate(|rt| {
+        let tb = Testbed::new(rt.clone(), das2(), 1);
+        let conn = tb.server.connect(tb.route(0), "semplar", "hpdc06").unwrap();
+        assert!(matches!(conn.unlink("/none"), Err(SrbError::NotFound(_))));
+        // And the connection still works afterwards.
+        conn.mk_coll("/alive").unwrap();
+        assert_eq!(conn.list("/alive").unwrap(), Vec::<String>::new());
+        conn.disconnect().unwrap();
+    });
+}
+
+#[test]
+fn reads_past_eof_truncate_posix_style_through_the_whole_stack() {
+    simulate(|rt| {
+        let tb = Testbed::new(rt.clone(), das2(), 1);
+        let fs = tb.srbfs(0);
+        let f = File::open(&rt, &fs, "/eof", OpenFlags::CreateRw).unwrap();
+        f.write_at(0, &Payload::bytes(vec![1; 100])).unwrap();
+        assert_eq!(f.read_at(90, 50).unwrap().len(), 10);
+        assert_eq!(f.read_at(100, 50).unwrap().len(), 0);
+        assert_eq!(f.iread_at(95, 50).wait().unwrap().bytes, 5);
+        f.close().unwrap();
+    });
+}
