@@ -1,0 +1,103 @@
+//! Allocation-engine microbenchmark: cost of one flow arrival + departure
+//! (the netsim hot path) under N concurrent background flows, batch engine
+//! vs incremental engine.
+//!
+//! The population is shaped to stress exactly what the incremental engine
+//! exploits: flows are spread over many links (disjoint connected
+//! components of ~8 flows each), and every flow carries a distinct rate cap
+//! scattered around the fair share, which forces the progressive-filling
+//! reference to freeze flows one round at a time. The churn events touch
+//! only the first component, so the incremental engine settles and
+//! re-solves ~8 flows while the batch engine settles and re-solves all N.
+//!
+//! Compare `netsim_alloc/batch/N` with `netsim_alloc/incremental/N`; the
+//! acceptance bar for this PR is ≥5× at N = 256.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use semplar_netsim::net::replay::Harness;
+use semplar_netsim::net::{BusSpec, DeviceClass};
+use semplar_netsim::{AllocMode, Bw, LinkId};
+use semplar_runtime::Dur;
+
+const FLOWS_PER_LINK: usize = 8;
+
+struct Scenario {
+    h: Harness,
+    links: Vec<LinkId>,
+    churn_slot: usize,
+}
+
+/// N long-lived capped flows, 8 per link, plus one churnable flow on the
+/// first link. Caps are distinct and straddle the 100 Mb/s / 8 fair share
+/// so progressive filling cannot freeze whole links at once.
+fn build(mode: AllocMode, flows: usize) -> Scenario {
+    let mut h = Harness::new(mode);
+    let nlinks = flows.div_ceil(FLOWS_PER_LINK);
+    let links: Vec<LinkId> = (0..nlinks)
+        .map(|i| h.add_link(&format!("l{i}"), Bw::mbps(100.0)))
+        .collect();
+    let bus = h.add_bus(BusSpec::default());
+    for f in 0..flows {
+        let link = links[f / FLOWS_PER_LINK];
+        // Distinct caps around the 12.5 Mb/s fair share: 6..19 Mb/s.
+        let cap = 6.0e6 + (f % FLOWS_PER_LINK) as f64 * 2.0e6 + f as f64 * 1e3;
+        let tags = [(bus, DeviceClass::Wan)];
+        h.start(&[link], 1e15, Some(cap), &tags);
+    }
+    let churn_slot = h.start(&[links[0]], 1e15, None, &[]);
+    Scenario {
+        h,
+        links,
+        churn_slot,
+    }
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim_alloc");
+    for &flows in &[16usize, 64, 256, 1024] {
+        for (label, mode) in [
+            ("batch", AllocMode::Batch),
+            ("incremental", AllocMode::Incremental),
+        ] {
+            let mut sc = build(mode, flows);
+            g.bench_with_input(BenchmarkId::new(label, flows), &flows, |b, _| {
+                b.iter(|| {
+                    // One departure + one arrival in the first component.
+                    sc.h.tick(Dur::from_micros(5));
+                    sc.h.finish(sc.churn_slot);
+                    sc.h.tick(Dur::from_micros(5));
+                    sc.churn_slot = sc.h.start(&[sc.links[0]], 1e15, None, &[]);
+                })
+            });
+        }
+    }
+    g.finish();
+    {
+        let flows = 256usize;
+        let mut b = build(AllocMode::Batch, flows);
+        let mut i = build(AllocMode::Incremental, flows);
+        let time = |sc: &mut Scenario| {
+            let t = std::time::Instant::now();
+            for _ in 0..2000 {
+                sc.h.tick(Dur::from_micros(5));
+                sc.h.finish(sc.churn_slot);
+                sc.h.tick(Dur::from_micros(5));
+                sc.churn_slot = sc.h.start(&[sc.links[0]], 1e15, None, &[]);
+            }
+            t.elapsed().as_secs_f64()
+        };
+        let tb = time(&mut b);
+        let ti = time(&mut i);
+        println!(
+            "netsim_alloc speedup @ {flows} flows: {:.1}x  (batch {:.2} µs/event, incremental {:.2} µs/event)",
+            tb / ti,
+            tb / 4000.0 * 1e6,
+            ti / 4000.0 * 1e6,
+        );
+        println!("incremental stats @ {flows} flows: {:?}", i.h.stats());
+    }
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

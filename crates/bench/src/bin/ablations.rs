@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use semplar::{
-    ComputeModel, CompressedWriter, EngineCfg, File, OpenFlags, Payload, Request, StripeUnit,
+    CompressedWriter, ComputeModel, EngineCfg, File, OpenFlags, Payload, Request, StripeUnit,
     StripedFile,
 };
 use semplar_bench::{with_testbed, Table};
@@ -67,7 +67,9 @@ fn streams_sweep() {
         ]);
     }
     t.print();
-    println!("(window-capped streams scale ~linearly until the 100 Mb/s node NIC / WAN share binds)");
+    println!(
+        "(window-capped streams scale ~linearly until the 100 Mb/s node NIC / WAN share binds)"
+    );
 }
 
 /// 2. TCP window sweep: the per-stream cap mechanism.
@@ -214,7 +216,12 @@ fn rtt_crossover() {
     let data = Arc::new(generate(8 << 20, 9, &EstGenConfig::default()));
     let mut t = Table::new(
         "Ablation 5: compression feasibility vs RTT (das2-like path, 8 MB)",
-        &["RTT (ms)", "uncompressed Mb/s", "async-compressed Mb/s", "compression wins?"],
+        &[
+            "RTT (ms)",
+            "uncompressed Mb/s",
+            "async-compressed Mb/s",
+            "compression wins?",
+        ],
     );
     for rtt_ms in [2u64, 5, 10, 30, 80, 182] {
         let mut spec = das2();
@@ -258,7 +265,11 @@ fn rtt_crossover() {
             rtt_ms.to_string(),
             format!("{plain:.1}"),
             format!("{compressed:.1}"),
-            if compressed > plain { "yes".into() } else { "no".into() },
+            if compressed > plain {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     t.print();
@@ -297,7 +308,8 @@ fn codec_sweep() {
                     let mut off = 0u64;
                     for chunk in d2.chunks(1 << 20) {
                         tb.local_read(0, chunk.len() as u64);
-                        f.write_at(off, &Payload::sized(chunk.len() as u64)).unwrap();
+                        f.write_at(off, &Payload::sized(chunk.len() as u64))
+                            .unwrap();
                         off += chunk.len() as u64;
                     }
                     1.0
@@ -324,7 +336,11 @@ fn codec_sweep() {
         t.row(vec![
             name.to_string(),
             format!("{ratio:.2}"),
-            if rate > 0.0 { format!("{rate:.0}") } else { "-".into() },
+            if rate > 0.0 {
+                format!("{rate:.0}")
+            } else {
+                "-".into()
+            },
             format!("{mbps:.2}"),
         ]);
     }

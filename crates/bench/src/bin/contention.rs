@@ -33,7 +33,10 @@ fn main() {
         &format!("§7.1 contention experiment (das2, {n} procs): 2D Laplace"),
         &["configuration", "exec (s)"],
     );
-    t.row(vec!["overlap alone (1 stream)".into(), secs(r.overlap_alone)]);
+    t.row(vec![
+        "overlap alone (1 stream)".into(),
+        secs(r.overlap_alone),
+    ]);
     t.row(vec![
         "two streams alone (no overlap)".into(),
         secs(r.two_streams_alone),

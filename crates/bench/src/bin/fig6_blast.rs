@@ -44,8 +44,7 @@ fn main() {
         }
         t.print();
         let gain = avg_gain(rows.iter().map(|r| (r.sync_secs, r.async_secs)));
-        let overlap =
-            rows.iter().map(|r| r.overlap_fraction()).sum::<f64>() / rows.len() as f64;
+        let overlap = rows.iter().map(|r| r.overlap_fraction()).sum::<f64>() / rows.len() as f64;
         let paper = match name {
             "das2" => "paper: sync +20% slower, 92% overlap",
             "osc" => "paper: sync +26% slower, 97% overlap",

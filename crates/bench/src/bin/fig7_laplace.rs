@@ -57,8 +57,7 @@ fn main() {
         t.print();
         let gain = avg_gain(rows.iter().map(|r| (r.sync_secs, r.async_secs)));
         let two = avg_reduction(rows.iter().map(|r| (r.sync_secs, r.two_stream_secs)));
-        let overlap =
-            rows.iter().map(|r| r.overlap_fraction()).sum::<f64>() / rows.len() as f64;
+        let overlap = rows.iter().map(|r| r.overlap_fraction()).sum::<f64>() / rows.len() as f64;
         let paper = match name {
             "das2" => "paper: sync +7% slower than async, two-stream -38% exec, 96% overlap",
             "osc" => "paper: sync +9% slower than async, two-stream NAT-bound, 97% overlap",

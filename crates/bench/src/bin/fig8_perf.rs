@@ -7,7 +7,7 @@
 //! 75 % on TG-NCSA. Each node reads/writes a 32 MB array.
 
 use semplar_bench::table::{mbps, pct};
-use semplar_bench::{avg_bw_gain, fig8_perf, Table};
+use semplar_bench::{avg_bw_gain, fig8_perf_with_stats, Table};
 use semplar_clusters::{das2, tg_ncsa};
 
 fn main() {
@@ -18,14 +18,18 @@ fn main() {
     } else {
         &[1, 2, 4, 8, 12, 16, 20, 25, 30]
     };
-    let tg_procs: &[usize] = if quick { &[2, 6] } else { &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10] };
+    let tg_procs: &[usize] = if quick {
+        &[2, 6]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+    };
 
     for (spec, procs, paper) in [
         (das2(), das2_procs, "paper: write +43%, read +96%"),
         (tg_ncsa(), tg_procs, "paper: write +24%, read +75%"),
     ] {
         let name = spec.name;
-        let rows = fig8_perf(spec, procs, bytes);
+        let (rows, net_stats) = fig8_perf_with_stats(spec, procs, bytes);
         let mut t = Table::new(
             &format!("Fig. 8 ({name}): perf aggregate I/O bandwidth (Mb/s)"),
             &[
@@ -52,6 +56,15 @@ fn main() {
             "{name}: average two-stream gain — write {}, read {}   ({paper})",
             pct(wgain),
             pct(rgain)
+        );
+        println!(
+            "{name}: netsim allocator — {} recomputes, {:.1} flows touched each, \
+             {} settles skipped, {} signals, {:.1} ms total",
+            net_stats.recomputes,
+            net_stats.flows_touched as f64 / net_stats.recomputes.max(1) as f64,
+            net_stats.settles_skipped,
+            net_stats.signals,
+            net_stats.alloc_nanos as f64 / 1e6,
         );
     }
 }

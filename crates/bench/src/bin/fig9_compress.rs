@@ -12,7 +12,11 @@ use semplar_clusters::{das2, tg_ncsa};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let file_bytes: u64 = if quick { 16 << 20 } else { 100 << 20 };
-    let das2_procs: &[usize] = if quick { &[2, 6] } else { &[1, 3, 5, 7, 9, 11, 13] };
+    let das2_procs: &[usize] = if quick {
+        &[2, 6]
+    } else {
+        &[1, 3, 5, 7, 9, 11, 13]
+    };
     let tg_procs: &[usize] = if quick { &[2, 6] } else { &[1, 3, 5, 7, 9, 11] };
 
     for (spec, procs, paper) in [

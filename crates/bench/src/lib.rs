@@ -19,6 +19,7 @@
 use std::sync::Arc;
 
 use semplar_clusters::{ClusterSpec, Testbed};
+use semplar_netsim::NetStats;
 use semplar_runtime::SimRuntime;
 use semplar_workloads::{
     estgen, run_blast, run_compress, run_laplace, run_perf, BlastParams, CompressMode,
@@ -234,10 +235,20 @@ pub struct PerfRow {
 
 /// Fig. 8: ROMIO perf aggregate bandwidth, one vs two streams per node.
 pub fn fig8_perf(spec: ClusterSpec, procs: &[usize], bytes_per_proc: u64) -> Vec<PerfRow> {
+    fig8_perf_with_stats(spec, procs, bytes_per_proc).0
+}
+
+/// [`fig8_perf`] plus the network's allocation-engine counters for the
+/// whole sweep (how much work the incremental engine did and skipped).
+pub fn fig8_perf_with_stats(
+    spec: ClusterSpec,
+    procs: &[usize],
+    bytes_per_proc: u64,
+) -> (Vec<PerfRow>, NetStats) {
     let max_procs = procs.iter().copied().max().unwrap_or(1);
     let procs = procs.to_vec();
     with_testbed(spec, max_procs, move |tb| {
-        procs
+        let rows = procs
             .iter()
             .map(|&n| {
                 let one = run_perf(
@@ -264,7 +275,8 @@ pub fn fig8_perf(spec: ClusterSpec, procs: &[usize], bytes_per_proc: u64) -> Vec
                     read_two: two.read_mbps,
                 }
             })
-            .collect()
+            .collect();
+        (rows, tb.net.stats())
     })
 }
 

@@ -226,11 +226,22 @@ impl Testbed {
         let eth_in: Vec<LinkId> = (0..nodes)
             .map(|i| net.add_link(&format!("{}/eth{i}-in", spec.name), spec.eth_bw, Dur::ZERO))
             .collect();
-        let uplink_up = net.add_link(&format!("{}/uplink-up", spec.name), spec.uplink_bw, Dur::ZERO);
-        let uplink_down =
-            net.add_link(&format!("{}/uplink-down", spec.name), spec.uplink_bw, Dur::ZERO);
+        let uplink_up = net.add_link(
+            &format!("{}/uplink-up", spec.name),
+            spec.uplink_bw,
+            Dur::ZERO,
+        );
+        let uplink_down = net.add_link(
+            &format!("{}/uplink-down", spec.name),
+            spec.uplink_bw,
+            Dur::ZERO,
+        );
         let wan_up = net.add_link(&format!("{}/wan-up", spec.name), spec.wan_bw, spec.wan_owd);
-        let wan_down = net.add_link(&format!("{}/wan-down", spec.name), spec.wan_bw, spec.wan_owd);
+        let wan_down = net.add_link(
+            &format!("{}/wan-down", spec.name),
+            spec.wan_bw,
+            spec.wan_owd,
+        );
 
         let buses: Vec<BusId> = (0..nodes).map(|_| net.add_bus(spec.bus)).collect();
         let cpus: Vec<Arc<Cpu>> = (0..nodes)
@@ -240,18 +251,24 @@ impl Testbed {
         // Interconnect fabric: per-node ingress/egress links; every message
         // DMAs across both endpoint I/O buses.
         let ic_out: Vec<LinkId> = (0..nodes)
-            .map(|i| net.add_link(&format!("{}/ic{i}-out", spec.name), spec.ic_bw, spec.ic_latency))
+            .map(|i| {
+                net.add_link(
+                    &format!("{}/ic{i}-out", spec.name),
+                    spec.ic_bw,
+                    spec.ic_latency,
+                )
+            })
             .collect();
         let ic_in: Vec<LinkId> = (0..nodes)
             .map(|i| net.add_link(&format!("{}/ic{i}-in", spec.name), spec.ic_bw, Dur::ZERO))
             .collect();
         let buses2 = buses.clone();
-        let topo = Topology::new(
-            net.clone(),
-            Dur::from_micros(5),
-            None,
-            move |src, dst| (vec![ic_out[src], ic_in[dst]], vec![buses2[src], buses2[dst]]),
-        );
+        let topo = Topology::new(net.clone(), Dur::from_micros(5), None, move |src, dst| {
+            (
+                vec![ic_out[src], ic_in[dst]],
+                vec![buses2[src], buses2[dst]],
+            )
+        });
 
         // Node-local disks (a separate resource domain from the network).
         let disk_net = Network::new(rt.clone());
@@ -344,10 +361,18 @@ mod tests {
     fn specs_have_sane_window_caps() {
         // DAS-2: 64 KiB / 182 ms ≈ 2.88 Mb/s; TG: 64 KiB / 30 ms ≈ 17.5 Mb/s.
         let d = das2();
-        assert!((d.send_cap().as_mbps() - 2.88).abs() < 0.01, "{}", d.send_cap().as_mbps());
+        assert!(
+            (d.send_cap().as_mbps() - 2.88).abs() < 0.01,
+            "{}",
+            d.send_cap().as_mbps()
+        );
         assert!(d.recv_cap().as_mbps() < d.send_cap().as_mbps());
         let t = tg_ncsa();
-        assert!((t.send_cap().as_mbps() - 32.8).abs() < 0.1, "{}", t.send_cap().as_mbps());
+        assert!(
+            (t.send_cap().as_mbps() - 32.8).abs() < 0.1,
+            "{}",
+            t.send_cap().as_mbps()
+        );
     }
 
     #[test]
@@ -373,14 +398,16 @@ mod tests {
             let tb = Testbed::new(rt.clone(), das2(), 1);
             let fs = tb.srbfs(0);
             let one_f =
-                StripedFile::open(&rt, &fs, "/one", OpenFlags::CreateRw, 1, StripeUnit::Even).unwrap();
+                StripedFile::open(&rt, &fs, "/one", OpenFlags::CreateRw, 1, StripeUnit::Even)
+                    .unwrap();
             let t0 = rt.now();
             one_f.write_at(0, Payload::sized(8 << 20)).unwrap();
             let one = rt.now() - t0;
             one_f.close().unwrap();
 
             let two_f =
-                StripedFile::open(&rt, &fs, "/two", OpenFlags::CreateRw, 2, StripeUnit::Even).unwrap();
+                StripedFile::open(&rt, &fs, "/two", OpenFlags::CreateRw, 2, StripeUnit::Even)
+                    .unwrap();
             let t0 = rt.now();
             two_f.write_at(0, Payload::sized(8 << 20)).unwrap();
             let two = rt.now() - t0;

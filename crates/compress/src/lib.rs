@@ -124,7 +124,8 @@ mod tests {
             let mut z = Vec::new();
             c.compress(&data, &mut z);
             let mut d = Vec::new();
-            c.decompress(&z, &mut d).unwrap_or_else(|e| panic!("{}: {e}", c.name()));
+            c.decompress(&z, &mut d)
+                .unwrap_or_else(|e| panic!("{}: {e}", c.name()));
             assert_eq!(d, data, "{}", c.name());
         }
     }

@@ -181,7 +181,12 @@ mod tests {
         let data = vec![b'A'; 100_000];
         let mut c = Vec::new();
         compress(&data, &mut c);
-        assert!(c.len() < data.len() / 50, "only {} -> {}", data.len(), c.len());
+        assert!(
+            c.len() < data.len() / 50,
+            "only {} -> {}",
+            data.len(),
+            c.len()
+        );
         let mut d = Vec::new();
         decompress(&c, &mut d).unwrap();
         assert_eq!(d, data);
@@ -244,7 +249,9 @@ mod tests {
         let mut data = b"THE-QUICK-BROWN-FOX".to_vec();
         let mut x: u64 = 7;
         for _ in 0..10_240 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             data.push((x >> 32) as u8);
         }
         data.extend_from_slice(b"THE-QUICK-BROWN-FOX");

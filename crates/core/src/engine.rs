@@ -144,12 +144,10 @@ impl IoEngine {
                         bytes: p.len(),
                         data: Some(p),
                     }),
-                    IoOp::Write { offset, data } => {
-                        f.write_at(offset, &data).map(|n| Status {
-                            bytes: n,
-                            data: None,
-                        })
-                    }
+                    IoOp::Write { offset, data } => f.write_at(offset, &data).map(|n| Status {
+                        bytes: n,
+                        data: None,
+                    }),
                 }
             };
             self.stats.lock().completed += 1;
@@ -160,10 +158,13 @@ impl IoEngine {
     /// Enqueue a job (compute-thread side of Fig. 2).
     pub fn submit(self: &Arc<Self>, op: IoOp, done: Completion) -> IoResult<()> {
         self.ensure_threads();
-        self.stats.lock().submitted += 1;
         self.queue
             .send(IoJob { op, done })
-            .map_err(|_| IoError::Closed)
+            .map_err(|_| IoError::Closed)?;
+        // Count only jobs actually enqueued: a submit against a shut-down
+        // engine must not inflate `submitted` past what can ever complete.
+        self.stats.lock().submitted += 1;
+        Ok(())
     }
 
     /// Counters snapshot.

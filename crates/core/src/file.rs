@@ -28,7 +28,12 @@ impl File {
     /// Open `path` on `fs` with the default engine (one lazily spawned I/O
     /// thread). The analogue of `MPI_File_open`: on SRBFS this call
     /// establishes the file's TCP connection to the server.
-    pub fn open(rt: &Arc<dyn Runtime>, fs: &dyn AdioFs, path: &str, flags: OpenFlags) -> IoResult<File> {
+    pub fn open(
+        rt: &Arc<dyn Runtime>,
+        fs: &dyn AdioFs,
+        path: &str,
+        flags: OpenFlags,
+    ) -> IoResult<File> {
         File::open_with(rt, fs, path, flags, EngineCfg::default())
     }
 
@@ -84,10 +89,19 @@ impl File {
     /// out by ownership.
     pub fn iwrite_at(&self, offset: u64, data: Payload) -> Request {
         if data.is_empty() {
-            return Request::ready(&self.rt, Ok(Status { bytes: 0, data: None }));
+            return Request::ready(
+                &self.rt,
+                Ok(Status {
+                    bytes: 0,
+                    data: None,
+                }),
+            );
         }
         let (req, done) = Request::new(&self.rt);
-        if let Err(e) = self.engine.submit(IoOp::Write { offset, data }, done.clone()) {
+        if let Err(e) = self
+            .engine
+            .submit(IoOp::Write { offset, data }, done.clone())
+        {
             done.set(Err(e));
         }
         req

@@ -101,6 +101,28 @@ mod tests {
         });
     }
 
+    /// Regression: a submit against a closed engine must fail *and* leave
+    /// the `submitted` counter untouched — it used to count the job first
+    /// and then fail the enqueue, so `submitted` could exceed what would
+    /// ever complete.
+    #[test]
+    fn rejected_submit_is_not_counted() {
+        simulate(|rt| {
+            let fs = MemFs::new(rt.clone());
+            fs.put("/r", b"payload".to_vec());
+            let f = File::open(&rt, &fs, "/r", OpenFlags::Read).unwrap();
+            f.iread_at(0, 7).wait().unwrap();
+            f.close().unwrap();
+            let before = f.engine_stats();
+            assert_eq!(before.submitted, 1);
+            assert_eq!(before.completed, 1);
+            assert!(f.iread_at(0, 7).wait().is_err());
+            let after = f.engine_stats();
+            assert_eq!(after.submitted, before.submitted);
+            assert_eq!(after.completed, before.completed);
+        });
+    }
+
     #[test]
     fn async_read_returns_data_in_status() {
         simulate(|rt| {
@@ -139,7 +161,10 @@ mod tests {
             (sync_t, async_t)
         });
         assert!((sync_t.as_secs_f64() - 2.0).abs() < 1e-6, "sync {sync_t}");
-        assert!((async_t.as_secs_f64() - 1.0).abs() < 1e-3, "async {async_t}");
+        assert!(
+            (async_t.as_secs_f64() - 1.0).abs() < 1e-3,
+            "async {async_t}"
+        );
     }
 
     #[test]
@@ -291,13 +316,15 @@ mod tests {
             let fs = srb_fixture(&rt, 8.0); // 8 Mb/s per-stream cap
             let mb = 4_000_000u64;
 
-            let f1 = StripedFile::open(&rt, &fs, "/one", OpenFlags::CreateRw, 1, StripeUnit::Even).unwrap();
+            let f1 = StripedFile::open(&rt, &fs, "/one", OpenFlags::CreateRw, 1, StripeUnit::Even)
+                .unwrap();
             let t0 = rt.now();
             f1.write_at(0, Payload::sized(mb)).unwrap();
             let one = rt.now() - t0;
             f1.close().unwrap();
 
-            let f2 = StripedFile::open(&rt, &fs, "/two", OpenFlags::CreateRw, 2, StripeUnit::Even).unwrap();
+            let f2 = StripedFile::open(&rt, &fs, "/two", OpenFlags::CreateRw, 2, StripeUnit::Even)
+                .unwrap();
             let t0 = rt.now();
             f2.write_at(0, Payload::sized(mb)).unwrap();
             let two = rt.now() - t0;
@@ -317,7 +344,8 @@ mod tests {
             let fs = MemFs::new(rt.clone());
             let data: Vec<u8> = (0..1000u32).map(|i| (i % 256) as u8).collect();
             fs.put("/s", data.clone());
-            let f = StripedFile::open(&rt, &fs, "/s", OpenFlags::Read, 3, StripeUnit::Bytes(64)).unwrap();
+            let f = StripedFile::open(&rt, &fs, "/s", OpenFlags::Read, 3, StripeUnit::Bytes(64))
+                .unwrap();
             let back = f.read_at(0, 1000).unwrap();
             assert_eq!(back.data().unwrap(), &data[..]);
             // Unaligned range.
@@ -332,8 +360,15 @@ mod tests {
         simulate(|rt| {
             let fs = MemFs::new(rt.clone());
             let data: Vec<u8> = (0..100_000u32).map(|i| (i * 7 % 256) as u8).collect();
-            let f =
-                StripedFile::open(&rt, &fs, "/sw", OpenFlags::CreateRw, 4, StripeUnit::Bytes(1024)).unwrap();
+            let f = StripedFile::open(
+                &rt,
+                &fs,
+                "/sw",
+                OpenFlags::CreateRw,
+                4,
+                StripeUnit::Bytes(1024),
+            )
+            .unwrap();
             f.write_at(0, Payload::bytes(data.clone())).unwrap();
             f.close().unwrap();
             assert_eq!(fs.get("/sw").unwrap(), data);
@@ -369,8 +404,8 @@ mod tests {
             let fs = MemFs::new(rt.clone());
             let data: Vec<u8> = (0..5000u32).map(|i| (i % 256) as u8).collect();
             fs.put("/r", data.clone());
-            let f = StripedFile::open(&rt, &fs, "/r", OpenFlags::Read, 3, StripeUnit::Even)
-                .unwrap();
+            let f =
+                StripedFile::open(&rt, &fs, "/r", OpenFlags::Read, 3, StripeUnit::Even).unwrap();
             let got = f.redundant_read_at(0, 5000).unwrap();
             assert_eq!(got.data().unwrap(), &data[..]);
             f.close().unwrap();

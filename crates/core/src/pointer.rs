@@ -119,8 +119,8 @@ mod tests {
     use super::*;
     use crate::adio::MemFs;
     use crate::file::File;
-    use semplar_srb::OpenFlags;
     use semplar_runtime::simulate;
+    use semplar_srb::OpenFlags;
 
     fn fixture(rt: &Arc<dyn semplar_runtime::Runtime>) -> (Arc<MemFs>, FilePointer) {
         let fs = MemFs::new(rt.clone());

@@ -133,7 +133,10 @@ mod tests {
             let fs = MemFs::new(rt.clone());
             fs.put("/e", Vec::new());
             let f = File::open(&rt, &fs, "/e", OpenFlags::Read).unwrap();
-            assert!(Prefetcher::new(&f, 0, 1024, 2).next_block().unwrap().is_none());
+            assert!(Prefetcher::new(&f, 0, 1024, 2)
+                .next_block()
+                .unwrap()
+                .is_none());
             f.close().unwrap();
         });
     }

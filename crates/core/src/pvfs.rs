@@ -37,7 +37,13 @@ impl PvfsLike {
         assert!(iods >= 1 && stripe >= 1);
         let net = Network::new(rt.clone());
         let links = (0..iods)
-            .map(|i| net.add_link(&format!("iod{i}"), disk.bandwidth, semplar_runtime::Dur::ZERO))
+            .map(|i| {
+                net.add_link(
+                    &format!("iod{i}"),
+                    disk.bandwidth,
+                    semplar_runtime::Dur::ZERO,
+                )
+            })
             .collect();
         Arc::new(PvfsLike {
             rt,
@@ -234,8 +240,14 @@ mod tests {
         });
         // Perfectly balanced stripes: four daemons are exactly 4× faster.
         let speedup = one / four;
-        assert!((speedup - 4.0).abs() < 1e-6, "speedup {speedup} (one {one}s, four {four}s)");
-        assert!((one - 40.0 * 1.048576 / 10.0).abs() < 1e-3, "one iod took {one}");
+        assert!(
+            (speedup - 4.0).abs() < 1e-6,
+            "speedup {speedup} (one {one}s, four {four}s)"
+        );
+        assert!(
+            (one - 40.0 * 1.048576 / 10.0).abs() < 1e-3,
+            "one iod took {one}"
+        );
     }
 
     #[test]

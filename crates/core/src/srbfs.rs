@@ -54,9 +54,9 @@ struct SrbFile {
 
 impl AdioFs for Arc<SrbFs> {
     fn open(&self, path: &str, flags: OpenFlags) -> IoResult<Box<dyn AdioFile>> {
-        let conn = self
-            .server
-            .connect(self.cfg.route.clone(), &self.cfg.user, &self.cfg.password)?;
+        let conn =
+            self.server
+                .connect(self.cfg.route.clone(), &self.cfg.user, &self.cfg.password)?;
         let fd = conn.open(path, flags)?;
         Ok(Box::new(SrbFile {
             conn,

@@ -215,11 +215,7 @@ impl StripedFile {
     /// others are ignored. With streams routed over paths of different
     /// quality this trades bandwidth for tail latency.
     pub fn redundant_read_at(&self, offset: u64, len: u64) -> IoResult<Payload> {
-        let reqs: Vec<Request> = self
-            .files
-            .iter()
-            .map(|f| f.iread_at(offset, len))
-            .collect();
+        let reqs: Vec<Request> = self.files.iter().map(|f| f.iread_at(offset, len)).collect();
         let rt = self.files[0].runtime().clone();
         let (_winner, result) = Request::wait_any(&rt, &reqs);
         // Losers complete in the background on their own I/O threads; their
@@ -250,7 +246,12 @@ mod tests {
     use proptest::prelude::*;
     use semplar_runtime::simulate;
 
-    fn layout_for(streams: usize, unit: StripeUnit, offset: u64, len: u64) -> Vec<(usize, u64, u64)> {
+    fn layout_for(
+        streams: usize,
+        unit: StripeUnit,
+        offset: u64,
+        len: u64,
+    ) -> Vec<(usize, u64, u64)> {
         simulate(move |rt| {
             let fs = MemFs::new(rt.clone());
             let f = StripedFile::open(&rt, &fs, "/l", OpenFlags::CreateRw, streams, unit).unwrap();

@@ -30,7 +30,13 @@ mod tests {
 
     fn topo(rt: &Arc<dyn Runtime>, n: usize) -> Arc<Topology> {
         let net = Network::new(rt.clone());
-        Topology::uniform(net, n, Bw::gbps(2.0), Dur::from_micros(10), Dur::from_micros(5))
+        Topology::uniform(
+            net,
+            n,
+            Bw::gbps(2.0),
+            Dur::from_micros(10),
+            Dur::from_micros(5),
+        )
     }
 
     #[test]
@@ -135,10 +141,17 @@ mod tests {
                 for root in [0, n / 2, n - 1] {
                     let t = topo(&rt, n);
                     let vals = run_world(t, n, move |r| {
-                        let v = if r.rank == root { Some(42u64 + root as u64) } else { None };
+                        let v = if r.rank == root {
+                            Some(42u64 + root as u64)
+                        } else {
+                            None
+                        };
                         r.bcast(root, v, 8)
                     });
-                    assert!(vals.iter().all(|&v| v == 42 + root as u64), "n={n} root={root}");
+                    assert!(
+                        vals.iter().all(|&v| v == 42 + root as u64),
+                        "n={n} root={root}"
+                    );
                 }
             }
         });
@@ -149,9 +162,7 @@ mod tests {
         simulate(|rt| {
             for n in 1..=8usize {
                 let t = topo(&rt, n);
-                let vals = run_world(t, n, move |r| {
-                    r.reduce(0, r.rank as u64, 8, |a, b| a + b)
-                });
+                let vals = run_world(t, n, move |r| r.reduce(0, r.rank as u64, 8, |a, b| a + b));
                 let want: u64 = (0..n as u64).sum();
                 assert_eq!(vals[0], Some(want), "n={n}");
                 assert!(vals[1..].iter().all(|v| v.is_none()));
@@ -174,7 +185,10 @@ mod tests {
             let t = topo(&rt, 5);
             let vals = run_world(t, 5, |r| r.gather(2, r.rank as u32 * 10, 4));
             assert_eq!(vals[2], Some(vec![0, 10, 20, 30, 40]));
-            assert!(vals.iter().enumerate().all(|(i, v)| (i == 2) == v.is_some()));
+            assert!(vals
+                .iter()
+                .enumerate()
+                .all(|(i, v)| (i == 2) == v.is_some()));
         });
     }
 
@@ -184,8 +198,7 @@ mod tests {
             for root in [0usize, 3] {
                 let t = topo(&rt, 5);
                 let vals = run_world(t, 5, move |r| {
-                    let v = (r.rank == root)
-                        .then(|| (0..5u32).map(|i| i * 11).collect::<Vec<_>>());
+                    let v = (r.rank == root).then(|| (0..5u32).map(|i| i * 11).collect::<Vec<_>>());
                     r.scatter(root, v, 4)
                 });
                 assert_eq!(vals, vec![0, 11, 22, 33, 44], "root={root}");

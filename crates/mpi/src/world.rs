@@ -241,9 +241,7 @@ impl Rank {
             let (src, v) = self.recv::<T>(None, TAG);
             out[src] = Some(v);
         }
-        out.into_iter()
-            .map(|v| v.expect("alltoall hole"))
-            .collect()
+        out.into_iter().map(|v| v.expect("alltoall hole")).collect()
     }
 }
 
@@ -268,8 +266,7 @@ where
     );
     let barrier = Barrier::new(&rt, n);
     let f = Arc::new(f);
-    let results: Arc<Mutex<Vec<Option<T>>>> =
-        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let results: Arc<Mutex<Vec<Option<T>>>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
     let mut handles = Vec::with_capacity(n);
     for rank in 0..n {
         let ctx = Rank {
@@ -294,5 +291,7 @@ where
         h.join_unwrap();
     }
     let mut g = results.lock();
-    g.drain(..).map(|v| v.expect("rank died silently")).collect()
+    g.drain(..)
+        .map(|v| v.expect("rank died silently"))
+        .collect()
 }

@@ -62,9 +62,14 @@ pub fn max_min_rates(link_caps: &[f64], flows: &[FlowSpec<'_>]) -> Vec<f64> {
                 }
             }
         }
-        // Any unfixed flow whose own cap binds before the link share is
-        // frozen at its cap first.
-        let mut froze_capped = false;
+        // A flow whose own cap binds before the link share is frozen at its
+        // cap first — one flow per round, smallest cap first (ties to the
+        // smallest flow index). Freezing strictly in value order keeps the
+        // arithmetic sequence per link independent of how the rest of the
+        // network groups into rounds, so solving a connected component alone
+        // yields bit-identical rates to solving the whole network.
+        let mut best_cap = f64::INFINITY;
+        let mut best_capped = usize::MAX;
         for (i, f) in flows.iter().enumerate() {
             if fixed[i] {
                 continue;
@@ -74,18 +79,19 @@ pub fn max_min_rates(link_caps: &[f64], flows: &[FlowSpec<'_>]) -> Vec<f64> {
                 None if f.path.is_empty() => UNCONSTRAINED_RATE,
                 None => continue,
             };
-            if effective_cap <= best_share {
-                rates[i] = effective_cap;
-                fixed[i] = true;
-                remaining -= 1;
-                for &l in f.path {
-                    residual[l] -= effective_cap;
-                    count[l] -= 1;
-                }
-                froze_capped = true;
+            if effective_cap < best_cap {
+                best_cap = effective_cap;
+                best_capped = i;
             }
         }
-        if froze_capped {
+        if best_capped != usize::MAX && best_cap <= best_share {
+            rates[best_capped] = best_cap;
+            fixed[best_capped] = true;
+            remaining -= 1;
+            for &l in flows[best_capped].path {
+                residual[l] -= best_cap;
+                count[l] -= 1;
+            }
             continue;
         }
         if best_link == usize::MAX {
@@ -113,6 +119,303 @@ pub fn max_min_rates(link_caps: &[f64], flows: &[FlowSpec<'_>]) -> Vec<f64> {
         }
     }
     rates
+}
+
+/// Heap entry for a link's current fair share. Ordered so that a max-heap
+/// pops the *smallest* share first, ties broken toward the smallest link
+/// index — the same choice [`max_min_rates`]'s linear scan makes.
+struct LinkEntry {
+    share: f64,
+    link: u32,
+}
+
+impl PartialEq for LinkEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.share.total_cmp(&other.share).is_eq() && self.link == other.link
+    }
+}
+impl Eq for LinkEntry {}
+impl Ord for LinkEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .share
+            .total_cmp(&self.share)
+            .then_with(|| other.link.cmp(&self.link))
+    }
+}
+impl PartialOrd for LinkEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Heap entry for a flow's own cap; pops smallest cap, then smallest index.
+struct CapEntry {
+    cap: f64,
+    flow: u32,
+}
+
+impl PartialEq for CapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cap.total_cmp(&other.cap).is_eq() && self.flow == other.flow
+    }
+}
+impl Eq for CapEntry {}
+impl Ord for CapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .cap
+            .total_cmp(&self.cap)
+            .then_with(|| other.flow.cmp(&self.flow))
+    }
+}
+impl PartialOrd for CapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable scratch for the heap-based progressive-filling solver.
+///
+/// [`max_min_rates`] is O(F²·L) per call and allocates five vectors; this
+/// solver is O((F + P)·log L) for F flows with P total path entries, and a
+/// long-lived `Workspace` allocates nothing in steady state. It is the
+/// engine behind the incremental recompute path in
+/// [`crate::net::Network`]: the caller registers only the links and flows of
+/// one connected component and solves that component alone.
+///
+/// The freeze decisions replicate [`max_min_rates`] exactly — the same
+/// bottleneck selection (smallest share, then smallest link index) and the
+/// same one-at-a-time cap-before-share freeze order (smallest cap, then
+/// smallest flow index) — so for a given component the computed rates are
+/// bit-identical to a whole-network batch solve. Freezing strictly in value
+/// order is what makes the solve component-decomposable at the ulp level:
+/// the arithmetic sequence applied to each link never depends on how freezes
+/// in *other* components interleave (components never share links).
+///
+/// Usage per solve: [`Workspace::begin`], then [`Workspace::add_link`] for
+/// every link any registered flow crosses, then [`Workspace::add_flow`] per
+/// flow (in a fixed order — rates come back positionally), then
+/// [`Workspace::solve`] and [`Workspace::rates`].
+#[derive(Default)]
+pub struct Workspace {
+    // Link-indexed scratch (sparse: only registered links are valid).
+    residual: Vec<f64>,
+    count: Vec<usize>,
+    start: Vec<u32>,
+    pos: Vec<u32>,
+    comp_links: Vec<u32>,
+    // Dense per-flow state.
+    flow_cap: Vec<f64>, // +inf = no finite constraint of its own
+    path_off: Vec<u32>,
+    path_flat: Vec<u32>,
+    fixed: Vec<bool>,
+    rates: Vec<f64>,
+    members: Vec<u32>,
+    heap: std::collections::BinaryHeap<LinkEntry>,
+    capped: std::collections::BinaryHeap<CapEntry>,
+}
+
+impl Workspace {
+    /// Fresh workspace; reuse it across solves to amortize allocations.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// Start a new solve over a network of `n_links` links total (link ids
+    /// passed later must be `< n_links`).
+    pub fn begin(&mut self, n_links: usize) {
+        if self.residual.len() < n_links {
+            self.residual.resize(n_links, 0.0);
+            self.count.resize(n_links, 0);
+            self.start.resize(n_links, 0);
+            self.pos.resize(n_links, 0);
+        }
+        self.comp_links.clear();
+        self.flow_cap.clear();
+        self.path_off.clear();
+        self.path_flat.clear();
+        self.path_off.push(0);
+    }
+
+    /// Register link `link` with capacity `cap` for this solve.
+    pub fn add_link(&mut self, link: usize, cap: f64) {
+        self.residual[link] = cap;
+        self.count[link] = 0;
+        self.comp_links.push(link as u32);
+    }
+
+    /// Register a flow; every link in `path` must have been registered.
+    /// Returns the flow's dense index (also its position in [`rates`]).
+    ///
+    /// [`rates`]: Workspace::rates
+    pub fn add_flow(&mut self, cap: Option<f64>, path: &[usize]) -> usize {
+        let idx = self.flow_cap.len();
+        self.flow_cap.push(match cap {
+            Some(c) => c,
+            None if path.is_empty() => UNCONSTRAINED_RATE,
+            None => f64::INFINITY,
+        });
+        for &l in path {
+            self.path_flat.push(l as u32);
+            self.count[l] += 1;
+        }
+        self.path_off.push(self.path_flat.len() as u32);
+        idx
+    }
+
+    /// Computed rate per flow, in [`add_flow`](Workspace::add_flow) order.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    fn push_share(&mut self, l: usize) {
+        let share = self.residual[l].max(0.0) / self.count[l] as f64;
+        self.heap.push(LinkEntry {
+            share,
+            link: l as u32,
+        });
+    }
+
+    /// Run progressive filling over the registered links and flows.
+    pub fn solve(&mut self) {
+        let nf = self.flow_cap.len();
+        self.fixed.clear();
+        self.fixed.resize(nf, false);
+        self.rates.clear();
+        self.rates.resize(nf, 0.0);
+        if nf == 0 {
+            return;
+        }
+        // Per-link member lists (CSR), in flow-index order.
+        let mut cursor = 0u32;
+        for i in 0..self.comp_links.len() {
+            let l = self.comp_links[i] as usize;
+            self.start[l] = cursor;
+            self.pos[l] = cursor;
+            cursor += self.count[l] as u32;
+        }
+        self.members.clear();
+        self.members.resize(cursor as usize, 0);
+        for f in 0..nf {
+            for j in self.path_off[f]..self.path_off[f + 1] {
+                let l = self.path_flat[j as usize] as usize;
+                self.members[self.pos[l] as usize] = f as u32;
+                self.pos[l] += 1;
+            }
+        }
+        self.heap.clear();
+        for i in 0..self.comp_links.len() {
+            let l = self.comp_links[i] as usize;
+            if self.count[l] > 0 {
+                self.push_share(l);
+            }
+        }
+        self.capped.clear();
+        for (f, &c) in self.flow_cap.iter().enumerate() {
+            if c.is_finite() {
+                self.capped.push(CapEntry {
+                    cap: c,
+                    flow: f as u32,
+                });
+            }
+        }
+
+        let mut remaining = nf;
+        while remaining > 0 {
+            // Tightest link share. Heap entries are lower bounds (a link's
+            // share never decreases as flows freeze), so pop-validate-repush
+            // converges on the true minimum with the scan's tie-breaking.
+            let mut best_share = f64::INFINITY;
+            let mut best_link = u32::MAX;
+            while let Some(e) = self.heap.pop() {
+                let l = e.link as usize;
+                if self.count[l] == 0 {
+                    continue;
+                }
+                let cur = self.residual[l].max(0.0) / self.count[l] as f64;
+                if cur.total_cmp(&e.share).is_ne() {
+                    self.heap.push(LinkEntry {
+                        share: cur,
+                        link: e.link,
+                    });
+                    continue;
+                }
+                best_share = e.share;
+                best_link = e.link;
+                break;
+            }
+            // A cap-bound flow freezes before the link share — one per
+            // round, smallest cap first (ties to the smallest flow index),
+            // matching [`max_min_rates`]' value-ordered freeze sequence.
+            let mut froze_cap = false;
+            while let Some(top) = self.capped.peek() {
+                if self.fixed[top.flow as usize] {
+                    self.capped.pop();
+                    continue;
+                }
+                if top.cap <= best_share {
+                    let e = self.capped.pop().expect("peeked");
+                    let f = e.flow as usize;
+                    let c = self.flow_cap[f];
+                    self.rates[f] = c;
+                    self.fixed[f] = true;
+                    remaining -= 1;
+                    for j in self.path_off[f]..self.path_off[f + 1] {
+                        let l = self.path_flat[j as usize] as usize;
+                        self.residual[l] -= c;
+                        self.count[l] -= 1;
+                        if self.count[l] > 0 {
+                            self.push_share(l);
+                        }
+                    }
+                    froze_cap = true;
+                }
+                break;
+            }
+            if froze_cap {
+                if best_link != u32::MAX {
+                    // Re-offer the popped candidate (still a lower bound).
+                    self.heap.push(LinkEntry {
+                        share: best_share,
+                        link: best_link,
+                    });
+                }
+                continue;
+            }
+            if best_link == u32::MAX {
+                // No finite link constraint left.
+                for f in 0..nf {
+                    if !self.fixed[f] {
+                        let c = self.flow_cap[f];
+                        self.rates[f] = if c.is_finite() { c } else { UNCONSTRAINED_RATE };
+                        self.fixed[f] = true;
+                    }
+                }
+                break;
+            }
+            // Freeze the bottleneck link's unfixed members at the fair share.
+            let bl = best_link as usize;
+            let (ms, me) = (self.start[bl] as usize, self.pos[bl] as usize);
+            for k in ms..me {
+                let f = self.members[k] as usize;
+                if self.fixed[f] {
+                    continue;
+                }
+                self.rates[f] = best_share;
+                self.fixed[f] = true;
+                remaining -= 1;
+                for j in self.path_off[f]..self.path_off[f + 1] {
+                    let l = self.path_flat[j as usize] as usize;
+                    self.residual[l] -= best_share;
+                    self.count[l] -= 1;
+                    if l != bl && self.count[l] > 0 {
+                        self.push_share(l);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -186,12 +489,7 @@ mod tests {
         // flow 2 on {1}, flow 3 on {2}.
         let r = rates(
             &[10.0, 20.0, 30.0],
-            &[
-                (&[0, 1, 2], None),
-                (&[0], None),
-                (&[1], None),
-                (&[2], None),
-            ],
+            &[(&[0, 1, 2], None), (&[0], None), (&[1], None), (&[2], None)],
         );
         assert_close(r[0], 5.0); // bottleneck link 0 splits 10 two ways
         assert_close(r[1], 5.0);
@@ -239,11 +537,107 @@ mod tests {
         }
     }
 
+    fn ws_rates(caps: &[f64], flows: &[(&[usize], Option<f64>)]) -> Vec<f64> {
+        let mut ws = Workspace::new();
+        ws.begin(caps.len());
+        for (l, &c) in caps.iter().enumerate() {
+            ws.add_link(l, c);
+        }
+        for &(path, cap) in flows {
+            ws.add_flow(cap, path);
+        }
+        ws.solve();
+        ws.rates().to_vec()
+    }
+
+    type Case<'a> = (Vec<f64>, Vec<(&'a [usize], Option<f64>)>);
+
+    #[test]
+    fn workspace_matches_batch_on_fixed_cases() {
+        let cases: Vec<Case> = vec![
+            (vec![100.0], vec![(&[0], None)]),
+            (vec![90.0], vec![(&[0], None), (&[0], None), (&[0], None)]),
+            (vec![100.0], vec![(&[0], Some(10.0)), (&[0], None)]),
+            (vec![10.0, 100.0], vec![(&[0, 1], None), (&[1], None)]),
+            (
+                vec![10.0, 20.0, 30.0],
+                vec![(&[0, 1, 2], None), (&[0], None), (&[1], None), (&[2], None)],
+            ),
+            (vec![0.0, 100.0], vec![(&[0, 1], None), (&[1], None)]),
+            (vec![], vec![(&[], None), (&[], Some(3.5))]),
+            (
+                vec![50.0],
+                (0..10).map(|_| (&[0usize][..], Some(11.0))).collect(),
+            ),
+        ];
+        for (caps, flows) in cases {
+            let batch = rates(&caps, &flows);
+            let fast = ws_rates(&caps, &flows);
+            assert_eq!(batch.len(), fast.len());
+            for (a, b) in batch.iter().zip(&fast) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b} on {caps:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_is_reusable_without_reallocating() {
+        let mut ws = Workspace::new();
+        for round in 1..=5usize {
+            ws.begin(3);
+            for l in 0..3 {
+                ws.add_link(l, 30.0 * (l + 1) as f64);
+            }
+            for f in 0..round {
+                ws.add_flow(if f % 2 == 0 { None } else { Some(7.0) }, &[f % 3]);
+            }
+            ws.solve();
+            assert_eq!(ws.rates().len(), round);
+            for &r in ws.rates() {
+                assert!(r.is_finite() && r >= 0.0);
+            }
+        }
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
 
         proptest! {
+            /// The heap solver reproduces the reference solver bit-for-bit
+            /// on arbitrary whole-network inputs: same freeze decisions,
+            /// same arithmetic order, hence identical `f64` results.
+            #[test]
+            fn workspace_matches_batch(
+                caps in proptest::collection::vec(0.0f64..1000.0, 1..6),
+                flow_seeds in proptest::collection::vec(
+                    (proptest::collection::vec(0usize..6, 0..4), proptest::option::of(0.01f64..500.0)),
+                    1..14
+                ),
+            ) {
+                let nl = caps.len();
+                let paths: Vec<Vec<usize>> = flow_seeds
+                    .iter()
+                    .map(|(p, _)| {
+                        let mut v: Vec<usize> = p.iter().map(|x| x % nl).collect();
+                        v.sort_unstable();
+                        v.dedup();
+                        v
+                    })
+                    .collect();
+                let flows: Vec<(&[usize], Option<f64>)> = paths
+                    .iter()
+                    .zip(flow_seeds.iter())
+                    .map(|(p, (_, cap))| (p.as_slice(), *cap))
+                    .collect();
+                let batch = rates(&caps, &flows);
+                let fast = ws_rates(&caps, &flows);
+                for (i, (a, b)) in batch.iter().zip(&fast).enumerate() {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(),
+                        "flow {} diverged: {} vs {}", i, a, b);
+                }
+            }
+
             /// No link is ever oversubscribed, and rates are non-negative
             /// and respect per-flow caps.
             #[test]

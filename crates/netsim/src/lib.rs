@@ -28,4 +28,4 @@ pub mod net;
 
 pub use cpu::Cpu;
 pub use fair::{max_min_rates, FlowSpec};
-pub use net::{Bw, LinkId, Network};
+pub use net::{AllocMode, Bw, LinkId, NetStats, Network};

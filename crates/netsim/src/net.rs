@@ -8,18 +8,31 @@
 //! progress is settled at the current instant and its owner re-arms its
 //! completion timer against the new rate — a standard fluid ("piecewise
 //! constant rate") model.
+//!
+//! # Incremental recomputation
+//!
+//! Rates only change for flows that share a link — directly or transitively
+//! — with the flow that started or stopped. The engine therefore maintains a
+//! link→flows adjacency index and, on each event, walks the connected
+//! component around the event's links, settling and re-solving just that
+//! component with a reusable [`Workspace`] (no steady-state allocation).
+//! Flows in other components keep their rates and are settled lazily at
+//! their own events. [`AllocMode::Batch`] keeps the original settle-all,
+//! solve-everything engine as the semantic reference; the two produce
+//! identical rate trajectories (see the differential tests), and
+//! [`Network::stats`] exposes counters showing the incremental engine's
+//! savings.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use semplar_runtime::{Dur, Event, Runtime, Time};
 
-use crate::fair::{max_min_rates, FlowSpec};
+use crate::fair::{max_min_rates, FlowSpec, Workspace};
 
 /// A bandwidth, stored in bits per second.
-#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
 pub struct Bw(pub f64);
 
 impl Bw {
@@ -111,6 +124,36 @@ pub struct XferOpts {
     pub buses: Vec<(BusId, DeviceClass)>,
 }
 
+/// Which allocation engine a [`Network`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocMode {
+    /// Settle every flow and re-solve the whole network on every event.
+    /// This is the original engine, kept as the semantic reference and as
+    /// the baseline for the allocator microbenchmarks.
+    Batch,
+    /// Settle and re-solve only the connected component the event touches
+    /// (the default). Behaviourally identical to [`AllocMode::Batch`].
+    Incremental,
+}
+
+/// Counters describing the allocation engine's work ([`Network::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Rate recomputations performed (one per flow arrival or departure).
+    pub recomputes: u64,
+    /// Total flows whose rate was re-derived, summed over recomputes;
+    /// `flows_touched / recomputes` is the mean component size.
+    pub flows_touched: u64,
+    /// Flow settlements avoided because the flow's component was not
+    /// involved in the event (always 0 in batch mode).
+    pub settles_skipped: u64,
+    /// Rate-change signals delivered to flow owners.
+    pub signals: u64,
+    /// Wall-clock nanoseconds spent inside recomputation (bus pass, solver,
+    /// and rate application).
+    pub alloc_nanos: u64,
+}
+
 struct LinkState {
     name: String,
     cap: f64, // bits/s
@@ -121,7 +164,12 @@ struct LinkState {
 struct FlowState {
     path: Vec<usize>,
     cap: Option<f64>,
+    /// Effective rate (post bus-contention penalty).
     rate: f64,
+    /// Rate granted by the fair allocator (pre-penalty).
+    alloc_rate: f64,
+    /// Min penalty over this flow's WAN bus specs (1.0 when none apply).
+    penalty: f64,
     bits_rem: f64,
     last_settle: Time,
     ev: Event,
@@ -132,14 +180,35 @@ struct FlowState {
 
 struct BusState {
     spec: BusSpec,
+    /// Active interconnect-class flows crossing this bus.
+    ic_count: usize,
+    /// Active WAN-class flows (slot indices) crossing this bus.
+    wan: Vec<usize>,
 }
 
 struct NetInner {
     links: Vec<LinkState>,
+    /// Slot indices of the active flows crossing each link.
+    link_members: Vec<Vec<usize>>,
     buses: Vec<BusState>,
-    flows: HashMap<u64, FlowState>,
-    next_flow: u64,
+    /// Flow slab; completed flows leave `None` holes reused via `free`.
+    slots: Vec<Option<FlowState>>,
+    free: Vec<usize>,
+    active: usize,
     completed_flows: u64,
+    mode: AllocMode,
+    /// Component-walk epoch; marks equal to it are "visited this walk".
+    epoch: u64,
+    link_mark: Vec<u64>,
+    flow_mark: Vec<u64>,
+    ws: Workspace,
+    // Reusable event scratch.
+    comp_flows: Vec<usize>,
+    comp_links: Vec<usize>,
+    bfs_stack: Vec<usize>,
+    newly_contended: Vec<usize>,
+    to_signal: Vec<Event>,
+    stats: NetStats,
 }
 
 /// A simulated network shared by all actors of an experiment.
@@ -153,17 +222,48 @@ const DONE_BITS: f64 = 0.5;
 /// Rates below this are treated as stalled; the owner waits for a recompute.
 const MIN_RATE: f64 = 1e-9;
 
+/// A rate change smaller than this (relative) is not worth re-arming timers.
+fn rate_changed(old: f64, new: f64) -> bool {
+    (old - new).abs() > 1e-9 * new.max(1.0)
+}
+
 impl Network {
-    /// An empty network using `rt` for time and blocking.
+    /// An empty network using `rt` for time and blocking. Runs the
+    /// incremental engine unless the environment variable
+    /// `SEMPLAR_NETSIM_BATCH=1` forces the batch reference engine (useful
+    /// for A/B-checking that both produce identical results).
     pub fn new(rt: Arc<dyn Runtime>) -> Arc<Network> {
+        let mode = if std::env::var("SEMPLAR_NETSIM_BATCH").is_ok_and(|v| v == "1") {
+            AllocMode::Batch
+        } else {
+            AllocMode::Incremental
+        };
+        Self::new_with_mode(rt, mode)
+    }
+
+    /// An empty network running the given allocation engine.
+    pub fn new_with_mode(rt: Arc<dyn Runtime>, mode: AllocMode) -> Arc<Network> {
         Arc::new(Network {
             rt,
             inner: Mutex::new(NetInner {
                 links: Vec::new(),
+                link_members: Vec::new(),
                 buses: Vec::new(),
-                flows: HashMap::new(),
-                next_flow: 0,
+                slots: Vec::new(),
+                free: Vec::new(),
+                active: 0,
                 completed_flows: 0,
+                mode,
+                epoch: 0,
+                link_mark: Vec::new(),
+                flow_mark: Vec::new(),
+                ws: Workspace::new(),
+                comp_flows: Vec::new(),
+                comp_links: Vec::new(),
+                bfs_stack: Vec::new(),
+                newly_contended: Vec::new(),
+                to_signal: Vec::new(),
+                stats: NetStats::default(),
             }),
         })
     }
@@ -171,6 +271,16 @@ impl Network {
     /// The runtime this network charges time against.
     pub fn runtime(&self) -> &Arc<dyn Runtime> {
         &self.rt
+    }
+
+    /// Which allocation engine this network runs.
+    pub fn alloc_mode(&self) -> AllocMode {
+        self.inner.lock().mode
+    }
+
+    /// Allocation-engine counters accumulated so far.
+    pub fn stats(&self) -> NetStats {
+        self.inner.lock().stats
     }
 
     /// Add a link with the given capacity and one-way latency contribution.
@@ -182,13 +292,19 @@ impl Network {
             latency,
             bits_moved: 0.0,
         });
+        g.link_members.push(Vec::new());
+        g.link_mark.push(0);
         LinkId(g.links.len() - 1)
     }
 
     /// Register an I/O bus with the given contention behaviour.
     pub fn add_bus(&self, spec: BusSpec) -> BusId {
         let mut g = self.inner.lock();
-        g.buses.push(BusState { spec });
+        g.buses.push(BusState {
+            spec,
+            ic_count: 0,
+            wan: Vec::new(),
+        });
         BusId(g.buses.len() - 1)
     }
 
@@ -200,8 +316,13 @@ impl Network {
     }
 
     /// Total bits that have crossed `link` so far (for assertions/stats).
+    /// Settles every active flow to the present first, so the counter is
+    /// exact at the moment of the call.
     pub fn link_bits_moved(&self, link: LinkId) -> f64 {
-        self.inner.lock().links[link.0].bits_moved
+        let mut g = self.inner.lock();
+        let now = self.rt.now();
+        Self::settle_all(&mut g, now);
+        g.links[link.0].bits_moved
     }
 
     /// Number of flows that have completed on this network.
@@ -209,54 +330,159 @@ impl Network {
         self.inner.lock().completed_flows
     }
 
-    /// Advance every flow's progress to `now` and accumulate link counters.
-    fn settle_locked(g: &mut NetInner, now: Time) {
-        for f in g.flows.values_mut() {
+    /// Advance one flow's progress to `now` and accumulate link counters.
+    fn settle_flow(g: &mut NetInner, slot: usize, now: Time) {
+        let NetInner { slots, links, .. } = g;
+        if let Some(f) = slots[slot].as_mut() {
             let dt = now.since(f.last_settle).as_secs_f64();
             if dt > 0.0 {
                 let moved = (f.rate * dt).min(f.bits_rem.max(0.0));
                 f.bits_rem -= moved;
                 for &l in &f.path {
-                    g.links[l].bits_moved += moved;
+                    links[l].bits_moved += moved;
                 }
             }
             f.last_settle = now;
         }
     }
 
-    /// Recompute max-min rates and nudge every flow whose rate changed.
-    fn recompute_locked(g: &mut NetInner) {
-        // Bus-contention pass: trigger and stick the contended flag.
-        for bus in 0..g.buses.len() {
-            let spec = g.buses[bus].spec;
-            let ic_active = g.flows.values().any(|f| {
-                f.buses
-                    .iter()
-                    .any(|&(b, c)| b == bus && c == DeviceClass::Interconnect)
-            });
-            if !ic_active {
+    /// Advance every flow's progress to `now`.
+    fn settle_all(g: &mut NetInner, now: Time) {
+        for slot in 0..g.slots.len() {
+            Self::settle_flow(g, slot, now);
+        }
+    }
+
+    /// Insert a flow into the slab, adjacency index, and bus membership;
+    /// marks newly contended WAN flows (into `g.newly_contended`).
+    fn insert_flow_locked(
+        g: &mut NetInner,
+        path: Vec<usize>,
+        cap: Option<f64>,
+        units: f64,
+        now: Time,
+        ev: Event,
+        buses: Vec<(usize, DeviceClass)>,
+    ) -> usize {
+        let penalty = buses
+            .iter()
+            .filter(|&&(_, c)| c == DeviceClass::Wan)
+            .map(|&(b, _)| g.buses[b].spec.penalty)
+            .fold(1.0f64, f64::min);
+        let slot = match g.free.pop() {
+            Some(s) => s,
+            None => {
+                g.slots.push(None);
+                g.flow_mark.push(0);
+                g.slots.len() - 1
+            }
+        };
+        for &l in &path {
+            g.link_members[l].push(slot);
+        }
+        for &(b, c) in &buses {
+            match c {
+                DeviceClass::Interconnect => g.buses[b].ic_count += 1,
+                DeviceClass::Wan => g.buses[b].wan.push(slot),
+            }
+        }
+        g.slots[slot] = Some(FlowState {
+            path,
+            cap,
+            rate: 0.0,
+            alloc_rate: 0.0,
+            penalty,
+            bits_rem: units,
+            last_settle: now,
+            ev,
+            buses,
+            contended: false,
+        });
+        g.active += 1;
+        // Contention trigger: only an arrival can newly satisfy the
+        // condition (departures shrink membership and the flag is sticky),
+        // so checking the arriving flow's buses here is equivalent to the
+        // batch engine's every-event scan over all buses.
+        g.newly_contended.clear();
+        let nbuses = g.slots[slot].as_ref().expect("just inserted").buses.len();
+        for bi in 0..nbuses {
+            let (b, _) = g.slots[slot].as_ref().expect("just inserted").buses[bi];
+            let bus = &g.buses[b];
+            if bus.ic_count == 0 || bus.wan.len() < bus.spec.min_wan_streams {
                 continue;
             }
-            let wan: Vec<u64> = g
-                .flows
-                .iter()
-                .filter(|(_, f)| {
-                    f.buses.iter().any(|&(b, c)| b == bus && c == DeviceClass::Wan)
-                })
-                .map(|(id, _)| *id)
-                .collect();
-            if wan.len() >= spec.min_wan_streams {
-                for id in wan {
-                    g.flows.get_mut(&id).expect("flow vanished").contended = true;
+            for wi in 0..g.buses[b].wan.len() {
+                let w = g.buses[b].wan[wi];
+                let f = g.slots[w].as_mut().expect("bus member vanished");
+                if !f.contended {
+                    f.contended = true;
+                    g.newly_contended.push(w);
                 }
             }
         }
+        slot
+    }
+
+    /// Remove a flow from the slab, adjacency index, and bus membership.
+    fn remove_flow_locked(g: &mut NetInner, slot: usize) -> FlowState {
+        let f = g.slots[slot].take().expect("own flow vanished");
+        g.active -= 1;
+        g.completed_flows += 1;
+        g.free.push(slot);
+        for &l in &f.path {
+            let members = &mut g.link_members[l];
+            let pos = members
+                .iter()
+                .position(|&s| s == slot)
+                .expect("flow missing from link index");
+            members.swap_remove(pos);
+        }
+        for &(b, c) in &f.buses {
+            match c {
+                DeviceClass::Interconnect => g.buses[b].ic_count -= 1,
+                DeviceClass::Wan => {
+                    let wan = &mut g.buses[b].wan;
+                    let pos = wan
+                        .iter()
+                        .position(|&s| s == slot)
+                        .expect("flow missing from bus index");
+                    wan.swap_remove(pos);
+                }
+            }
+        }
+        g.newly_contended.clear();
+        f
+    }
+
+    /// Batch reference engine: bus pass, whole-network solve, apply.
+    fn recompute_batch(g: &mut NetInner) {
+        let t0 = std::time::Instant::now();
+        // Bus-contention pass over the maintained membership (the flag is
+        // sticky, so re-marking already-contended flows is a no-op).
+        for b in 0..g.buses.len() {
+            if g.buses[b].ic_count == 0 {
+                continue;
+            }
+            if g.buses[b].wan.len() < g.buses[b].spec.min_wan_streams {
+                continue;
+            }
+            for wi in 0..g.buses[b].wan.len() {
+                let w = g.buses[b].wan[wi];
+                g.slots[w].as_mut().expect("bus member vanished").contended = true;
+            }
+        }
         let caps: Vec<f64> = g.links.iter().map(|l| l.cap).collect();
-        let ids: Vec<u64> = g.flows.keys().copied().collect();
+        let ids: Vec<usize> = g
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| i)
+            .collect();
         let specs: Vec<FlowSpec> = ids
             .iter()
-            .map(|id| {
-                let f = &g.flows[id];
+            .map(|&i| {
+                let f = g.slots[i].as_ref().expect("listed flow");
                 FlowSpec {
                     path: &f.path,
                     cap: f.cap,
@@ -264,32 +490,206 @@ impl Network {
             })
             .collect();
         let rates = max_min_rates(&caps, &specs);
-        let mut to_signal = Vec::new();
-        for (id, rate) in ids.iter().zip(rates) {
-            let f = g.flows.get_mut(id).expect("flow vanished");
-            let mut rate = rate;
-            if f.contended {
+        drop(specs);
+        g.to_signal.clear();
+        for (&slot, rate) in ids.iter().zip(rates) {
+            let f = g.slots[slot].as_mut().expect("listed flow");
+            f.alloc_rate = rate;
+            let eff = if f.contended {
                 // Penalized flows underutilize their allocation — that is
                 // the point: bus arbitration wastes cycles, it does not
                 // hand them to anyone else.
-                let penalty = f
-                    .buses
-                    .iter()
-                    .filter(|&&(_, c)| c == DeviceClass::Wan)
-                    .map(|&(b, _)| g.buses[b].spec.penalty)
-                    .fold(1.0f64, f64::min);
-                rate *= penalty;
-            }
-            if (f.rate - rate).abs() > 1e-9 * rate.max(1.0) {
-                f.rate = rate;
-                to_signal.push(f.ev.clone());
+                rate * f.penalty
+            } else {
+                rate
+            };
+            if rate_changed(f.rate, eff) {
+                f.rate = eff;
+                g.to_signal.push(f.ev.clone());
             }
         }
-        // Signal outside the borrow of `flows`; each owner re-polls and
+        g.stats.recomputes += 1;
+        g.stats.flows_touched += ids.len() as u64;
+        g.stats.signals += g.to_signal.len() as u64;
+        g.stats.alloc_nanos += t0.elapsed().as_nanos() as u64;
+        // Signal after releasing all flow borrows; each owner re-polls and
         // re-arms its completion timer against the new rate. Signals bank a
         // permit, so an owner that has not blocked yet cannot miss one.
-        for ev in to_signal {
-            ev.signal();
+        for i in 0..g.to_signal.len() {
+            g.to_signal[i].signal();
+        }
+        g.to_signal.clear();
+    }
+
+    /// Incremental engine: walk the connected component around the event,
+    /// settle it, solve it, apply. `seed_flow` is the arriving flow (if
+    /// any); `seed_links` are the departing flow's links (if any).
+    fn recompute_incremental(
+        g: &mut NetInner,
+        seed_flow: Option<usize>,
+        seed_links: &[usize],
+        now: Time,
+    ) {
+        let t0 = std::time::Instant::now();
+        g.epoch += 1;
+        let ep = g.epoch;
+        g.comp_flows.clear();
+        g.comp_links.clear();
+        g.bfs_stack.clear();
+        {
+            let NetInner {
+                slots,
+                link_members,
+                link_mark,
+                flow_mark,
+                bfs_stack,
+                comp_flows,
+                comp_links,
+                ..
+            } = g;
+            if let Some(s) = seed_flow {
+                flow_mark[s] = ep;
+                bfs_stack.push(s);
+            }
+            for &l in seed_links {
+                if link_mark[l] != ep {
+                    link_mark[l] = ep;
+                    comp_links.push(l);
+                    for &m in &link_members[l] {
+                        if flow_mark[m] != ep {
+                            flow_mark[m] = ep;
+                            bfs_stack.push(m);
+                        }
+                    }
+                }
+            }
+            while let Some(s) = bfs_stack.pop() {
+                comp_flows.push(s);
+                let f = slots[s].as_ref().expect("marked flow vanished");
+                for &l in &f.path {
+                    if link_mark[l] != ep {
+                        link_mark[l] = ep;
+                        comp_links.push(l);
+                        for &m in &link_members[l] {
+                            if flow_mark[m] != ep {
+                                flow_mark[m] = ep;
+                                bfs_stack.push(m);
+                            }
+                        }
+                    }
+                }
+            }
+            // Slot order == the batch engine's flow iteration order, which
+            // keeps the two engines' arithmetic identical.
+            comp_flows.sort_unstable();
+        }
+        for i in 0..g.comp_flows.len() {
+            let s = g.comp_flows[i];
+            Self::settle_flow(g, s, now);
+        }
+        let mut skipped = (g.active - g.comp_flows.len()) as u64;
+        {
+            let NetInner {
+                slots,
+                links,
+                ws,
+                comp_flows,
+                comp_links,
+                ..
+            } = g;
+            ws.begin(links.len());
+            for &l in comp_links.iter() {
+                ws.add_link(l, links[l].cap);
+            }
+            for &s in comp_flows.iter() {
+                let f = slots[s].as_ref().expect("component flow vanished");
+                ws.add_flow(f.cap, &f.path);
+            }
+            ws.solve();
+        }
+        g.to_signal.clear();
+        for i in 0..g.comp_flows.len() {
+            let s = g.comp_flows[i];
+            let alloc = g.ws.rates()[i];
+            let f = g.slots[s].as_mut().expect("component flow vanished");
+            f.alloc_rate = alloc;
+            let eff = if f.contended {
+                alloc * f.penalty
+            } else {
+                alloc
+            };
+            if rate_changed(f.rate, eff) {
+                f.rate = eff;
+                g.to_signal.push(f.ev.clone());
+            }
+        }
+        // WAN flows newly penalized by the arrival but living in another
+        // component: their allocation is untouched (the penalty wastes the
+        // allocation rather than redistributing it), so only their
+        // effective rate needs updating — no second solve.
+        let mut extra_touched = 0u64;
+        for i in 0..g.newly_contended.len() {
+            let w = g.newly_contended[i];
+            if g.flow_mark[w] == ep {
+                continue; // already handled by the component pass
+            }
+            Self::settle_flow(g, w, now);
+            skipped -= 1;
+            extra_touched += 1;
+            let f = g.slots[w].as_mut().expect("contended flow vanished");
+            let eff = f.alloc_rate * f.penalty;
+            if rate_changed(f.rate, eff) {
+                f.rate = eff;
+                g.to_signal.push(f.ev.clone());
+            }
+        }
+        g.newly_contended.clear();
+        g.stats.recomputes += 1;
+        g.stats.flows_touched += g.comp_flows.len() as u64 + extra_touched;
+        g.stats.settles_skipped += skipped;
+        g.stats.signals += g.to_signal.len() as u64;
+        g.stats.alloc_nanos += t0.elapsed().as_nanos() as u64;
+        for i in 0..g.to_signal.len() {
+            g.to_signal[i].signal();
+        }
+        g.to_signal.clear();
+    }
+
+    /// Start a flow at `now`: settle (batch: everything; incremental: the
+    /// affected component, inside the recompute), index, recompute.
+    fn begin_flow_locked(
+        g: &mut NetInner,
+        now: Time,
+        path: Vec<usize>,
+        cap: Option<f64>,
+        units: f64,
+        ev: Event,
+        buses: Vec<(usize, DeviceClass)>,
+    ) -> usize {
+        if g.mode == AllocMode::Batch {
+            Self::settle_all(g, now);
+        }
+        let slot = Self::insert_flow_locked(g, path, cap, units, now, ev, buses);
+        match g.mode {
+            AllocMode::Batch => Self::recompute_batch(g),
+            AllocMode::Incremental => Self::recompute_incremental(g, Some(slot), &[], now),
+        }
+        slot
+    }
+
+    /// End the flow in `slot` at `now` (caller has already settled it) and
+    /// redistribute its bandwidth.
+    fn end_flow_locked(g: &mut NetInner, now: Time, slot: usize) {
+        if g.mode == AllocMode::Batch {
+            // Everyone's rate may change below; their progress so far ran at
+            // the old rate and must be banked first. (The incremental engine
+            // settles the affected component inside its recompute.)
+            Self::settle_all(g, now);
+        }
+        let f = Self::remove_flow_locked(g, slot);
+        match g.mode {
+            AllocMode::Batch => Self::recompute_batch(g),
+            AllocMode::Incremental => Self::recompute_incremental(g, None, &f.path, now),
         }
     }
 
@@ -336,38 +736,33 @@ impl Network {
             return;
         }
         let ev = self.rt.event();
-        let id = {
+        let slot = {
             let mut g = self.inner.lock();
             let now = self.rt.now();
-            Self::settle_locked(&mut g, now);
-            let id = g.next_flow;
-            g.next_flow += 1;
-            g.flows.insert(
-                id,
-                FlowState {
-                    path: path.iter().map(|l| l.0).collect(),
-                    cap: flow_cap,
-                    rate: 0.0,
-                    bits_rem: units,
-                    last_settle: now,
-                    ev: ev.clone(),
-                    buses: buses.iter().map(|&(b, c)| (b.0, c)).collect(),
-                    contended: false,
-                },
-            );
-            Self::recompute_locked(&mut g);
-            id
+            Self::begin_flow_locked(
+                &mut g,
+                now,
+                path.iter().map(|l| l.0).collect(),
+                flow_cap,
+                units,
+                ev.clone(),
+                buses.iter().map(|&(b, c)| (b.0, c)).collect(),
+            )
         };
         loop {
             let wait = {
                 let mut g = self.inner.lock();
                 let now = self.rt.now();
-                Self::settle_locked(&mut g, now);
-                let f = g.flows.get(&id).expect("own flow vanished");
+                match g.mode {
+                    // The batch engine settles the world at every poll (the
+                    // original behaviour); the incremental engine settles
+                    // only this flow — nobody else's rate is changing.
+                    AllocMode::Batch => Self::settle_all(&mut g, now),
+                    AllocMode::Incremental => Self::settle_flow(&mut g, slot, now),
+                }
+                let f = g.slots[slot].as_ref().expect("own flow vanished");
                 if f.bits_rem <= DONE_BITS {
-                    g.flows.remove(&id);
-                    g.completed_flows += 1;
-                    Self::recompute_locked(&mut g);
+                    Self::end_flow_locked(&mut g, now, slot);
                     return;
                 }
                 if f.rate <= MIN_RATE {
@@ -405,6 +800,108 @@ impl Network {
     /// Human-readable description of a link (used in diagnostics).
     pub fn link_name(&self, link: LinkId) -> String {
         self.inner.lock().links[link.0].name.clone()
+    }
+}
+
+/// Thread-free replay driver for the allocation engines.
+///
+/// Drives flow arrivals/departures against a [`Network`] directly — no
+/// actors, no blocking — with an explicit virtual clock. This is the
+/// workhorse behind the batch-vs-incremental differential tests and the
+/// allocator microbenchmarks; it is `doc(hidden)` because it bypasses the
+/// blocking transfer API and is not a stable interface.
+#[doc(hidden)]
+pub mod replay {
+    use super::*;
+    use semplar_runtime::RealRuntime;
+
+    /// A [`Network`] plus a manual clock and direct start/finish hooks.
+    pub struct Harness {
+        net: Arc<Network>,
+        now: Time,
+    }
+
+    impl Harness {
+        /// A fresh harness running the given engine.
+        pub fn new(mode: AllocMode) -> Harness {
+            let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+            Harness {
+                net: Network::new_with_mode(rt, mode),
+                now: Time::ZERO,
+            }
+        }
+
+        /// The wrapped network.
+        pub fn network(&self) -> &Arc<Network> {
+            &self.net
+        }
+
+        /// Add a link (same as [`Network::add_link`]).
+        pub fn add_link(&self, name: &str, cap: Bw) -> LinkId {
+            self.net.add_link(name, cap, Dur::ZERO)
+        }
+
+        /// Add a bus (same as [`Network::add_bus`]).
+        pub fn add_bus(&self, spec: BusSpec) -> BusId {
+            self.net.add_bus(spec)
+        }
+
+        /// Advance the replay clock.
+        pub fn tick(&mut self, d: Dur) {
+            self.now += d;
+        }
+
+        /// Start a flow now; returns its slot handle.
+        pub fn start(
+            &mut self,
+            path: &[LinkId],
+            units: f64,
+            cap: Option<f64>,
+            buses: &[(BusId, DeviceClass)],
+        ) -> usize {
+            let ev = self.net.rt.event();
+            let mut g = self.net.inner.lock();
+            Network::begin_flow_locked(
+                &mut g,
+                self.now,
+                path.iter().map(|l| l.0).collect(),
+                cap,
+                units,
+                ev,
+                buses.iter().map(|&(b, c)| (b.0, c)).collect(),
+            )
+        }
+
+        /// Settle and terminate the flow in `slot` now (regardless of how
+        /// many bits it still had — a departure is a departure to the
+        /// allocator).
+        pub fn finish(&mut self, slot: usize) {
+            let mut g = self.net.inner.lock();
+            Network::settle_flow(&mut g, slot, self.now);
+            Network::end_flow_locked(&mut g, self.now, slot);
+        }
+
+        /// Effective rate of every active flow, indexed by slot (`None` for
+        /// empty slots). Slot assignment is deterministic for a given event
+        /// sequence, so two harnesses replaying the same trace can be
+        /// compared slot-by-slot.
+        pub fn rates_by_slot(&self) -> Vec<Option<f64>> {
+            let g = self.net.inner.lock();
+            g.slots.iter().map(|s| s.as_ref().map(|f| f.rate)).collect()
+        }
+
+        /// Bits moved per link, settled to the replay clock.
+        pub fn bits_moved(&self) -> Vec<f64> {
+            let mut g = self.net.inner.lock();
+            let now = self.now;
+            Network::settle_all(&mut g, now);
+            g.links.iter().map(|l| l.bits_moved).collect()
+        }
+
+        /// Engine counters.
+        pub fn stats(&self) -> NetStats {
+            self.net.stats()
+        }
     }
 }
 
@@ -576,7 +1073,10 @@ mod tests {
             let net = Network::new(rt.clone());
             let wan = net.add_link("wan", Bw::mbps(100.0), Dur::ZERO);
             let ic = net.add_link("myrinet", Bw::gbps(2.0), Dur::ZERO);
-            let bus = net.add_bus(BusSpec { penalty: 0.5, min_wan_streams: 2 });
+            let bus = net.add_bus(BusSpec {
+                penalty: 0.5,
+                min_wan_streams: 2,
+            });
             let cap = Some(Bw::mbps(4.0));
 
             // Background interconnect traffic for the whole experiment.
@@ -585,7 +1085,10 @@ mod tests {
                 net_ic.transfer_opts(
                     &[ic],
                     2_000_000_000, // 8 s at 2 Gb/s: outlives both WAN phases
-                    &XferOpts { cap: None, buses: vec![(bus, DeviceClass::Interconnect)] },
+                    &XferOpts {
+                        cap: None,
+                        buses: vec![(bus, DeviceClass::Interconnect)],
+                    },
                 );
             });
 
@@ -594,7 +1097,10 @@ mod tests {
             net.transfer_opts(
                 &[wan],
                 1_000_000,
-                &XferOpts { cap, buses: vec![(bus, DeviceClass::Wan)] },
+                &XferOpts {
+                    cap,
+                    buses: vec![(bus, DeviceClass::Wan)],
+                },
             );
             let one_clean = rt.now() - t0;
 
@@ -605,13 +1111,19 @@ mod tests {
                 net2.transfer_opts(
                     &[wan],
                     500_000,
-                    &XferOpts { cap, buses: vec![(bus, DeviceClass::Wan)] },
+                    &XferOpts {
+                        cap,
+                        buses: vec![(bus, DeviceClass::Wan)],
+                    },
                 );
             });
             net.transfer_opts(
                 &[wan],
                 500_000,
-                &XferOpts { cap, buses: vec![(bus, DeviceClass::Wan)] },
+                &XferOpts {
+                    cap,
+                    buses: vec![(bus, DeviceClass::Wan)],
+                },
             );
             h.join_unwrap();
             let two_contended = rt.now() - t1;
@@ -638,13 +1150,19 @@ mod tests {
                 net2.transfer_opts(
                     &[wan],
                     500_000,
-                    &XferOpts { cap, buses: vec![(bus, DeviceClass::Wan)] },
+                    &XferOpts {
+                        cap,
+                        buses: vec![(bus, DeviceClass::Wan)],
+                    },
                 );
             });
             net.transfer_opts(
                 &[wan],
                 500_000,
-                &XferOpts { cap, buses: vec![(bus, DeviceClass::Wan)] },
+                &XferOpts {
+                    cap,
+                    buses: vec![(bus, DeviceClass::Wan)],
+                },
             );
             h.join_unwrap();
             rt.now() - t0
@@ -660,7 +1178,10 @@ mod tests {
             let net = Network::new(rt.clone());
             let wan = net.add_link("wan", Bw::mbps(100.0), Dur::ZERO);
             let ic = net.add_link("myrinet", Bw::gbps(1.0), Dur::ZERO);
-            let bus = net.add_bus(BusSpec { penalty: 0.5, min_wan_streams: 2 });
+            let bus = net.add_bus(BusSpec {
+                penalty: 0.5,
+                min_wan_streams: 2,
+            });
             let cap = Some(Bw::mbps(8.0));
             // Short interconnect burst (finishes in 8 ms).
             let net_ic = net.clone();
@@ -668,7 +1189,10 @@ mod tests {
                 net_ic.transfer_opts(
                     &[ic],
                     1_000_000,
-                    &XferOpts { cap: None, buses: vec![(bus, DeviceClass::Interconnect)] },
+                    &XferOpts {
+                        cap: None,
+                        buses: vec![(bus, DeviceClass::Interconnect)],
+                    },
                 );
             });
             let t0 = rt.now();
@@ -677,19 +1201,88 @@ mod tests {
                 net2.transfer_opts(
                     &[wan],
                     1_000_000,
-                    &XferOpts { cap, buses: vec![(bus, DeviceClass::Wan)] },
+                    &XferOpts {
+                        cap,
+                        buses: vec![(bus, DeviceClass::Wan)],
+                    },
                 );
             });
             net.transfer_opts(
                 &[wan],
                 1_000_000,
-                &XferOpts { cap, buses: vec![(bus, DeviceClass::Wan)] },
+                &XferOpts {
+                    cap,
+                    buses: vec![(bus, DeviceClass::Wan)],
+                },
             );
             h.join_unwrap();
             ic_h.join_unwrap();
             rt.now() - t0
         });
         // 8 Mbit at the penalized 4 Mb/s = 2 s (vs 1 s unpenalized).
+        assert!((secs(elapsed) - 2.0).abs() < 1e-3, "{elapsed}");
+    }
+
+    #[test]
+    fn late_wan_stream_joining_contended_bus_is_penalized_too() {
+        // Two WAN streams trigger contention under MPI traffic; a third
+        // stream arriving afterwards must also be contended on arrival —
+        // the trigger re-fires for every arrival while the condition holds.
+        let elapsed = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let wan = net.add_link("wan", Bw::mbps(100.0), Dur::ZERO);
+            let ic = net.add_link("myrinet", Bw::gbps(2.0), Dur::ZERO);
+            let bus = net.add_bus(BusSpec {
+                penalty: 0.5,
+                min_wan_streams: 2,
+            });
+            let cap = Some(Bw::mbps(4.0));
+            let net_ic = net.clone();
+            let ic_h = spawn(&rt, "mpi-traffic", move || {
+                net_ic.transfer_opts(
+                    &[ic],
+                    2_000_000_000,
+                    &XferOpts {
+                        cap: None,
+                        buses: vec![(bus, DeviceClass::Interconnect)],
+                    },
+                );
+            });
+            // Two long-lived WAN streams establish contention.
+            let mut hs = Vec::new();
+            for i in 0..2 {
+                let net2 = net.clone();
+                hs.push(spawn(&rt, &format!("wan{i}"), move || {
+                    net2.transfer_opts(
+                        &[wan],
+                        1_000_000,
+                        &XferOpts {
+                            cap,
+                            buses: vec![(bus, DeviceClass::Wan)],
+                        },
+                    );
+                }));
+            }
+            // Third stream arrives later; measure its own transfer time.
+            let rt2 = rt.clone();
+            rt2.sleep(Dur::from_millis(100));
+            let t0 = rt.now();
+            net.transfer_opts(
+                &[wan],
+                500_000,
+                &XferOpts {
+                    cap,
+                    buses: vec![(bus, DeviceClass::Wan)],
+                },
+            );
+            let elapsed = rt.now() - t0;
+            for h in hs {
+                h.join_unwrap();
+            }
+            ic_h.join_unwrap();
+            elapsed
+        });
+        // 4 Mbit at the penalized 2 Mb/s = 2 s (vs 1 s unpenalized).
         assert!((secs(elapsed) - 2.0).abs() < 1e-3, "{elapsed}");
     }
 
@@ -727,11 +1320,273 @@ mod tests {
             }
             let elapsed = rt.now() - t0;
             let bits = net.link_bits_moved(l);
-            ((elapsed, (bits - total as f64 * 8.0).abs() < 10.0), )
+            ((elapsed, (bits - total as f64 * 8.0).abs() < 10.0),)
         })
         .0;
         // total = 50k * (1+..+20) = 10.5 MB = 84 Mbit over 80 Mb/s = 1.05 s
         assert!(ok, "byte conservation violated");
         assert!((secs(elapsed) - 1.05).abs() < 1e-4, "{elapsed}");
+    }
+
+    #[test]
+    fn batch_mode_runs_the_same_workload() {
+        // The reference engine stays fully functional behind the mode flag.
+        let elapsed = simulate(|rt| {
+            let net = Network::new_with_mode(rt.clone(), AllocMode::Batch);
+            assert_eq!(net.alloc_mode(), AllocMode::Batch);
+            let l = net.add_link("lan", Bw::mbps(8.0), Dur::ZERO);
+            let t0 = rt.now();
+            let net2 = net.clone();
+            let h = spawn(&rt, "peer", move || {
+                net2.transfer(&[l], 1_000_000, None);
+            });
+            net.transfer(&[l], 1_000_000, None);
+            h.join_unwrap();
+            rt.now() - t0
+        });
+        assert!((secs(elapsed) - 2.0).abs() < 1e-6, "{elapsed}");
+    }
+
+    #[test]
+    fn both_modes_produce_identical_virtual_times() {
+        // The same concurrent workload, run once per engine, must finish at
+        // the same virtual instants (allocation is behaviourally identical).
+        let run = |mode: AllocMode| {
+            simulate(move |rt| {
+                let net = Network::new_with_mode(rt.clone(), mode);
+                let shared = net.add_link("shared", Bw::mbps(80.0), Dur::ZERO);
+                let side = net.add_link("side", Bw::mbps(10.0), Dur::ZERO);
+                let t0 = rt.now();
+                let mut hs = Vec::new();
+                for i in 1..=8u64 {
+                    let net2 = net.clone();
+                    let rt2 = rt.clone();
+                    hs.push(spawn(&rt, &format!("s{i}"), move || {
+                        rt2.sleep(Dur::from_millis(i * 13));
+                        let cap = if i % 2 == 0 {
+                            Some(Bw::mbps(6.0))
+                        } else {
+                            None
+                        };
+                        net2.transfer(&[shared], 400_000 + i * 37_000, cap);
+                    }));
+                }
+                for i in 1..=4u64 {
+                    let net2 = net.clone();
+                    let rt2 = rt.clone();
+                    hs.push(spawn(&rt, &format!("d{i}"), move || {
+                        rt2.sleep(Dur::from_millis(i * 29));
+                        net2.transfer(&[side], 200_000 + i * 11_000, None);
+                    }));
+                }
+                let mut ends = Vec::new();
+                for h in hs {
+                    h.join_unwrap();
+                }
+                ends.push((rt.now() - t0).as_nanos());
+                (ends, net.link_bits_moved(shared), net.link_bits_moved(side))
+            })
+        };
+        let (ends_b, sb, db) = run(AllocMode::Batch);
+        let (ends_i, si, di) = run(AllocMode::Incremental);
+        for (a, b) in ends_b.iter().zip(&ends_i) {
+            let diff = a.abs_diff(*b);
+            assert!(diff <= 8, "virtual end times diverged: {a} vs {b}");
+        }
+        assert!((sb - si).abs() <= 1e-6 * sb.max(1.0), "{sb} vs {si}");
+        assert!((db - di).abs() <= 1e-6 * db.max(1.0), "{db} vs {di}");
+    }
+
+    #[test]
+    fn stats_show_component_scoped_work() {
+        // Two disjoint components: events on one must not settle the other.
+        let stats = simulate(|rt| {
+            let net = Network::new_with_mode(rt.clone(), AllocMode::Incremental);
+            let a = net.add_link("a", Bw::mbps(8.0), Dur::ZERO);
+            let b = net.add_link("b", Bw::mbps(8.0), Dur::ZERO);
+            let net_b = net.clone();
+            let h = spawn(&rt, "other-component", move || {
+                net_b.transfer(&[b], 2_000_000, None);
+            });
+            // Several short flows on `a` while `b`'s long flow is active.
+            for _ in 0..5 {
+                net.transfer(&[a], 100_000, None);
+            }
+            h.join_unwrap();
+            net.stats()
+        });
+        assert!(stats.recomputes >= 12, "{stats:?}"); // 6 flows × start+stop
+        assert!(
+            stats.settles_skipped > 0,
+            "disjoint component was settled: {stats:?}"
+        );
+        // Components here are single flows: mean touched size stays tiny.
+        assert!(stats.flows_touched <= 2 * stats.recomputes, "{stats:?}");
+    }
+
+    #[test]
+    fn batch_mode_reports_stats_without_skips() {
+        let stats = simulate(|rt| {
+            let net = Network::new_with_mode(rt.clone(), AllocMode::Batch);
+            let a = net.add_link("a", Bw::mbps(8.0), Dur::ZERO);
+            net.transfer(&[a], 100_000, None);
+            net.transfer(&[a], 100_000, None);
+            net.stats()
+        });
+        assert_eq!(stats.recomputes, 4);
+        assert_eq!(stats.settles_skipped, 0);
+        assert!(stats.signals >= 2, "{stats:?}");
+    }
+
+    mod differential {
+        use super::super::replay::Harness;
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One randomized trace event.
+        #[derive(Clone, Debug)]
+        enum Op {
+            Start {
+                links: Vec<usize>,
+                units: f64,
+                cap: Option<f64>,
+                wan_bus: bool,
+                ic_bus: bool,
+            },
+            Finish(usize),
+            Tick(u64),
+        }
+
+        fn apply(
+            h: &mut Harness,
+            links: &[LinkId],
+            buses: &[BusId],
+            ops: &[Op],
+        ) -> Vec<Vec<Option<f64>>> {
+            let mut live: Vec<usize> = Vec::new();
+            let mut snapshots = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Start {
+                        links: ls,
+                        units,
+                        cap,
+                        wan_bus,
+                        ic_bus,
+                    } => {
+                        let path: Vec<LinkId> = ls.iter().map(|&i| links[i]).collect();
+                        let mut tags = Vec::new();
+                        if *wan_bus {
+                            tags.push((buses[ls[0] % buses.len()], DeviceClass::Wan));
+                        }
+                        if *ic_bus {
+                            tags.push((buses[ls[0] % buses.len()], DeviceClass::Interconnect));
+                        }
+                        live.push(h.start(&path, *units, *cap, &tags));
+                    }
+                    Op::Finish(k) => {
+                        if !live.is_empty() {
+                            let slot = live.remove(k % live.len());
+                            h.finish(slot);
+                        }
+                    }
+                    Op::Tick(ns) => h.tick(Dur::from_nanos(*ns)),
+                }
+                snapshots.push(h.rates_by_slot());
+            }
+            // Drain everything so bits_moved comparisons cover whole flows.
+            for slot in live {
+                h.finish(slot);
+            }
+            snapshots.push(h.rates_by_slot());
+            snapshots
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            /// Replaying the same ≥200-event random trace (arrivals with
+            /// multi-link paths, caps and bus tags, departures, clock
+            /// advances) through both engines yields identical rates after
+            /// every event and identical per-link traffic totals.
+            #[test]
+            fn incremental_matches_batch(
+                seeds in proptest::collection::vec(
+                    (
+                        0u64..3,                    // op selector bias
+                        proptest::collection::vec(0usize..8, 1..4), // path seed
+                        1_000.0f64..5e7,            // units
+                        proptest::option::of(1e4f64..1e7), // cap
+                        any::<u8>(),                // bus tagging + finish pick
+                        1u64..40_000_000,           // tick ns
+                    ),
+                    200..260
+                ),
+            ) {
+                let caps_mbps = [80.0, 8.0, 100.0, 1000.0, 40.0, 16.0, 250.0, 4.0];
+                let mut ops = Vec::with_capacity(seeds.len());
+                for (sel, pseed, units, cap, tag, tick) in &seeds {
+                    let op = match sel {
+                        0 => {
+                            let mut ls: Vec<usize> = pseed.clone();
+                            ls.sort_unstable();
+                            ls.dedup();
+                            Op::Start {
+                                links: ls,
+                                units: *units,
+                                cap: *cap,
+                                wan_bus: tag & 1 != 0,
+                                ic_bus: tag & 2 != 0,
+                            }
+                        }
+                        1 => Op::Finish(*tag as usize),
+                        _ => Op::Tick(*tick),
+                    };
+                    ops.push(op);
+                }
+                let build = |mode: AllocMode| {
+                    let h = Harness::new(mode);
+                    let links: Vec<LinkId> = caps_mbps
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| h.add_link(&format!("l{i}"), Bw::mbps(c)))
+                        .collect();
+                    let buses: Vec<BusId> = (0..3).map(|_| h.add_bus(BusSpec::default())).collect();
+                    (h, links, buses)
+                };
+                let (mut hb, lb, bb) = build(AllocMode::Batch);
+                let (mut hi, li, bi) = build(AllocMode::Incremental);
+                let snaps_b = apply(&mut hb, &lb, &bb, &ops);
+                let snaps_i = apply(&mut hi, &li, &bi, &ops);
+                prop_assert_eq!(snaps_b.len(), snaps_i.len());
+                for (step, (sb, si)) in snaps_b.iter().zip(&snaps_i).enumerate() {
+                    prop_assert_eq!(sb.len(), si.len(), "slot count at step {}", step);
+                    for (slot, (rb, ri)) in sb.iter().zip(si).enumerate() {
+                        match (rb, ri) {
+                            (None, None) => {}
+                            (Some(a), Some(b)) => prop_assert_eq!(
+                                a.to_bits(), b.to_bits(),
+                                "rate diverged at step {} slot {}: {} vs {}",
+                                step, slot, a, b
+                            ),
+                            _ => prop_assert!(false, "occupancy diverged at step {step} slot {slot}"),
+                        }
+                    }
+                }
+                let moved_b = hb.bits_moved();
+                let moved_i = hi.bits_moved();
+                for (l, (a, b)) in moved_b.iter().zip(&moved_i).enumerate() {
+                    prop_assert!(
+                        (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+                        "link {} bits diverged: {} vs {}", l, a, b
+                    );
+                }
+                prop_assert_eq!(
+                    hb.network().completed_flows(),
+                    hi.network().completed_flows()
+                );
+                let st = hi.stats();
+                prop_assert_eq!(st.recomputes, hb.stats().recomputes);
+            }
+        }
     }
 }

@@ -114,10 +114,11 @@ impl EventApi for RealEvent {
     }
 
     fn wait_timeout(&self, d: Dur) -> Wake {
-        let deadline = Instant::now() + std::time::Duration::from_nanos(d.as_nanos().min(
-            // Cap so `Instant + Duration` cannot overflow on any platform.
-            60 * 60 * 24 * 365 * 1_000_000_000,
-        ));
+        let deadline = Instant::now()
+            + std::time::Duration::from_nanos(d.as_nanos().min(
+                // Cap so `Instant + Duration` cannot overflow on any platform.
+                60 * 60 * 24 * 365 * 1_000_000_000,
+            ));
         let mut g = self.inner.lock();
         let gen0 = g.broadcast_gen;
         g.waiters += 1;

@@ -121,6 +121,7 @@ struct EngineState {
     poison_cause: String,
     clock_advances: u64,
     max_actors: usize,
+    timers_armed: u64,
 }
 
 struct Engine {
@@ -158,12 +159,7 @@ impl Engine {
     fn advance_locked(&self, st: &mut EngineState) {
         while st.runnable == 0 && !st.actors.is_empty() {
             // Drop timers whose waiters were already woken by a signal.
-            while st
-                .timers
-                .peek()
-                .map(|e| e.slot.is_woken())
-                .unwrap_or(false)
-            {
+            while st.timers.peek().map(|e| e.slot.is_woken()).unwrap_or(false) {
                 st.timers.pop();
             }
             let Some(first) = st.timers.peek() else {
@@ -269,6 +265,7 @@ impl Engine {
     fn push_timer_locked(&self, st: &mut EngineState, at: u64, slot: Arc<WaitSlot>) {
         let seq = st.next_seq;
         st.next_seq += 1;
+        st.timers_armed += 1;
         st.timers.push(TimerEntry { at, seq, slot });
     }
 
@@ -293,6 +290,9 @@ pub struct SimStats {
     pub clock_advances: u64,
     /// The largest number of concurrently registered actors.
     pub max_actors: usize,
+    /// Timers armed over the run (sleeps plus timed waits); a proxy for how
+    /// often actors re-armed completion timers after rate changes.
+    pub timers_armed: u64,
 }
 
 /// The virtual-time [`Runtime`]. See the module docs for the model.
@@ -362,6 +362,7 @@ impl SimRuntime {
         SimStats {
             clock_advances: st.clock_advances,
             max_actors: st.max_actors,
+            timers_armed: st.timers_armed,
         }
     }
 }
@@ -529,7 +530,8 @@ impl EventApi for SimEvent {
             let at = st.now.saturating_add(d.as_nanos());
             self.eng.push_timer_locked(&mut st, at, slot.clone());
         }
-        self.eng.block_locked(&mut st, &slot, "event wait (timeout)")
+        self.eng
+            .block_locked(&mut st, &slot, "event wait (timeout)")
     }
 
     fn signal(&self) {
@@ -806,6 +808,8 @@ mod tests {
         let s = sim.stats();
         assert!(s.clock_advances >= 2);
         assert!(s.max_actors >= 2);
+        // Two sleeps arm two timers (timed waits would count here too).
+        assert!(s.timers_armed >= 2, "{}", s.timers_armed);
     }
 
     #[test]

@@ -448,7 +448,9 @@ mod tests {
                 got.push(ch.recv().unwrap());
             }
             got.sort_unstable();
-            let mut want: Vec<u64> = (0..4).flat_map(|p| (0..25).map(move |i| p * 100 + i)).collect();
+            let mut want: Vec<u64> = (0..4)
+                .flat_map(|p| (0..25).map(move |i| p * 100 + i))
+                .collect();
             want.sort_unstable();
             assert_eq!(got, want);
             for h in hs {

@@ -31,7 +31,7 @@ fn chaotic_actor_mix_always_drains() {
                 hs.push(spawn(&rt, &format!("prod{w}"), move || {
                     let mut rng = StdRng::seed_from_u64(seed * 100 + w);
                     for i in 0..msgs_per_worker {
-                        rt2.sleep(Dur::from_micros(rng.gen_range(0..50)));
+                        rt2.sleep(Dur::from_micros(rng.gen_range(0u64..50)));
                         ch2.send(w * 1000 + i).unwrap();
                         s3.fetch_add(1, Ordering::SeqCst);
                     }
@@ -46,7 +46,7 @@ fn chaotic_actor_mix_always_drains() {
                     let mut rng = StdRng::seed_from_u64(seed * 77 + c);
                     while ch2.recv().is_ok() {
                         r3.fetch_add(1, Ordering::SeqCst);
-                        rt2.sleep(Dur::from_micros(rng.gen_range(0..20)));
+                        rt2.sleep(Dur::from_micros(rng.gen_range(0u64..20)));
                     }
                 }));
             }
@@ -85,7 +85,7 @@ fn randomized_barrier_phases_keep_actors_aligned() {
                 hs.push(spawn(&rt, &format!("a{a}"), move || {
                     let mut rng = StdRng::seed_from_u64(seed * 31 + a as u64);
                     for ph in 0..phases {
-                        rt2.sleep(Dur::from_micros(rng.gen_range(1..200)));
+                        rt2.sleep(Dur::from_micros(rng.gen_range(1u64..200)));
                         {
                             let mut g = pc.lock();
                             g[ph] += 1;
@@ -114,7 +114,7 @@ fn virtual_time_is_monotonic_under_chaos() {
                 let mut rng = StdRng::seed_from_u64(a);
                 let mut last = rt2.now();
                 for _ in 0..100 {
-                    let d = Dur::from_nanos(rng.gen_range(0..10_000));
+                    let d = Dur::from_nanos(rng.gen_range(0u64..10_000));
                     rt2.sleep(d);
                     let now = rt2.now();
                     assert!(now >= last + d, "slept less than requested");

@@ -1,0 +1,276 @@
+//! Offline shim for the `criterion` API subset used by this workspace.
+//!
+//! Build environments without crates.io access cannot fetch criterion, so
+//! this crate provides the same bench-authoring surface (`criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`]) with a plain warmup-then-measure timer instead of the full
+//! statistical machinery. Each benchmark prints one line:
+//! `group/id  time: <ns>/iter  (throughput if set)`.
+//!
+//! Command-line filters work the way cargo passes them: any extra non-flag
+//! argument restricts runs to benchmark names containing it as a substring.
+
+use std::time::{Duration, Instant};
+
+/// Re-export point so `criterion::black_box` resolves.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` form.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form (used inside a named group).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure under test; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measure: Duration,
+    warmup: Duration,
+}
+
+impl Bencher {
+    /// Run `body` repeatedly: a short warmup, then timed batches until the
+    /// measurement window fills. Records mean wall time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warmup and batch-size calibration.
+        let mut batch: u64 = 1;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            let dt = t.elapsed();
+            if warm_start.elapsed() >= self.warmup {
+                // Aim each measured batch at ~1/10 of the window.
+                if dt < self.measure / 50 {
+                    batch = batch.saturating_mul(2);
+                }
+                break;
+            }
+            if dt < self.measure / 50 {
+                batch = batch.saturating_mul(2);
+            }
+        }
+
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while spent < self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            spent += t.elapsed();
+            iters += batch;
+        }
+        self.iters_done = iters;
+        self.elapsed = spent;
+    }
+}
+
+/// Entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    filter: Option<String>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            filter,
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let name = id.to_string();
+        run_one(self, &name, None, f);
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and optional throughput.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.c, &full, self.throughput, f);
+        self
+    }
+
+    /// Benchmark a closure receiving `input` under `group/id`.
+    pub fn bench_with_input<I: std::fmt::Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.c, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream finalises reports here; we need nothing).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    full_name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if !c.matches(full_name) {
+        return;
+    }
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        measure: c.measure,
+        warmup: c.warmup,
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("{full_name:<40} (no iterations recorded)");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    let extra = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gib = n as f64 / ns_per_iter; // bytes/ns == GB/s
+            format!("  thrpt: {gib:.3} GB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let meps = n as f64 / ns_per_iter * 1e3; // elem/ns -> Melem/s
+            format!("  thrpt: {meps:.3} Melem/s")
+        }
+        None => String::new(),
+    };
+    println!("{full_name:<40} time: {ns_per_iter:>12.1} ns/iter{extra}");
+}
+
+/// Collect benchmark functions into a group runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measure: Duration::from_millis(20),
+            warmup: Duration::from_millis(5),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+        });
+        assert!(b.iters_done > 0);
+        assert!(b.elapsed >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

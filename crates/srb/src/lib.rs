@@ -187,7 +187,10 @@ mod tests {
             (one, rt.now() - t1)
         });
         let speedup = one.as_secs_f64() / two.as_secs_f64();
-        assert!(speedup > 1.8, "two-stream speedup only {speedup:.2}x ({one} vs {two})");
+        assert!(
+            speedup > 1.8,
+            "two-stream speedup only {speedup:.2}x ({one} vs {two})"
+        );
     }
 
     #[test]
@@ -199,10 +202,7 @@ mod tests {
                 conn.open("/missing", OpenFlags::Read),
                 Err(SrbError::NotFound(_))
             ));
-            assert!(matches!(
-                conn.read(99, 0, 10),
-                Err(SrbError::BadFd(99))
-            ));
+            assert!(matches!(conn.read(99, 0, 10), Err(SrbError::BadFd(99))));
             let fd = conn.open("/ro", OpenFlags::CreateRw).unwrap();
             conn.close_fd(fd).unwrap();
             assert!(matches!(

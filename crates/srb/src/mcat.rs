@@ -212,11 +212,9 @@ impl Mcat {
             .collections
             .iter()
             .chain(g.objects.keys())
-            .filter(|p|
-
-                p.starts_with(&prefix)
-                    && p.len() > prefix.len()
-                    && !p[prefix.len()..].contains('/'))
+            .filter(|p| {
+                p.starts_with(&prefix) && p.len() > prefix.len() && !p[prefix.len()..].contains('/')
+            })
             .cloned()
             .collect();
         out.sort();

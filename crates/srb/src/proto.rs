@@ -118,7 +118,10 @@ mod tests {
             payload: Payload::sized(1_000_000),
         };
         assert_eq!(r.wire_size(), WIRE_HDR + 1_000_000);
-        assert_eq!(Request::Open("/x".into(), OpenFlags::Read).wire_size(), WIRE_HDR);
+        assert_eq!(
+            Request::Open("/x".into(), OpenFlags::Read).wire_size(),
+            WIRE_HDR
+        );
     }
 
     #[test]

@@ -313,7 +313,8 @@ impl SrbServer {
             self.rt.sleep(self.cfg.op_overhead);
             let last = matches!(req, Request::Disconnect);
             let resp = self.handle(req, &fds, &mut next_fd);
-            self.net.send_message_opts(&rev, resp.wire_size(), &rev_opts);
+            self.net
+                .send_message_opts(&rev, resp.wire_size(), &rev_opts);
             if resp_ch.send(resp).is_err() {
                 break;
             }

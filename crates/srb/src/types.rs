@@ -60,9 +60,7 @@ impl Payload {
         let start = start.min(total);
         let len = len.min(total - start);
         match self {
-            Payload::Bytes(b) => {
-                Payload::bytes(b[start as usize..(start + len) as usize].to_vec())
-            }
+            Payload::Bytes(b) => Payload::bytes(b[start as usize..(start + len) as usize].to_vec()),
             Payload::Sized(_) => Payload::sized(len),
         }
     }

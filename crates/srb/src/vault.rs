@@ -82,7 +82,9 @@ impl Vault {
 
     /// Allocate an empty object slot.
     pub fn create(&self, obj_id: u64) {
-        self.objects.lock().insert(obj_id, ObjData::Real(Vec::new()));
+        self.objects
+            .lock()
+            .insert(obj_id, ObjData::Real(Vec::new()));
     }
 
     /// Write `payload` at `offset`, charging disk time. Returns the new
@@ -137,12 +139,10 @@ impl Vault {
         let data = {
             let g = self.objects.lock();
             match g.get(&obj_id) {
-                None | Some(ObjData::Real(_)) => {
-                    g.get(&obj_id).and_then(|o| match o {
-                        ObjData::Real(v) => Some(v.clone()),
-                        ObjData::Sparse(_) => None,
-                    })
-                }
+                None | Some(ObjData::Real(_)) => g.get(&obj_id).and_then(|o| match o {
+                    ObjData::Real(v) => Some(v.clone()),
+                    ObjData::Sparse(_) => None,
+                }),
                 Some(ObjData::Sparse(_)) => {
                     return Err(crate::types::SrbError::InvalidArg(
                         "cannot checksum a sparse (size-only) object".into(),

@@ -13,8 +13,6 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use semplar::{File, OpenFlags, Payload, Request};
 use semplar_clusters::{ClusterSpec, Testbed};
 use semplar_mpi::run_world;
@@ -24,7 +22,7 @@ const TAG_REQ: u32 = 21;
 const TAG_QRY: u32 = 22;
 
 /// Benchmark parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct BlastParams {
     /// Queries in the master's file (paper: 2,425 over a 256 MB database).
     pub queries: usize,
@@ -44,8 +42,8 @@ impl BlastParams {
     /// `compute_io_ratio` (the paper states 4:1 for MPI-BLAST).
     pub fn calibrated(spec: &ClusterSpec, queries: usize, compute_io_ratio: f64) -> BlastParams {
         let result_bytes: u64 = 50 * 1024;
-        let io_est = spec.rtt().as_secs_f64()
-            + result_bytes as f64 * 8.0 / spec.send_cap().as_bps();
+        let io_est =
+            spec.rtt().as_secs_f64() + result_bytes as f64 * 8.0 / spec.send_cap().as_bps();
         BlastParams {
             queries,
             query_bytes: 420,
@@ -65,7 +63,7 @@ impl BlastParams {
 }
 
 /// Timing from one MPI-BLAST run.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct BlastReport {
     /// Processes (1 master + n−1 workers).
     pub procs: usize,
@@ -224,8 +222,7 @@ impl SeqIndex {
                     }
                     // Extend right.
                     let mut r = k;
-                    while di + r < db.len() && qi + r < query.len() && db[di + r] == query[qi + r]
-                    {
+                    while di + r < db.len() && qi + r < query.len() && db[di + r] == query[qi + r] {
                         r += 1;
                     }
                     hits.push(Hit {

@@ -22,8 +22,6 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use semplar::{File, OpenFlags, Payload, Request};
 use semplar_clusters::Testbed;
 use semplar_mpi::run_world;
@@ -31,7 +29,7 @@ use semplar_mpi::run_world;
 const TAG_CELLS: u32 = 31;
 
 /// Write strategy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CollectiveMode {
     /// Independent strided writes from every rank.
     Naive,
@@ -43,7 +41,7 @@ pub enum CollectiveMode {
 }
 
 /// Workload parameters: an `rows × procs` cell matrix, column-distributed.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CollectiveParams {
     /// Matrix rows (= cells per rank).
     pub rows: usize,
@@ -79,7 +77,7 @@ impl Default for CollectiveParams {
 }
 
 /// Timing from one collective write.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CollectiveReport {
     /// Processes.
     pub procs: usize,
@@ -139,7 +137,8 @@ pub fn run_collective(tb: &Arc<Testbed>, n: usize, params: CollectiveParams) -> 
                     // Column r: one small write per row, each a full RTT away.
                     for row in 0..p.rows {
                         let off = row as u64 * row_bytes + r.rank as u64 * p.cell_bytes;
-                        f.write_at(off, &Payload::sized(p.cell_bytes)).expect("cell");
+                        f.write_at(off, &Payload::sized(p.cell_bytes))
+                            .expect("cell");
                         remote_ops += 1;
                     }
                 }
@@ -179,8 +178,7 @@ pub fn run_collective(tb: &Arc<Testbed>, n: usize, params: CollectiveParams) -> 
                                     }
                                     pending = Some(f.iwrite_at(off, Payload::sized(len)));
                                 } else {
-                                    f.write_at(off, &Payload::sized(len))
-                                        .expect("band write");
+                                    f.write_at(off, &Payload::sized(len)).expect("band write");
                                 }
                                 remote_ops += 1;
                             }

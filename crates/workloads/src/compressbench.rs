@@ -19,16 +19,14 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
-use semplar::{AdioFs, ComputeModel, CompressedWriter, File, OpenFlags, Payload};
+use semplar::{AdioFs, CompressedWriter, ComputeModel, File, OpenFlags, Payload};
 use semplar_clusters::Testbed;
 use semplar_compress::Lzf;
 use semplar_mpi::run_world;
 use semplar_netsim::Bw;
 
 /// Which arm of the experiment to run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CompressMode {
     /// Blocking uncompressed writes (the figure's "Synchronous Write").
     SyncUncompressed,
@@ -40,7 +38,7 @@ pub enum CompressMode {
 }
 
 /// Workload parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CompressParams {
     /// Bytes of source text per node (paper: 100 MB).
     pub file_bytes: u64,
@@ -66,7 +64,7 @@ impl Default for CompressParams {
 }
 
 /// Results from one run.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CompressReport {
     /// Nodes writing concurrently.
     pub procs: usize,
@@ -96,13 +94,8 @@ pub fn run_compress(
     let results = run_world(tb.topo.clone(), n, move |r| {
         let rt = r.runtime().clone();
         let fs = tb2.srbfs(r.rank);
-        let f = File::open(
-            &rt,
-            &fs,
-            &format!("/est-{}", r.rank),
-            OpenFlags::CreateRw,
-        )
-        .expect("open remote EST file");
+        let f = File::open(&rt, &fs, &format!("/est-{}", r.rank), OpenFlags::CreateRw)
+            .expect("open remote EST file");
 
         r.barrier();
         let t0 = rt.now();

@@ -52,7 +52,7 @@ pub fn generate(bytes: usize, seed: u64, cfg: &EstGenConfig) -> Vec<u8> {
             // Poly-A tail on the way out of the previous record shows up at
             // the start of some reads instead; emit one occasionally.
             if rng.gen_bool(0.3) {
-                let n = rng.gen_range(8..30);
+                let n = rng.gen_range(8usize..30);
                 out.extend(std::iter::repeat_n(b'A', n));
                 since_header += n;
             }
@@ -65,16 +65,13 @@ pub fn generate(bytes: usize, seed: u64, cfg: &EstGenConfig) -> Vec<u8> {
             let start = out.len() - len - rng.gen_range(0..window.max(1));
             let chunk: Vec<u8> = out[start..start + len].to_vec();
             // Strip newlines/header chars from the copied region.
-            let clean: Vec<u8> = chunk
-                .into_iter()
-                .filter(|b| BASES.contains(b))
-                .collect();
+            let clean: Vec<u8> = chunk.into_iter().filter(|b| BASES.contains(b)).collect();
             since_header += clean.len();
             out.extend(clean);
         } else {
             // Fresh random sequence with a mildly skewed base composition
             // (GC content ~42%, like human ESTs).
-            let len = rng.gen_range(20..120);
+            let len = rng.gen_range(20usize..120);
             for _ in 0..len {
                 let r: f64 = rng.gen();
                 let b = if r < 0.29 {
@@ -120,10 +117,7 @@ mod tests {
         assert!(data.starts_with(b">EST"));
         let headers = data.iter().filter(|&&b| b == b'>').count();
         assert!(headers > 20, "only {headers} records in 50 KB");
-        let acgt = data
-            .iter()
-            .filter(|b| BASES.contains(b))
-            .count();
+        let acgt = data.iter().filter(|b| BASES.contains(b)).count();
         assert!(
             acgt as f64 / data.len() as f64 > 0.85,
             "not mostly nucleotides"

@@ -23,15 +23,13 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use semplar::{OpenFlags, Payload, StripeUnit, StripedFile};
 use semplar_clusters::Testbed;
 use semplar_mpi::{run_world, Rank};
 use semplar_runtime::Dur;
 
 /// Which I/O structure the solver uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LaplaceMode {
     /// Blocking checkpoint writes.
     Sync,
@@ -44,7 +42,7 @@ pub enum LaplaceMode {
 }
 
 /// Solver parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct LaplaceParams {
     /// Grid dimension (paper: 3001).
     pub grid: usize,
@@ -76,7 +74,7 @@ impl Default for LaplaceParams {
 }
 
 /// Timing from one solver run.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct LaplaceReport {
     /// Processes.
     pub procs: usize,

@@ -10,14 +10,12 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use semplar::{OpenFlags, Payload, StripeUnit, StripedFile};
 use semplar_clusters::Testbed;
 use semplar_mpi::run_world;
 
 /// Parameters for one perf run.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PerfParams {
     /// Array size written and read per process (paper: 32 MB).
     pub bytes_per_proc: u64,
@@ -35,7 +33,7 @@ impl Default for PerfParams {
 }
 
 /// Aggregate bandwidths from one perf run.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PerfReport {
     /// Processes.
     pub procs: usize,

@@ -103,6 +103,9 @@ fn main() {
         text.lines().filter(|l| l.contains("best:")).count() >= queries.len() * 9 / 10,
         "most queries should align back to the database"
     );
-    println!("first report lines:\n{}", text.lines().take(4).collect::<Vec<_>>().join("\n"));
+    println!(
+        "first report lines:\n{}",
+        text.lines().take(4).collect::<Vec<_>>().join("\n")
+    );
     out.close().expect("close");
 }

@@ -50,7 +50,9 @@ fn main() {
     let codec = Lzf;
 
     let t0 = rt.now();
-    let mut writer = CompressedWriter::new(&file, &codec).block_size(1 << 20).depth(2);
+    let mut writer = CompressedWriter::new(&file, &codec)
+        .block_size(1 << 20)
+        .depth(2);
     writer.write(&data).expect("pipeline write");
     let (bytes_in, bytes_out) = writer.finish().expect("flush");
     let elapsed = rt.now() - t0;
@@ -65,7 +67,11 @@ fn main() {
 
     let t0 = rt.now();
     let back = CompressedReader::read_all(&file, &codec).expect("read back");
-    println!("read + decompressed {} bytes in {}", back.len(), rt.now() - t0);
+    println!(
+        "read + decompressed {} bytes in {}",
+        back.len(),
+        rt.now() - t0
+    );
     assert_eq!(back, data, "round trip corrupted the sequences");
     println!("sequences verified byte-for-byte");
 

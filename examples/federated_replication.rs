@@ -60,7 +60,9 @@ fn main() {
             )
             .expect("connect");
         conn.mk_coll("/experiments").expect("mk_coll");
-        let fd = conn.open("/experiments/run42.dat", OpenFlags::CreateRw).expect("open");
+        let fd = conn
+            .open("/experiments/run42.dat", OpenFlags::CreateRw)
+            .expect("open");
         let t0 = rt.now();
         conn.write(fd, 0, Payload::sized(20 << 20)).expect("write");
         conn.close_fd(fd).expect("close fd");
@@ -68,7 +70,8 @@ fn main() {
 
         // ...then replicates it to the mirror in one call.
         let t0 = rt.now();
-        conn.replicate("/experiments/run42.dat", "ncsa").expect("replicate");
+        conn.replicate("/experiments/run42.dat", "ncsa")
+            .expect("replicate");
         println!("replicated to the mirror in {} (virtual)", rt.now() - t0);
 
         let st = conn.stat("/experiments/run42.dat").expect("stat");
@@ -89,7 +92,9 @@ fn main() {
                 "xyz",
             )
             .expect("connect mirror");
-        let mst = mconn.stat("/experiments/run42.dat").expect("stat on mirror");
+        let mst = mconn
+            .stat("/experiments/run42.dat")
+            .expect("stat on mirror");
         println!("mirror holds {} bytes at the same logical path", mst.size);
         assert_eq!(mst.size, 20 << 20);
         mconn.disconnect().expect("disconnect mirror");

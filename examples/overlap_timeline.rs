@@ -48,7 +48,8 @@ fn run(rt: Arc<dyn semplar_repro::runtime::Runtime>, asynchronous: bool) -> (Str
             pending = Some((f.iwrite_at(0, Payload::sized(CHECKPOINT)), rt.now()));
         } else {
             tr.record("io", "W", || {
-                f.write_at(0, &Payload::sized(CHECKPOINT)).expect("checkpoint");
+                f.write_at(0, &Payload::sized(CHECKPOINT))
+                    .expect("checkpoint");
             });
         }
     }

@@ -48,13 +48,16 @@ fn main() {
     let admin = fs.admin_conn().expect("admin connection");
     admin.mk_coll("/demo").expect("create collection");
     admin.disconnect().expect("disconnect admin");
-    let file = File::open(&rt, &fs, "/demo/results.dat", OpenFlags::CreateRw)
-        .expect("open remote file");
+    let file =
+        File::open(&rt, &fs, "/demo/results.dat", OpenFlags::CreateRw).expect("open remote file");
     let data: Vec<u8> = (0..2 << 20).map(|i| (i % 251) as u8).collect();
 
     let t0 = rt.now();
     let request = file.iwrite_at(0, Payload::bytes(data.clone())); // MPI_File_iwrite
-    println!("write issued at {} — computing while it flies...", rt.now() - t0);
+    println!(
+        "write issued at {} — computing while it flies...",
+        rt.now() - t0
+    );
 
     // Simulated computation phase (the paper's loop body).
     let mut acc = 0u64;

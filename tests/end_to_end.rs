@@ -2,19 +2,19 @@
 //! with real data integrity checks and timing invariants, on the paper's
 //! cluster models.
 
-
 use semplar_repro::clusters::{das2, osc, tg_ncsa, Testbed};
 use semplar_repro::compress::Lzf;
 use semplar_repro::mpi::run_world;
 use semplar_repro::runtime::{simulate, Dur};
 use semplar_repro::semplar::{
-    CompressedReader, CompressedWriter, File, OpenFlags, Payload, Request, StripeUnit,
-    StripedFile,
+    CompressedReader, CompressedWriter, File, OpenFlags, Payload, Request, StripeUnit, StripedFile,
 };
 use semplar_repro::workloads::estgen::{generate, EstGenConfig};
 
 fn pattern(n: usize, seed: u8) -> Vec<u8> {
-    (0..n).map(|i| ((i as u64 * 31 + seed as u64) % 251) as u8).collect()
+    (0..n)
+        .map(|i| ((i as u64 * 31 + seed as u64) % 251) as u8)
+        .collect()
 }
 
 #[test]
@@ -27,7 +27,8 @@ fn data_survives_the_transoceanic_path_on_every_cluster() {
             let f = File::open(&rt, &fs, "/e2e", OpenFlags::CreateRw).unwrap();
             let data = pattern(200_000, 7);
             // Mixed sync/async writes at overlapping offsets.
-            f.write_at(0, &Payload::bytes(data[..100_000].to_vec())).unwrap();
+            f.write_at(0, &Payload::bytes(data[..100_000].to_vec()))
+                .unwrap();
             f.iwrite_at(100_000, Payload::bytes(data[100_000..].to_vec()))
                 .wait()
                 .unwrap();
@@ -52,7 +53,8 @@ fn concurrent_ranks_write_disjoint_regions_of_a_shared_file() {
             let fs = tb2.srbfs(r.rank);
             let f = File::open(&rt, &fs, "/shared", OpenFlags::CreateRw).unwrap();
             let mine = pattern(10_000, r.rank as u8);
-            f.write_at(r.rank as u64 * 10_000, &Payload::bytes(mine)).unwrap();
+            f.write_at(r.rank as u64 * 10_000, &Payload::bytes(mine))
+                .unwrap();
             r.barrier();
             // Every rank reads every region back and checks it.
             for other in 0..r.size {
@@ -183,7 +185,10 @@ fn per_op_round_trips_show_up_in_virtual_time() {
         elapsed >= Dur::from_millis(20 * 182),
         "20 sync ops cannot beat 20 RTTs: {elapsed}"
     );
-    assert!(elapsed < Dur::from_millis(20 * 182 + 600), "overhead blew up: {elapsed}");
+    assert!(
+        elapsed < Dur::from_millis(20 * 182 + 600),
+        "overhead blew up: {elapsed}"
+    );
 }
 
 #[test]
@@ -191,10 +196,10 @@ fn staging_moves_data_between_backends_with_checksums() {
     // GASS-style: stage a remote SRB file onto a local PVFS-like store,
     // crunch it locally, stage results back out, and verify with a
     // server-side checksum instead of re-reading over the WAN.
+    use semplar_repro::netsim::Bw;
     use semplar_repro::semplar::{stage_in, stage_out, PvfsLike};
     use semplar_repro::srb::adler32;
     use semplar_repro::srb::vault::DiskSpec;
-    use semplar_repro::netsim::Bw;
 
     simulate(|rt| {
         let tb = Testbed::new(rt.clone(), tg_ncsa(), 1);
@@ -251,8 +256,8 @@ fn virtual_time_is_deterministic_across_runs() {
             let times = run_world(tb.topo.clone(), 4, move |r| {
                 let rt = r.runtime().clone();
                 let fs = tb2.srbfs(r.rank);
-                let f = File::open(&rt, &fs, &format!("/d{}", r.rank), OpenFlags::CreateRw)
-                    .unwrap();
+                let f =
+                    File::open(&rt, &fs, &format!("/d{}", r.rank), OpenFlags::CreateRw).unwrap();
                 r.barrier();
                 let t0 = rt.now();
                 f.write_at(0, &Payload::sized(1 << 20)).unwrap();

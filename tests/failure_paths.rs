@@ -12,8 +12,13 @@ fn open_missing_file_fails_fast() {
     simulate(|rt| {
         let tb = Testbed::new(rt.clone(), das2(), 1);
         let fs = tb.srbfs(0);
-        let err = File::open(&rt, &fs, "/ghost", OpenFlags::Read).err().expect("must fail");
-        assert!(matches!(err, IoError::Srb(SrbError::NotFound(_))), "{err:?}");
+        let err = File::open(&rt, &fs, "/ghost", OpenFlags::Read)
+            .err()
+            .expect("must fail");
+        assert!(
+            matches!(err, IoError::Srb(SrbError::NotFound(_))),
+            "{err:?}"
+        );
     });
 }
 
@@ -23,7 +28,11 @@ fn bad_credentials_are_rejected_at_connect() {
         let tb = Testbed::new(rt.clone(), das2(), 1);
         let mut route = tb.route(0);
         route.send_cap = None;
-        let err = tb.server.connect(route, "intruder", "guess").err().expect("must fail");
+        let err = tb
+            .server
+            .connect(route, "intruder", "guess")
+            .err()
+            .expect("must fail");
         assert_eq!(err, SrbError::PermissionDenied);
     });
 }
@@ -39,7 +48,10 @@ fn write_errors_propagate_through_the_async_engine() {
         f.close().unwrap();
         let f = File::open(&rt, &fs, "/ro", OpenFlags::Read).unwrap();
         let err = f.iwrite_at(0, Payload::sized(1)).wait().unwrap_err();
-        assert!(matches!(err, IoError::Srb(SrbError::InvalidArg(_))), "{err:?}");
+        assert!(
+            matches!(err, IoError::Srb(SrbError::InvalidArg(_))),
+            "{err:?}"
+        );
         // The engine survives the error and keeps serving.
         let ok = f.iread_at(0, 10).wait().unwrap();
         assert_eq!(ok.bytes, 10);

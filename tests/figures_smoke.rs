@@ -27,10 +27,16 @@ fn fig6_async_blast_wins_everywhere_and_scaling_holds() {
             out
         });
         for (n, s, a) in &rows {
-            assert!(a < s, "{name} n={n}: async {a:.1}s should beat sync {s:.1}s");
+            assert!(
+                a < s,
+                "{name} n={n}: async {a:.1}s should beat sync {s:.1}s"
+            );
         }
         // Execution time decreases with more processors (paper Fig. 6).
-        assert!(rows[2].1 < rows[0].1 && rows[2].2 < rows[0].2, "{name}: no scaling");
+        assert!(
+            rows[2].1 < rows[0].1 && rows[2].2 < rows[0].2,
+            "{name}: no scaling"
+        );
     }
 }
 
@@ -50,11 +56,20 @@ fn fig7_ordering_on_das2_two_streams_beat_overlap_beats_sync() {
             run_laplace(&tb, 2, p(LaplaceMode::Sync, 2)).exec_secs,
         )
     });
-    assert!(over1 < sync1, "overlap must beat sync ({over1:.1} vs {sync1:.1})");
-    assert!(two < over1, "two streams must beat overlap ({two:.1} vs {over1:.1})");
+    assert!(
+        over1 < sync1,
+        "overlap must beat sync ({over1:.1} vs {sync1:.1})"
+    );
+    assert!(
+        two < over1,
+        "two streams must beat overlap ({two:.1} vs {over1:.1})"
+    );
     // The overlap gain is bounded by the 9:1 I/O:compute ratio.
     let gain = 1.0 - over1 / sync1;
-    assert!(gain < 0.15, "overlap gain {gain:.2} too large for a 9:1 ratio");
+    assert!(
+        gain < 0.15,
+        "overlap gain {gain:.2} too large for a 9:1 ratio"
+    );
 }
 
 #[test]
@@ -93,14 +108,34 @@ fn fig8_read_gains_exceed_write_gains() {
         let name = spec.name;
         let (w1, r1, w2, r2) = simulate(move |rt| {
             let tb = Testbed::new(rt, spec, 4);
-            let one = run_perf(&tb, 4, PerfParams { bytes_per_proc: 4 << 20, streams: 1 });
-            let two = run_perf(&tb, 4, PerfParams { bytes_per_proc: 4 << 20, streams: 2 });
+            let one = run_perf(
+                &tb,
+                4,
+                PerfParams {
+                    bytes_per_proc: 4 << 20,
+                    streams: 1,
+                },
+            );
+            let two = run_perf(
+                &tb,
+                4,
+                PerfParams {
+                    bytes_per_proc: 4 << 20,
+                    streams: 2,
+                },
+            );
             (one.write_mbps, one.read_mbps, two.write_mbps, two.read_mbps)
         });
-        assert!(r1 < w1, "{name}: reads should be slower than writes on one stream");
+        assert!(
+            r1 < w1,
+            "{name}: reads should be slower than writes on one stream"
+        );
         let wgain = w2 / w1;
         let rgain = r2 / r1;
-        assert!(wgain > 1.5 && rgain > 1.5, "{name}: gains too small {wgain:.2}/{rgain:.2}");
+        assert!(
+            wgain > 1.5 && rgain > 1.5,
+            "{name}: gains too small {wgain:.2}/{rgain:.2}"
+        );
     }
 }
 
