@@ -16,11 +16,13 @@
 
 #![warn(missing_docs)]
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use semplar::{OpenFlags, Payload, RecoveryStats, SrbFs, StripeUnit, StripedFile};
 use semplar_clusters::{ClusterSpec, Testbed};
+use semplar_faults::{FaultPlan, FaultStats};
 use semplar_netsim::NetStats;
-use semplar_runtime::SimRuntime;
+use semplar_runtime::{spawn, Dur, SimRuntime};
 use semplar_workloads::{
     estgen, run_blast, run_compress, run_laplace, run_perf, BlastParams, CompressMode,
     CompressParams, LaplaceMode, LaplaceParams, PerfParams,
@@ -385,4 +387,149 @@ pub fn avg_bw_gain(pairs: impl Iterator<Item = (f64, f64)>) -> f64 {
     } else {
         imp_sum / base_sum - 1.0
     }
+}
+
+/// Result of the availability experiment: the §7 ROMIO `perf` write
+/// pattern (every node writes its file section over striped connections),
+/// run once fault-free and once under a seeded [`FaultPlan`].
+#[derive(Clone, Debug)]
+pub struct AvailabilityReport {
+    /// Processes (one per node).
+    pub procs: usize,
+    /// TCP streams per node.
+    pub streams: usize,
+    /// Bytes written per process.
+    pub bytes_per_proc: u64,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Aggregate write bandwidth without faults, Mb/s.
+    pub baseline_mbps: f64,
+    /// Aggregate write bandwidth under the fault plan, Mb/s.
+    pub faulted_mbps: f64,
+    /// What the injector actually did (virtual-time ledger + counters).
+    pub faults: FaultStats,
+    /// Client-side recovery counters summed over every mount.
+    pub recovery: RecoveryStats,
+}
+
+impl AvailabilityReport {
+    /// Goodput under faults as a fraction of the fault-free baseline.
+    pub fn goodput_fraction(&self) -> f64 {
+        self.faulted_mbps / self.baseline_mbps
+    }
+
+    /// Mean virtual time from a failure to the completion of the affected
+    /// operation.
+    pub fn mean_recovery_secs(&self) -> f64 {
+        if self.recovery.recovered_ops == 0 {
+            0.0
+        } else {
+            self.recovery.recovery_time.as_secs_f64() / self.recovery.recovered_ops as f64
+        }
+    }
+}
+
+/// One `perf`-style shared-file write: every rank writes `bytes` at its own
+/// section of `path` over `streams` connections. Returns the aggregate
+/// bandwidth and the summed recovery counters.
+fn availability_write(
+    tb: &Arc<Testbed>,
+    procs: usize,
+    bytes: u64,
+    streams: usize,
+    path: String,
+) -> (f64, RecoveryStats) {
+    let rt = tb.rt.clone();
+    let mounts: Arc<Mutex<Vec<Arc<SrbFs>>>> = Arc::new(Mutex::new(Vec::new()));
+    let t0 = rt.now();
+    let handles: Vec<_> = (0..procs)
+        .map(|rank| {
+            let tb = tb.clone();
+            let mounts = mounts.clone();
+            let path = path.clone();
+            spawn(&rt, &format!("avail/rank{rank}"), move || {
+                let fs = tb.srbfs(rank);
+                mounts.lock().unwrap().push(fs.clone());
+                let f = StripedFile::open(
+                    &tb.rt,
+                    &fs,
+                    &path,
+                    OpenFlags::CreateRw,
+                    streams,
+                    StripeUnit::Even,
+                )
+                .expect("open availability file");
+                f.write_at(rank as u64 * bytes, Payload::sized(bytes))
+                    .expect("availability write");
+                f.close().expect("close availability file");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join_unwrap();
+    }
+    let elapsed = (rt.now() - t0).as_secs_f64();
+    let mut rec = RecoveryStats::default();
+    for fs in mounts.lock().unwrap().iter() {
+        let s = fs.recovery_stats();
+        rec.disconnects += s.disconnects;
+        rec.reconnects += s.reconnects;
+        rec.recovered_ops += s.recovered_ops;
+        rec.recovery_time += s.recovery_time;
+    }
+    (procs as f64 * bytes as f64 * 8.0 / elapsed / 1e6, rec)
+}
+
+/// Availability under injected faults: run the `perf` write fault-free,
+/// then again under a seeded plan mixing WAN link flaps, a vault stall, a
+/// connection reset at `reset_at`, and a server crash + restart at
+/// `crash_at`. Entirely in virtual time, so the report is bit-identical
+/// for the same seed.
+///
+/// The wire model charges a send's full transfer time to the sender, so a
+/// client pushing a large payload into a severed connection only observes
+/// the cut when that charge completes — place `crash_at` after the
+/// post-reset reconnects to hit live connections again.
+pub fn fig_availability(
+    spec: ClusterSpec,
+    procs: usize,
+    bytes_per_proc: u64,
+    streams: usize,
+    seed: u64,
+    reset_at: Dur,
+    crash_at: Dur,
+) -> AvailabilityReport {
+    with_testbed(spec, procs, move |tb| {
+        let (baseline_mbps, _) = availability_write(
+            &tb,
+            procs,
+            bytes_per_proc,
+            streams,
+            "/avail-baseline".into(),
+        );
+
+        let (wan_up, _) = tb.wan_links();
+        let plan = FaultPlan::new(seed)
+            .link_flap(wan_up, Dur::from_millis(500), Dur::from_millis(300), 2)
+            .vault_stall_at(Dur::from_millis(900), 4 << 20)
+            .conn_reset_at(reset_at)
+            .server_crash_at(crash_at, Dur::from_millis(400));
+        let inj = plan.inject(&tb.rt, &tb.net, &tb.server);
+        let (faulted_mbps, recovery) =
+            availability_write(&tb, procs, bytes_per_proc, streams, "/avail-faulted".into());
+        while !inj.done() {
+            tb.rt.sleep(Dur::from_millis(50));
+        }
+
+        AvailabilityReport {
+            procs,
+            streams,
+            bytes_per_proc,
+            seed,
+            baseline_mbps,
+            faulted_mbps,
+            faults: inj.stats(),
+            recovery,
+        }
+    })
 }

@@ -310,6 +310,19 @@ impl Testbed {
         self.nodes
     }
 
+    /// The shared WAN links, `(uplink direction, downlink direction)` —
+    /// every node's traffic to the server crosses these, which makes them
+    /// the natural target for link-fault injection.
+    pub fn wan_links(&self) -> (LinkId, LinkId) {
+        (self.wan_up, self.wan_down)
+    }
+
+    /// The campus-uplink links, `(up, down)` — the hop between the cluster
+    /// and the WAN, a second fault-injection target.
+    pub fn uplink_links(&self) -> (LinkId, LinkId) {
+        (self.uplink_up, self.uplink_down)
+    }
+
     /// The WAN route from `node` to the server (per-stream caps included).
     pub fn route(&self, node: usize) -> ConnRoute {
         ConnRoute {

@@ -33,6 +33,14 @@ pub enum IoError {
     Closed,
 }
 
+impl IoError {
+    /// True for failures a retry can plausibly cure — delegates to
+    /// [`SrbError::is_transient`]; every local error is permanent.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, IoError::Srb(e) if e.is_transient())
+    }
+}
+
 impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

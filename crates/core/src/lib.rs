@@ -49,7 +49,7 @@ pub use pointer::{FilePointer, Whence};
 pub use prefetch::Prefetcher;
 pub use pvfs::PvfsLike;
 pub use request::{Request, Status};
-pub use srbfs::{SrbFs, SrbFsConfig};
+pub use srbfs::{RecoveryStats, SrbFs, SrbFsConfig, RESUME_BLOCK};
 pub use staging::{stage_in, stage_out, STAGE_BLOCK};
 pub use stripe::{MultiRequest, StripeUnit, StripedFile};
 

@@ -7,12 +7,28 @@
 //! multi-stream optimization exploits: opening the same file twice yields
 //! two independent connections that the asynchronous interface can drive
 //! simultaneously.
+//!
+//! SRBFS files also carry the recovery machinery for WAN faults: a
+//! transient failure (connection reset, server crash) triggers a
+//! [`RetryPolicy`]-paced reconnect, after which a failed write resumes in
+//! 1 MiB blocks from the last acknowledged byte of the operation rather
+//! than replaying the whole transfer. The fault-free path is untouched —
+//! a clean run issues exactly the same requests as before.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use semplar_srb::{ConnRoute, OpenFlags, Payload, SrbConn, SrbServer};
+use parking_lot::Mutex;
+
+use semplar_runtime::{Dur, Time};
+use semplar_srb::{adler32, ConnRoute, OpenFlags, Payload, RetryPolicy, SrbConn, SrbServer};
 
 use crate::adio::{AdioFile, AdioFs, IoError, IoResult};
+
+/// Resume granularity after a reconnect: the remainder of an interrupted
+/// write is re-issued in blocks of this size, so a second cut loses at
+/// most one unacknowledged block (matches the replication chunk).
+pub const RESUME_BLOCK: u64 = 1 << 20;
 
 /// Connection settings for one client node.
 #[derive(Clone)]
@@ -25,16 +41,52 @@ pub struct SrbFsConfig {
     pub password: String,
 }
 
+/// Client-side recovery counters, all in virtual time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Transient failures observed on file operations.
+    pub disconnects: u64,
+    /// Successful reconnects (a new TCP stream + reopen).
+    pub reconnects: u64,
+    /// Operations that failed transiently and eventually completed.
+    pub recovered_ops: u64,
+    /// Total virtual time spent inside recovery (first failure of an
+    /// operation to its eventual completion), summed over operations.
+    pub recovery_time: Dur,
+}
+
 /// The SRB-backed filesystem for one client node.
 pub struct SrbFs {
     server: Arc<SrbServer>,
     cfg: SrbFsConfig,
+    retry: RetryPolicy,
+    recovery: Mutex<RecoveryStats>,
+    next_file: AtomicU64,
 }
 
 impl SrbFs {
-    /// An SRBFS mount that will connect to `server` using `cfg`.
+    /// An SRBFS mount that will connect to `server` using `cfg`, with the
+    /// default [`RetryPolicy`].
     pub fn new(server: Arc<SrbServer>, cfg: SrbFsConfig) -> Arc<SrbFs> {
-        Arc::new(SrbFs { server, cfg })
+        SrbFs::with_retry(server, cfg, RetryPolicy::default())
+    }
+
+    /// An SRBFS mount with an explicit retry policy
+    /// ([`RetryPolicy::none`] disables recovery).
+    pub fn with_retry(server: Arc<SrbServer>, cfg: SrbFsConfig, retry: RetryPolicy) -> Arc<SrbFs> {
+        Arc::new(SrbFs {
+            server,
+            cfg,
+            retry,
+            recovery: Mutex::new(RecoveryStats::default()),
+            next_file: AtomicU64::new(0),
+        })
+    }
+
+    /// Snapshot of the recovery counters across every file opened through
+    /// this mount.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery.lock().clone()
     }
 
     /// One-off administrative connection (collection setup, cleanup).
@@ -46,9 +98,14 @@ impl SrbFs {
 }
 
 struct SrbFile {
+    fs: Arc<SrbFs>,
     conn: SrbConn,
     fd: u32,
     path: String,
+    flags: OpenFlags,
+    /// Jitter key: distinct per open, stable per file, so two streams on
+    /// the same path do not retry in lock-step.
+    key: u64,
     closed: bool,
 }
 
@@ -58,10 +115,14 @@ impl AdioFs for Arc<SrbFs> {
             self.server
                 .connect(self.cfg.route.clone(), &self.cfg.user, &self.cfg.password)?;
         let fd = conn.open(path, flags)?;
+        let file_id = self.next_file.fetch_add(1, Ordering::Relaxed);
         Ok(Box::new(SrbFile {
+            fs: self.clone(),
             conn,
             fd,
             path: path.to_string(),
+            flags,
+            key: (adler32(path.as_bytes()) as u64) | (file_id << 32),
             closed: false,
         }))
     }
@@ -78,26 +139,116 @@ impl AdioFs for Arc<SrbFs> {
     }
 }
 
+impl SrbFile {
+    /// Replace the dead connection with a fresh one and reopen the file.
+    /// Fails transiently while the server is still down, so callers run it
+    /// under the retry policy.
+    fn reconnect(&mut self) -> Result<(), semplar_srb::SrbError> {
+        let conn = self.fs.server.connect(
+            self.fs.cfg.route.clone(),
+            &self.fs.cfg.user,
+            &self.fs.cfg.password,
+        )?;
+        let fd = conn.open(&self.path, self.flags)?;
+        self.conn = conn;
+        self.fd = fd;
+        self.fs.recovery.lock().reconnects += 1;
+        Ok(())
+    }
+
+    /// Account one completed recovery episode that began at `t0`.
+    fn note_recovered(&self, t0: Time) {
+        let now = self.conn.runtime().now();
+        let mut st = self.fs.recovery.lock();
+        st.recovered_ops += 1;
+        st.recovery_time += now - t0;
+    }
+}
+
 impl AdioFile for SrbFile {
     fn read_at(&mut self, offset: u64, len: u64) -> IoResult<Payload> {
         if self.closed {
             return Err(IoError::Closed);
         }
-        Ok(self.conn.read(self.fd, offset, len)?)
+        match self.conn.read(self.fd, offset, len) {
+            Ok(p) => Ok(p),
+            Err(e) if !e.is_transient() => Err(e.into()),
+            Err(_) => {
+                // Recovery: reconnect under the policy and re-issue the
+                // read (reads are idempotent, no resume state needed).
+                let rt = self.conn.runtime().clone();
+                let t0 = rt.now();
+                self.fs.recovery.lock().disconnects += 1;
+                let policy = self.fs.retry.clone();
+                let key = self.key;
+                let out = policy.run(&rt, key, |_| {
+                    self.reconnect()?;
+                    self.conn.read(self.fd, offset, len)
+                })?;
+                self.note_recovered(t0);
+                Ok(out)
+            }
+        }
     }
 
     fn write_at(&mut self, offset: u64, data: &Payload) -> IoResult<u64> {
         if self.closed {
             return Err(IoError::Closed);
         }
-        Ok(self.conn.write(self.fd, offset, data.clone())?)
+        // Fault-free path: one request for the whole payload, exactly as
+        // without recovery.
+        match self.conn.write(self.fd, offset, data.clone()) {
+            Ok(n) => return Ok(n),
+            Err(e) if !e.is_transient() => return Err(e.into()),
+            Err(_) => {}
+        }
+        // Recovery: reconnect, then re-issue the remainder in
+        // [`RESUME_BLOCK`] pieces. `done` survives further cuts, so each
+        // retry resumes at the last acknowledged block instead of offset
+        // zero. Blocks are idempotent (same bytes, same offsets), which
+        // keeps an unacknowledged-but-applied server write harmless.
+        let rt = self.conn.runtime().clone();
+        let t0 = rt.now();
+        self.fs.recovery.lock().disconnects += 1;
+        let total = data.len();
+        let mut done: u64 = 0;
+        let policy = self.fs.retry.clone();
+        let key = self.key;
+        policy.run(&rt, key, |_| {
+            self.reconnect()?;
+            while done < total {
+                let blk = RESUME_BLOCK.min(total - done);
+                self.conn
+                    .write(self.fd, offset + done, data.slice(done, blk))?;
+                done += blk;
+            }
+            Ok(())
+        })?;
+        self.note_recovered(t0);
+        Ok(total)
     }
 
     fn size(&mut self) -> IoResult<u64> {
         if self.closed {
             return Err(IoError::Closed);
         }
-        Ok(self.conn.stat(&self.path)?.size)
+        match self.conn.stat(&self.path) {
+            Ok(s) => Ok(s.size),
+            Err(e) if !e.is_transient() => Err(e.into()),
+            Err(_) => {
+                let rt = self.conn.runtime().clone();
+                let t0 = rt.now();
+                self.fs.recovery.lock().disconnects += 1;
+                let policy = self.fs.retry.clone();
+                let key = self.key;
+                let s = policy.run(&rt, key, |_| {
+                    self.reconnect()?;
+                    self.conn.stat(&self.path)
+                })?;
+                self.note_recovered(t0);
+                Ok(s.size)
+            }
+        }
     }
 
     fn close(&mut self) -> IoResult<()> {
@@ -105,8 +256,17 @@ impl AdioFile for SrbFile {
             return Ok(());
         }
         self.closed = true;
-        self.conn.close_fd(self.fd)?;
-        self.conn.disconnect()?;
-        Ok(())
+        // A connection already severed by a fault has nothing left to
+        // close; the server-side descriptors died with its handler.
+        match self.conn.close_fd(self.fd) {
+            Ok(()) => {}
+            Err(e) if e.is_transient() => return Ok(()),
+            Err(e) => return Err(e.into()),
+        }
+        match self.conn.disconnect() {
+            Ok(()) => Ok(()),
+            Err(e) if e.is_transient() => Ok(()),
+            Err(e) => Err(e.into()),
+        }
     }
 }

@@ -15,7 +15,10 @@
 //! [`StripedFile::write_at`] is internally asynchronous — it fans the blocks
 //! out as `iwrite`s and waits for all of them.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use semplar_runtime::Runtime;
 use semplar_srb::{OpenFlags, Payload};
@@ -38,8 +41,13 @@ pub enum StripeUnit {
 
 /// A file striped across several independent connections.
 pub struct StripedFile {
-    files: Vec<File>,
+    files: Arc<Vec<File>>,
     unit: StripeUnit,
+    path: String,
+    /// Read fallback: a federated replica of the file on another server
+    /// (or any other [`AdioFs`]), consulted when every stream has failed.
+    replica: Arc<Mutex<Option<Box<dyn AdioFs>>>>,
+    failovers: Arc<AtomicU64>,
 }
 
 /// A bundle of per-block requests from one striped operation.
@@ -47,20 +55,79 @@ pub struct MultiRequest {
     reqs: Vec<Request>,
     /// (stream, offset, len) per block, for reassembling striped reads.
     layout: Vec<(usize, u64, u64)>,
+    /// Base offset of the whole operation and, for writes, its payload —
+    /// enough to re-issue any block on another stream.
+    base: u64,
+    data: Option<Payload>,
+    files: Arc<Vec<File>>,
+    path: String,
+    replica: Arc<Mutex<Option<Box<dyn AdioFs>>>>,
+    failovers: Arc<AtomicU64>,
 }
 
 impl MultiRequest {
     /// Wait for every block (`MPIO_Waitall`); returns total bytes moved.
     pub fn wait(&self) -> IoResult<u64> {
-        let statuses = Request::wait_all(&self.reqs)?;
-        Ok(statuses.iter().map(|s| s.bytes).sum())
+        Ok(self.settle()?.iter().map(|s| s.bytes).sum())
     }
 
     /// Wait for every block of a striped read and reassemble the payload in
     /// offset order.
     pub fn wait_read(&self) -> IoResult<Payload> {
-        let statuses = Request::wait_all(&self.reqs)?;
-        assemble_read(&self.layout, &statuses)
+        assemble_read(&self.layout, &self.settle()?)
+    }
+
+    /// Wait for all blocks, then give transiently failed ones a second life
+    /// on a surviving stream (or, for reads, the replica).
+    fn settle(&self) -> IoResult<Vec<Status>> {
+        let raw: Vec<IoResult<Status>> = self.reqs.iter().map(|r| r.wait()).collect();
+        let mut out = Vec::with_capacity(raw.len());
+        for (i, r) in raw.into_iter().enumerate() {
+            let st = match r {
+                Ok(s) => s,
+                Err(e) if e.is_transient() => self.failover_block(i, e)?,
+                Err(e) => return Err(e),
+            };
+            out.push(st);
+        }
+        Ok(out)
+    }
+
+    /// Re-issue block `i` synchronously on the other streams in
+    /// deterministic order; reads additionally fall back to the replica.
+    /// Returns `orig` when nobody can serve the block.
+    fn failover_block(&self, i: usize, orig: crate::adio::IoError) -> IoResult<Status> {
+        let (stream, off, len) = self.layout[i];
+        let n = self.files.len();
+        for k in 1..n {
+            let s = (stream + k) % n;
+            let r = match &self.data {
+                Some(d) => self.files[s]
+                    .write_at(off, &d.slice(off - self.base, len))
+                    .map(|bytes| Status { bytes, data: None }),
+                None => self.files[s].read_at(off, len).map(|p| Status {
+                    bytes: p.len(),
+                    data: Some(p),
+                }),
+            };
+            if let Ok(st) = r {
+                self.failovers.fetch_add(1, Ordering::Relaxed);
+                return Ok(st);
+            }
+        }
+        if self.data.is_none() {
+            if let Some(fs) = self.replica.lock().as_ref() {
+                let mut f = fs.open(&self.path, OpenFlags::Read)?;
+                let p = f.read_at(off, len)?;
+                let _ = f.close();
+                self.failovers.fetch_add(1, Ordering::Relaxed);
+                return Ok(Status {
+                    bytes: p.len(),
+                    data: Some(p),
+                });
+            }
+        }
+        Err(orig)
     }
 
     /// `true` once all blocks have completed (`MPIO_Testall`).
@@ -136,12 +203,32 @@ impl StripedFile {
                 },
             )?);
         }
-        Ok(StripedFile { files, unit })
+        Ok(StripedFile {
+            files: Arc::new(files),
+            unit,
+            path: path.to_string(),
+            replica: Arc::new(Mutex::new(None)),
+            failovers: Arc::new(AtomicU64::new(0)),
+        })
     }
 
     /// Number of streams.
     pub fn streams(&self) -> usize {
         self.files.len()
+    }
+
+    /// Register a read fallback: a federated replica of this file reachable
+    /// through `fs` (typically an [`crate::SrbFs`] mount of a peer server
+    /// the object was replicated to). Blocks that fail on every stream are
+    /// served from here instead of surfacing the error.
+    pub fn set_replica(&self, fs: Box<dyn AdioFs>) {
+        *self.replica.lock() = Some(fs);
+    }
+
+    /// Blocks that were re-issued on another stream or the replica after
+    /// their home stream failed.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
     }
 
     /// Split `[offset, offset+len)` into stripe blocks: (stream, off, len).
@@ -186,7 +273,16 @@ impl StripedFile {
                 self.files[stream].iwrite_at(off, data.slice(off - offset, len))
             })
             .collect();
-        MultiRequest { reqs, layout }
+        MultiRequest {
+            reqs,
+            layout,
+            base: offset,
+            data: Some(data),
+            files: self.files.clone(),
+            path: self.path.clone(),
+            replica: self.replica.clone(),
+            failovers: self.failovers.clone(),
+        }
     }
 
     /// Asynchronous striped read.
@@ -196,7 +292,16 @@ impl StripedFile {
             .iter()
             .map(|&(stream, off, len)| self.files[stream].iread_at(off, len))
             .collect();
-        MultiRequest { reqs, layout }
+        MultiRequest {
+            reqs,
+            layout,
+            base: offset,
+            data: None,
+            files: self.files.clone(),
+            path: self.path.clone(),
+            replica: self.replica.clone(),
+            failovers: self.failovers.clone(),
+        }
     }
 
     /// Blocking striped write (fan out + wait all).
@@ -227,7 +332,7 @@ impl StripedFile {
     /// Close every stream.
     pub fn close(&self) -> IoResult<()> {
         let mut first_err = None;
-        for f in &self.files {
+        for f in self.files.iter() {
             if let Err(e) = f.close() {
                 first_err = first_err.or(Some(e));
             }

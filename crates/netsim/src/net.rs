@@ -36,6 +36,8 @@ use crate::fair::{max_min_rates, FlowSpec, Workspace};
 pub struct Bw(pub f64);
 
 impl Bw {
+    /// No bandwidth at all (a downed link).
+    pub const ZERO: Bw = Bw(0.0);
     /// Bits per second.
     pub const fn bps(b: f64) -> Bw {
         Bw(b)
@@ -306,6 +308,32 @@ impl Network {
             wan: Vec::new(),
         });
         BusId(g.buses.len() - 1)
+    }
+
+    /// Change `link`'s capacity in place, rebalancing every affected flow.
+    ///
+    /// This is the fault-injection hook: a capacity of [`Bw::ZERO`] takes
+    /// the link down (flows crossing it stall on their rate event until
+    /// capacity returns — the solver hands zero-capacity links zero rates),
+    /// and a scaled capacity models degradation. Progress made so far is
+    /// settled at the old rates before the new capacity takes effect, in
+    /// both allocation engines, so the engines stay bit-identical.
+    pub fn set_link_capacity(&self, link: LinkId, cap: Bw) {
+        let mut g = self.inner.lock();
+        let now = self.rt.now();
+        if g.mode == AllocMode::Batch {
+            Self::settle_all(&mut g, now);
+        }
+        g.links[link.0].cap = cap.as_bps();
+        match g.mode {
+            AllocMode::Batch => Self::recompute_batch(&mut g),
+            AllocMode::Incremental => Self::recompute_incremental(&mut g, None, &[link.0], now),
+        }
+    }
+
+    /// Current capacity of `link`.
+    pub fn link_capacity(&self, link: LinkId) -> Bw {
+        Bw::bps(self.inner.lock().links[link.0].cap)
     }
 
     /// Sum of one-way latencies along `path`.
@@ -872,6 +900,22 @@ pub mod replay {
             )
         }
 
+        /// Change a link's capacity now (same as
+        /// [`Network::set_link_capacity`], against the replay clock).
+        pub fn set_capacity(&mut self, link: LinkId, cap: Bw) {
+            let mut g = self.net.inner.lock();
+            if g.mode == AllocMode::Batch {
+                Network::settle_all(&mut g, self.now);
+            }
+            g.links[link.0].cap = cap.as_bps();
+            match g.mode {
+                AllocMode::Batch => Network::recompute_batch(&mut g),
+                AllocMode::Incremental => {
+                    Network::recompute_incremental(&mut g, None, &[link.0], self.now)
+                }
+            }
+        }
+
         /// Settle and terminate the flow in `slot` now (regardless of how
         /// many bits it still had — a departure is a departure to the
         /// allocator).
@@ -954,6 +998,46 @@ mod tests {
         });
         // Two 1s-alone transfers sharing fairly: both finish at t=2s.
         assert!((secs(elapsed) - 2.0).abs() < 1e-6, "{elapsed}");
+    }
+
+    #[test]
+    fn link_down_stalls_flows_until_capacity_returns() {
+        let elapsed = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let l = net.add_link("wan", Bw::mbps(8.0), Dur::ZERO);
+            let net2 = net.clone();
+            let h = spawn(&rt, "xfer", move || {
+                net2.transfer(&[l], 1_000_000, None); // 1 s at 8 Mb/s
+            });
+            rt.sleep(Dur::from_millis(500));
+            net.set_link_capacity(l, Bw::ZERO);
+            assert_eq!(net.link_capacity(l).as_bps(), 0.0);
+            rt.sleep(Dur::from_secs(2));
+            net.set_link_capacity(l, Bw::mbps(8.0));
+            h.join_unwrap();
+            rt.now() - Time::ZERO
+        });
+        // 0.5 s of progress, a 2 s outage, then the remaining 0.5 s.
+        assert!((secs(elapsed) - 3.0).abs() < 1e-6, "{elapsed}");
+    }
+
+    #[test]
+    fn link_degrade_scales_completion_time() {
+        let elapsed = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let l = net.add_link("wan", Bw::mbps(8.0), Dur::ZERO);
+            let net2 = net.clone();
+            let h = spawn(&rt, "xfer", move || {
+                net2.transfer(&[l], 1_000_000, None);
+            });
+            // Halve the capacity halfway through: 0.5 s done, the other
+            // 4 Mbit now drains at 4 Mb/s in 1 s.
+            rt.sleep(Dur::from_millis(500));
+            net.set_link_capacity(l, Bw::mbps(4.0));
+            h.join_unwrap();
+            rt.now() - Time::ZERO
+        });
+        assert!((secs(elapsed) - 1.5).abs() < 1e-6, "{elapsed}");
     }
 
     #[test]
@@ -1455,6 +1539,10 @@ mod tests {
             },
             Finish(usize),
             Tick(u64),
+            SetCap {
+                link: usize,
+                bps: f64,
+            },
         }
 
         fn apply(
@@ -1491,6 +1579,9 @@ mod tests {
                         }
                     }
                     Op::Tick(ns) => h.tick(Dur::from_nanos(*ns)),
+                    Op::SetCap { link, bps } => {
+                        h.set_capacity(links[link % links.len()], Bw::bps(*bps));
+                    }
                 }
                 snapshots.push(h.rates_by_slot());
             }
@@ -1512,7 +1603,7 @@ mod tests {
             fn incremental_matches_batch(
                 seeds in proptest::collection::vec(
                     (
-                        0u64..3,                    // op selector bias
+                        0u64..4,                    // op selector bias
                         proptest::collection::vec(0usize..8, 1..4), // path seed
                         1_000.0f64..5e7,            // units
                         proptest::option::of(1e4f64..1e7), // cap
@@ -1539,7 +1630,13 @@ mod tests {
                             }
                         }
                         1 => Op::Finish(*tag as usize),
-                        _ => Op::Tick(*tick),
+                        2 => Op::Tick(*tick),
+                        // Capacity mutations, including full link-down
+                        // (bps 0.0), must keep the engines bit-identical.
+                        _ => Op::SetCap {
+                            link: pseed[0],
+                            bps: if tag & 4 != 0 { 0.0 } else { *units },
+                        },
                     };
                     ops.push(op);
                 }

@@ -8,6 +8,7 @@
 //! transfers require the asynchronous interface to make progress on both
 //! connections simultaneously.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use semplar_netsim::net::XferOpts;
@@ -28,6 +29,10 @@ pub struct SrbConn {
     req_ch: Channel<Request>,
     resp_ch: Channel<Response>,
     lock: RtMutex<()>,
+    /// Cumulative payload bytes the server has acknowledged on this
+    /// connection (successful reads + writes). Reported inside
+    /// [`SrbError::Disconnected`] so recovery can resume rather than replay.
+    acked: AtomicU64,
 }
 
 impl SrbConn {
@@ -48,6 +53,7 @@ impl SrbConn {
             req_ch,
             resp_ch,
             lock,
+            acked: AtomicU64::new(0),
         }
     }
 
@@ -56,10 +62,29 @@ impl SrbConn {
     /// disk, and the response transmission before replying.
     fn call(&self, req: Request) -> SrbResult<Response> {
         let _g = self.lock.lock();
+        let cut = |acked: &AtomicU64| SrbError::Disconnected {
+            acked: acked.load(Ordering::Relaxed),
+        };
         self.net
             .send_message_opts(&self.fwd, req.wire_size(), &self.fwd_opts);
-        self.req_ch.send(req).map_err(|_| SrbError::Disconnected)?;
-        self.resp_ch.recv().map_err(|_| SrbError::Disconnected)
+        self.req_ch.send(req).map_err(|_| cut(&self.acked))?;
+        let resp = self.resp_ch.recv().map_err(|_| cut(&self.acked))?;
+        match &resp {
+            Response::Written(n) => {
+                self.acked.fetch_add(*n, Ordering::Relaxed);
+            }
+            Response::Data(p) => {
+                self.acked.fetch_add(p.len(), Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        Ok(resp)
+    }
+
+    /// Cumulative payload bytes acknowledged by the server on this
+    /// connection so far (reads + writes that completed).
+    pub fn acked_bytes(&self) -> u64 {
+        self.acked.load(Ordering::Relaxed)
     }
 
     fn expect_ok(&self, req: Request) -> SrbResult<()> {

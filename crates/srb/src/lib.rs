@@ -23,12 +23,14 @@
 pub mod client;
 pub mod mcat;
 pub mod proto;
+pub mod retry;
 pub mod server;
 pub mod types;
 pub mod vault;
 
 pub use client::SrbConn;
 pub use mcat::Mcat;
+pub use retry::RetryPolicy;
 pub use server::{ConnRoute, ServerStats, SrbServer, SrbServerCfg};
 pub use types::{adler32, ObjStat, OpenFlags, Payload, SrbError, SrbResult};
 pub use vault::{DiskSpec, Vault};
@@ -215,7 +217,10 @@ mod tests {
                 Err(SrbError::InvalidArg(_))
             ));
             conn.disconnect().unwrap();
-            assert!(matches!(conn.stat("/ro"), Err(SrbError::Disconnected)));
+            assert!(matches!(
+                conn.stat("/ro"),
+                Err(SrbError::Disconnected { .. })
+            ));
         });
     }
 
@@ -407,6 +412,71 @@ mod tests {
             assert_eq!(st.bytes_written, 1000);
             assert_eq!(st.bytes_read, 400);
             assert!(st.requests >= 3);
+        });
+    }
+
+    #[test]
+    fn crash_severs_connections_and_restart_preserves_state() {
+        simulate(|rt| {
+            let (server, route) = setup(&rt);
+            let conn = server.connect(route.clone(), "alin", "pw").unwrap();
+            let fd = conn.open("/f", OpenFlags::CreateRw).unwrap();
+            conn.write(fd, 0, Payload::bytes(vec![7; 100])).unwrap();
+            assert_eq!(conn.acked_bytes(), 100);
+
+            assert_eq!(server.crash(), 1);
+            assert!(server.is_crashed());
+            // The live handle errors and reports how far it got.
+            assert_eq!(
+                conn.write(fd, 100, Payload::sized(10)).unwrap_err(),
+                SrbError::Disconnected { acked: 100 }
+            );
+            // New connections are refused while down, transiently.
+            let refused = server.connect(route.clone(), "alin", "pw").err().unwrap();
+            assert!(refused.is_transient(), "{refused}");
+
+            server.restart();
+            // MCAT and vault state survived the crash.
+            let conn2 = server.connect(route, "alin", "pw").unwrap();
+            let fd2 = conn2.open("/f", OpenFlags::Read).unwrap();
+            assert_eq!(
+                conn2.read(fd2, 0, 100).unwrap().data().unwrap(),
+                &[7u8; 100][..]
+            );
+            conn2.disconnect().unwrap();
+        });
+    }
+
+    #[test]
+    fn crash_mid_transfer_delivers_the_error_to_the_blocked_caller() {
+        simulate(|rt| {
+            let (server, route) = setup(&rt);
+            let conn = server.connect(route, "alin", "pw").unwrap();
+            let fd = conn.open("/big", OpenFlags::CreateRw).unwrap();
+            let s2 = server.clone();
+            let rt2 = rt.clone();
+            let h = spawn(&rt, "chaos", move || {
+                rt2.sleep(Dur::from_millis(1));
+                s2.crash();
+            });
+            // 64 MiB needs seconds on this link; the crash at 1 ms cuts it.
+            let err = conn.write(fd, 0, Payload::sized(64 << 20)).unwrap_err();
+            assert!(err.is_transient(), "{err}");
+            h.join_unwrap();
+        });
+    }
+
+    #[test]
+    fn connection_reset_cuts_streams_without_downing_the_server() {
+        simulate(|rt| {
+            let (server, route) = setup(&rt);
+            let conn = server.connect(route.clone(), "alin", "pw").unwrap();
+            assert_eq!(server.reset_all_connections(), 1);
+            assert!(conn.mk_coll("/x").unwrap_err().is_transient());
+            // The server itself is fine: new connections work at once.
+            let conn2 = server.connect(route, "alin", "pw").unwrap();
+            conn2.mk_coll("/y").unwrap();
+            conn2.disconnect().unwrap();
         });
     }
 }

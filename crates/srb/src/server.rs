@@ -9,7 +9,7 @@
 //! the server NICs (assigned round-robin at connect time, like IP-level
 //! load balancing across `orion`'s interfaces).
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -109,6 +109,9 @@ struct Peer {
     password: String,
 }
 
+/// Both directions of one live connection, as registered for fault injection.
+type ConnChannels = (Channel<Request>, Channel<Response>);
+
 /// The Storage Resource Broker server.
 pub struct SrbServer {
     rt: Arc<dyn Runtime>,
@@ -121,6 +124,11 @@ pub struct SrbServer {
     mcat: Arc<Mcat>,
     vault: Arc<Vault>,
     peers: Mutex<std::collections::HashMap<String, Peer>>,
+    /// Channels of every live connection, keyed by connection id, so a
+    /// crash or a per-connection reset can sever them from the outside.
+    live_conns: Mutex<std::collections::HashMap<u64, ConnChannels>>,
+    /// While set, the server refuses new connections (fault injection).
+    crashed: AtomicBool,
     connections: AtomicU64,
     requests: AtomicU64,
     bytes_written: AtomicU64,
@@ -149,6 +157,8 @@ impl SrbServer {
             mcat: Arc::new(Mcat::new()),
             vault,
             peers: Mutex::new(Default::default()),
+            live_conns: Mutex::new(Default::default()),
+            crashed: AtomicBool::new(false),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
@@ -159,6 +169,56 @@ impl SrbServer {
     /// The metadata catalog (for account setup and test assertions).
     pub fn mcat(&self) -> &Arc<Mcat> {
         &self.mcat
+    }
+
+    /// The storage vault (for fault injection and test assertions).
+    pub fn vault(&self) -> &Arc<Vault> {
+        &self.vault
+    }
+
+    /// Fault injection: crash the server. Every live connection is severed
+    /// — clients blocked on a response and clients issuing new requests get
+    /// [`SrbError::Disconnected`] — and [`SrbServer::connect`] refuses until
+    /// [`SrbServer::restart`]. MCAT and vault state survive (the paper's
+    /// server keeps its catalog in a database); only connection state is
+    /// lost. Returns the number of connections severed.
+    pub fn crash(&self) -> usize {
+        self.crashed.store(true, Ordering::SeqCst);
+        let conns: Vec<_> = self.live_conns.lock().drain().collect();
+        for (_, (req_ch, resp_ch)) in &conns {
+            req_ch.close();
+            resp_ch.close();
+        }
+        conns.len()
+    }
+
+    /// Fault injection: bring a crashed server back. Connections severed by
+    /// the crash stay dead — clients must reconnect — but all catalog and
+    /// vault state is exactly as the crash left it.
+    pub fn restart(&self) {
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// True while the server is down.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Connections currently registered with the server (established and
+    /// not yet severed or disconnected).
+    pub fn live_conn_count(&self) -> usize {
+        self.live_conns.lock().len()
+    }
+
+    /// Fault injection: sever every live connection (an RST on each TCP
+    /// stream) without taking the server down. Returns how many were cut.
+    pub fn reset_all_connections(&self) -> usize {
+        let conns: Vec<_> = self.live_conns.lock().drain().collect();
+        for (_, (req_ch, resp_ch)) in &conns {
+            req_ch.close();
+            resp_ch.close();
+        }
+        conns.len()
     }
 
     /// Register a federated peer this server can replicate objects to
@@ -252,6 +312,12 @@ impl SrbServer {
         user: &str,
         password: &str,
     ) -> SrbResult<SrbConn> {
+        // A crashed server refuses immediately (connection refused): no
+        // handshake time is charged, the caller's retry backoff paces the
+        // reconnect attempts.
+        if self.is_crashed() {
+            return Err(SrbError::Disconnected { acked: 0 });
+        }
         let nic = self.next_nic.fetch_add(1, Ordering::Relaxed) % self.cfg.nics.max(1);
         let mut fwd = route.fwd.clone();
         fwd.push(self.nic_in[nic]);
@@ -272,6 +338,9 @@ impl SrbServer {
         let conn_id = self.next_conn.fetch_add(1, Ordering::Relaxed);
         let req_ch: Channel<Request> = Channel::new(&self.rt);
         let resp_ch: Channel<Response> = Channel::new(&self.rt);
+        self.live_conns
+            .lock()
+            .insert(conn_id, (req_ch.clone(), resp_ch.clone()));
 
         let server = self.clone();
         let handler_req = req_ch.clone();
@@ -284,7 +353,7 @@ impl SrbServer {
         self.rt.spawn_daemon(
             &format!("{}/conn-{conn_id}", self.cfg.name),
             Box::new(move || {
-                server.serve_connection(handler_req, handler_resp, rev2, rev_opts);
+                server.serve_connection(conn_id, handler_req, handler_resp, rev2, rev_opts);
             }),
         );
 
@@ -300,6 +369,7 @@ impl SrbServer {
 
     fn serve_connection(
         &self,
+        conn_id: u64,
         req_ch: Channel<Request>,
         resp_ch: Channel<Response>,
         rev: Vec<LinkId>,
@@ -307,7 +377,8 @@ impl SrbServer {
     ) {
         let fds: Mutex<std::collections::HashMap<u32, FdEntry>> = Mutex::new(Default::default());
         let mut next_fd: u32 = 3;
-        // Loop until the client disconnects or drops the channel.
+        // Loop until the client disconnects, drops the channel, or a fault
+        // severs the connection from outside.
         while let Ok(req) = req_ch.recv() {
             self.requests.fetch_add(1, Ordering::Relaxed);
             self.rt.sleep(self.cfg.op_overhead);
@@ -322,6 +393,7 @@ impl SrbServer {
                 break;
             }
         }
+        self.live_conns.lock().remove(&conn_id);
     }
 
     fn handle(

@@ -109,10 +109,25 @@ pub enum SrbError {
     PermissionDenied,
     /// Unknown file descriptor.
     BadFd(u32),
-    /// The connection was closed.
-    Disconnected,
+    /// The connection was closed (by a crash, a reset, or `disconnect`).
+    Disconnected {
+        /// Cumulative payload bytes the server had acknowledged on this
+        /// connection before the cut — a reconnecting client resumes from
+        /// here rather than replaying the whole transfer.
+        acked: u64,
+    },
     /// Malformed request arguments.
     InvalidArg(String),
+}
+
+impl SrbError {
+    /// True for errors a retry can plausibly cure (the connection died, the
+    /// server is briefly down); false for semantic errors where replaying
+    /// the same request would fail the same way. Recovery policies branch on
+    /// this instead of string-matching messages.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SrbError::Disconnected { .. })
+    }
 }
 
 impl std::fmt::Display for SrbError {
@@ -123,7 +138,9 @@ impl std::fmt::Display for SrbError {
             SrbError::NoSuchCollection(p) => write!(f, "no such collection: {p}"),
             SrbError::PermissionDenied => write!(f, "permission denied"),
             SrbError::BadFd(fd) => write!(f, "bad file descriptor: {fd}"),
-            SrbError::Disconnected => write!(f, "connection closed"),
+            SrbError::Disconnected { acked } => {
+                write!(f, "connection closed ({acked} bytes acknowledged)")
+            }
             SrbError::InvalidArg(m) => write!(f, "invalid argument: {m}"),
         }
     }
@@ -232,5 +249,24 @@ mod tests {
     fn errors_display() {
         assert!(SrbError::NotFound("/x".into()).to_string().contains("/x"));
         assert!(SrbError::BadFd(7).to_string().contains('7'));
+        assert!(SrbError::Disconnected { acked: 99 }
+            .to_string()
+            .contains("99"));
+    }
+
+    #[test]
+    fn only_disconnects_are_transient() {
+        assert!(SrbError::Disconnected { acked: 0 }.is_transient());
+        assert!(SrbError::Disconnected { acked: 1 << 20 }.is_transient());
+        for e in [
+            SrbError::NotFound("/x".into()),
+            SrbError::AlreadyExists("/x".into()),
+            SrbError::NoSuchCollection("/x".into()),
+            SrbError::PermissionDenied,
+            SrbError::BadFd(3),
+            SrbError::InvalidArg("m".into()),
+        ] {
+            assert!(!e.is_transient(), "{e}");
+        }
     }
 }

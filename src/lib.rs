@@ -8,6 +8,7 @@
 //! * [`runtime`] — virtual-time / wall-clock execution;
 //! * [`netsim`] — the flow-level WAN and CPU models;
 //! * [`srb`] — the Storage Resource Broker substrate;
+//! * [`faults`] — deterministic virtual-time fault injection;
 //! * [`mpi`] — the thread-per-rank message-passing runtime;
 //! * [`compress`] — the LZO-class codec;
 //! * [`semplar`] — the paper's library: MPI-IO-style API, async engine,
@@ -20,6 +21,7 @@
 pub use semplar;
 pub use semplar_clusters as clusters;
 pub use semplar_compress as compress;
+pub use semplar_faults as faults;
 pub use semplar_mpi as mpi;
 pub use semplar_netsim as netsim;
 pub use semplar_runtime as runtime;

@@ -1,11 +1,16 @@
 //! Failure-injection tests: errors must surface cleanly through every layer
-//! (SRB protocol → ADIO → async engine → Request), and misuse must be loud
-//! rather than wedging the virtual clock.
+//! (SRB protocol → ADIO → async engine → Request), misuse must be loud
+//! rather than wedging the virtual clock, and the recovery machinery must
+//! bring transfers through link flaps, server crashes, and dead streams.
 
 use semplar_repro::clusters::{das2, Testbed};
+use semplar_repro::faults::FaultPlan;
+use semplar_repro::netsim::Bw;
 use semplar_repro::runtime::{simulate, Dur};
-use semplar_repro::semplar::{File, IoError, OpenFlags, Payload};
-use semplar_repro::srb::SrbError;
+use semplar_repro::semplar::{
+    File, IoError, OpenFlags, Payload, RecoveryStats, SrbFs, SrbFsConfig, StripeUnit, StripedFile,
+};
+use semplar_repro::srb::{adler32, ConnRoute, RetryPolicy, SrbError, SrbServer, SrbServerCfg};
 
 #[test]
 fn open_missing_file_fails_fast() {
@@ -125,5 +130,159 @@ fn reads_past_eof_truncate_posix_style_through_the_whole_stack() {
         assert_eq!(f.read_at(100, 50).unwrap().len(), 0);
         assert_eq!(f.iread_at(95, 50).wait().unwrap().bytes, 5);
         f.close().unwrap();
+    });
+}
+
+/// A WAN flap mid-transfer stalls the flow but never surfaces an error:
+/// TCP rides out the outage, the write completes byte-identical, and the
+/// run is longer than a fault-free one by at least the outage.
+#[test]
+fn link_flap_mid_transfer_stalls_then_resumes_byte_identically() {
+    simulate(|rt| {
+        let tb = Testbed::new(rt.clone(), das2(), 1);
+        let fs = tb.srbfs(0);
+        let data: Vec<u8> = (0..300_000u32).map(|i| (i % 241) as u8).collect();
+
+        // Fault-free reference run.
+        let t0 = rt.now();
+        let f = File::open(&rt, &fs, "/ref", OpenFlags::CreateRw).unwrap();
+        f.write_at(0, &Payload::bytes(data.clone())).unwrap();
+        f.close().unwrap();
+        let clean = rt.now() - t0;
+
+        // Same write under a 500 ms WAN outage.
+        let (wan_up, _) = tb.wan_links();
+        let plan =
+            FaultPlan::new(11).link_flap(wan_up, Dur::from_millis(200), Dur::from_millis(500), 1);
+        let inj = plan.inject(&rt, &tb.net, &tb.server);
+        let t1 = rt.now();
+        let f = File::open(&rt, &fs, "/flap", OpenFlags::CreateRw).unwrap();
+        f.write_at(0, &Payload::bytes(data.clone())).unwrap();
+        f.close().unwrap();
+        let flapped = rt.now() - t1;
+
+        assert!(inj.done(), "flap events must have fired");
+        assert_eq!(inj.stats().link_downs, 1);
+        // Most of the outage is felt end-to-end (the slice spent on the
+        // response leg or in op overheads hides a little of it).
+        assert!(
+            flapped >= clean + Dur::from_millis(300),
+            "outage not felt: clean {clean:?}, flapped {flapped:?}"
+        );
+        // The stall is invisible to the client — no disconnect, no retry.
+        assert_eq!(fs.recovery_stats(), RecoveryStats::default());
+
+        let conn = tb.server.connect(tb.route(0), "semplar", "hpdc06").unwrap();
+        assert_eq!(conn.checksum("/flap").unwrap(), adler32(&data));
+        conn.disconnect().unwrap();
+    });
+}
+
+/// A server crash during an `iwrite` surfaces exactly one transient error
+/// through the async engine (recovery disabled); after the restart a retry
+/// of the same write lands byte-identical.
+#[test]
+fn server_crash_mid_iwrite_surfaces_once_and_a_retry_succeeds() {
+    simulate(|rt| {
+        let tb = Testbed::new(rt.clone(), das2(), 1);
+        let fs = SrbFs::with_retry(
+            tb.server.clone(),
+            SrbFsConfig {
+                route: tb.route(0),
+                user: "semplar".into(),
+                password: "hpdc06".into(),
+            },
+            RetryPolicy::none(),
+        );
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i * 7 % 251) as u8).collect();
+
+        let f = File::open(&rt, &fs, "/w", OpenFlags::CreateRw).unwrap();
+        let req = f.iwrite_at(0, Payload::bytes(data.clone()));
+        rt.sleep(Dur::from_millis(50));
+        assert!(tb.server.crash() >= 1, "a live connection must be severed");
+
+        let err = req.wait().unwrap_err();
+        assert!(err.is_transient(), "want transient disconnect, got {err:?}");
+        // The dead handle closes without a second error.
+        f.close().unwrap();
+
+        tb.server.restart();
+        let f = File::open(&rt, &fs, "/w", OpenFlags::CreateRw).unwrap();
+        f.write_at(0, &Payload::bytes(data.clone())).unwrap();
+        f.close().unwrap();
+
+        let conn = tb.server.connect(tb.route(0), "semplar", "hpdc06").unwrap();
+        assert_eq!(conn.checksum("/w").unwrap(), adler32(&data));
+        conn.disconnect().unwrap();
+    });
+}
+
+/// When every stream of a striped file is dead (primary crashed for good),
+/// a read falls over to a federated replica registered via `set_replica`
+/// and still returns the right bytes.
+#[test]
+fn striped_read_fails_over_to_a_federated_replica() {
+    use semplar_repro::netsim::Network;
+    simulate(|rt| {
+        let net = Network::new(rt.clone());
+        let link = |name: &str| {
+            (
+                net.add_link(&format!("{name}-up"), Bw::mbps(100.0), Dur::from_millis(5)),
+                net.add_link(
+                    &format!("{name}-down"),
+                    Bw::mbps(100.0),
+                    Dur::from_millis(5),
+                ),
+            )
+        };
+        let (cp_up, cp_down) = link("client-primary");
+        let (cr_up, cr_down) = link("client-replica");
+        let (pp_up, pp_down) = link("primary-peer");
+        let route = |up, down| ConnRoute {
+            fwd: vec![up],
+            rev: vec![down],
+            send_cap: None,
+            recv_cap: None,
+            bus: None,
+        };
+
+        let primary = SrbServer::new(net.clone(), SrbServerCfg::default());
+        primary.mcat().add_user("u", "p");
+        let peer = SrbServer::new(
+            net.clone(),
+            SrbServerCfg {
+                name: "peer".into(),
+                ..SrbServerCfg::default()
+            },
+        );
+        peer.mcat().add_user("u", "p");
+        primary.add_peer("mirror", peer.clone(), route(pp_up, pp_down), "u", "p");
+
+        let cfg = |up, down| SrbFsConfig {
+            route: route(up, down),
+            user: "u".into(),
+            password: "p".into(),
+        };
+        let fs = SrbFs::with_retry(primary.clone(), cfg(cp_up, cp_down), RetryPolicy::none());
+
+        // Seed the object and replicate it to the peer.
+        let data: Vec<u8> = (0..500_000u32).map(|i| (i * 13 % 239) as u8).collect();
+        let f = File::open(&rt, &fs, "/d", OpenFlags::CreateRw).unwrap();
+        f.write_at(0, &Payload::bytes(data.clone())).unwrap();
+        f.close().unwrap();
+        let admin = fs.admin_conn().unwrap();
+        admin.replicate("/d", "mirror").unwrap();
+        admin.disconnect().unwrap();
+
+        let sf = StripedFile::open(&rt, &fs, "/d", OpenFlags::Read, 2, StripeUnit::Even).unwrap();
+        sf.set_replica(Box::new(SrbFs::new(peer.clone(), cfg(cr_up, cr_down))));
+
+        // Primary goes down for good: every stream and any reconnect is dead.
+        primary.crash();
+
+        let got = sf.read_at(0, data.len() as u64).unwrap();
+        assert_eq!(got.data().unwrap(), &data[..], "replica bytes differ");
+        assert!(sf.failovers() >= 1, "read did not use the failover path");
+        sf.close().unwrap();
     });
 }
