@@ -1,0 +1,56 @@
+//! Scale-out: thousands of simulated clients against one SRB server,
+//! per-open connections (paper-faithful, one TCP stream per open) vs the
+//! shared multiplexed pool (`PoolPolicy::Shared`).
+//!
+//! The run is entirely in virtual time and fault-free, so the output is
+//! bit-identical across invocations — CI diffs the `--quick` variant
+//! against `results/fig_scale_quick.txt`.
+
+use semplar_bench::{fig_scale, Table};
+use semplar_clusters::das2;
+use semplar_srb::PoolPolicy;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let nodes = 16;
+    let bytes = 256 * 1024u64;
+    let shared = PoolPolicy::Shared {
+        max_streams: 4,
+        max_inflight: 8,
+    };
+    // procs per node: 16 nodes x {64,128,256} = 1024/2048/4096 clients.
+    let scales: &[usize] = if quick { &[16] } else { &[64, 128, 256] };
+
+    let mut t = Table::new(
+        &format!(
+            "Scale-out (das2): {nodes} nodes, per-client {} KiB write, per-open vs shared pool",
+            bytes >> 10
+        ),
+        &[
+            "clients",
+            "policy",
+            "conns accepted",
+            "live handlers",
+            "write s",
+            "aggregate Mb/s",
+        ],
+    );
+    for &procs in scales {
+        for policy in [None, Some(shared)] {
+            let r = fig_scale(das2(), nodes, procs, bytes, policy);
+            eprintln!(
+                "fig_scale: {} clients / {}: {} conns, {} live, {:.1} Mb/s",
+                r.clients, r.policy, r.connections, r.live_handlers, r.mbps
+            );
+            t.row(vec![
+                r.clients.to_string(),
+                r.policy.clone(),
+                r.connections.to_string(),
+                r.live_handlers.to_string(),
+                format!("{:.3}", r.secs),
+                format!("{:.1}", r.mbps),
+            ]);
+        }
+    }
+    t.print();
+}

@@ -18,11 +18,13 @@
 
 use std::sync::{Arc, Mutex};
 
-use semplar::{OpenFlags, Payload, RecoveryStats, SrbFs, StripeUnit, StripedFile};
+use semplar::{AdioFs, OpenFlags, Payload, RecoveryStats, SrbFs, StripeUnit, StripedFile};
 use semplar_clusters::{ClusterSpec, Testbed};
 use semplar_faults::{FaultPlan, FaultStats};
 use semplar_netsim::NetStats;
+use semplar_runtime::sync::Barrier;
 use semplar_runtime::{spawn, Dur, SimRuntime};
+use semplar_srb::PoolPolicy;
 use semplar_workloads::{
     estgen, run_blast, run_compress, run_laplace, run_perf, BlastParams, CompressMode,
     CompressParams, LaplaceMode, LaplaceParams, PerfParams,
@@ -532,4 +534,100 @@ pub fn fig_availability(
             recovery,
         }
     })
+}
+
+/// One row of the scale experiment: many clients, one server.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// Total simulated client processes (`nodes * procs_per_node`).
+    pub clients: usize,
+    /// Pool policy label (`per-open` or `shared(SxI)`).
+    pub policy: String,
+    /// Cumulative TCP connections the server accepted over the run.
+    pub connections: u64,
+    /// Live server-side handler count sampled while every client held its
+    /// file open — the server's peak concurrent-connection footprint.
+    pub live_handlers: usize,
+    /// Virtual seconds of the concurrent write phase.
+    pub secs: f64,
+    /// Aggregate client bandwidth over the write phase, Mb/s.
+    pub mbps: f64,
+}
+
+/// Scale-out: `nodes * procs` lightweight clients each open their own
+/// object and, after a global barrier, write `bytes` concurrently.
+///
+/// `policy = None` mounts the paper-faithful per-open SRBFS (every open
+/// dials its own TCP connection, §4 of the paper); `Some(Shared { .. })`
+/// multiplexes all of a node's sessions over a bounded stream set via the
+/// connection pool. The WAN is the shared bottleneck either way, so the
+/// aggregate bandwidth should match while the server's connection
+/// footprint collapses from `clients` to `nodes * max_streams`.
+pub fn fig_scale(
+    spec: ClusterSpec,
+    nodes: usize,
+    procs: usize,
+    bytes: u64,
+    policy: Option<PoolPolicy>,
+) -> ScaleRow {
+    let label = match policy {
+        None | Some(PoolPolicy::PerOpen) => "per-open".to_string(),
+        Some(PoolPolicy::Shared {
+            max_streams,
+            max_inflight,
+        }) => format!("shared({max_streams}x{max_inflight})"),
+    };
+    let clients = nodes * procs;
+    let (connections, live_handlers, secs) = with_testbed(spec, nodes, move |tb| {
+        let rt = tb.rt.clone();
+        let mounts: Vec<Arc<SrbFs>> = (0..nodes)
+            .map(|n| match policy {
+                None => tb.srbfs(n),
+                Some(p) => tb.srbfs_pooled(n, p),
+            })
+            .collect();
+        let setup = mounts[0].admin_conn().unwrap();
+        setup.mk_coll("/scale").unwrap();
+        setup.disconnect().unwrap();
+
+        // Clients rendezvous twice: `opened` marks every file open (the
+        // server's peak footprint), `go` releases the write phase.
+        let opened = Barrier::new(&rt, clients + 1);
+        let go = Barrier::new(&rt, clients + 1);
+        let handles: Vec<_> = (0..nodes)
+            .flat_map(|n| (0..procs).map(move |p| (n, p)))
+            .map(|(n, p)| {
+                let fs = mounts[n].clone();
+                let opened = opened.clone();
+                let go = go.clone();
+                spawn(&rt, &format!("cl{n}-{p}"), move || {
+                    let mut f = fs
+                        .open(&format!("/scale/n{n}p{p}"), OpenFlags::CreateRw)
+                        .unwrap();
+                    opened.wait();
+                    go.wait();
+                    f.write_at(0, &Payload::sized(bytes)).unwrap();
+                    f.close().unwrap();
+                })
+            })
+            .collect();
+
+        opened.wait();
+        let live = tb.server.live_conn_count();
+        let conns = tb.server.stats().connections;
+        let t0 = rt.now();
+        go.wait();
+        for h in handles {
+            h.join_unwrap();
+        }
+        (conns, live, (rt.now() - t0).as_secs_f64())
+    });
+    ScaleRow {
+        clients,
+        policy: label,
+        connections,
+        live_handlers,
+        secs,
+        mbps: (clients as u64 * bytes) as f64 * 8.0 / 1e6 / secs,
+    }
 }

@@ -28,7 +28,7 @@ use semplar_netsim::net::{BusId, BusSpec};
 use semplar_netsim::{Bw, Cpu, LinkId, Network};
 use semplar_runtime::{Dur, Runtime};
 use semplar_srb::vault::DiskSpec;
-use semplar_srb::{ConnRoute, SrbServer, SrbServerCfg};
+use semplar_srb::{ConnRoute, PoolPolicy, RetryPolicy, SrbServer, SrbServerCfg};
 
 /// Static description of one client cluster.
 #[derive(Clone, Debug)]
@@ -344,6 +344,22 @@ impl Testbed {
                 user: USER.into(),
                 password: PASSWORD.into(),
             },
+        )
+    }
+
+    /// An SRBFS mount for `node` with an explicit connection-pool policy —
+    /// `PoolPolicy::Shared` multiplexes every open through a bounded set of
+    /// streams instead of dialing one per open (the scale-out mode).
+    pub fn srbfs_pooled(&self, node: usize, policy: PoolPolicy) -> Arc<SrbFs> {
+        SrbFs::with_pool(
+            self.server.clone(),
+            SrbFsConfig {
+                route: self.route(node),
+                user: USER.into(),
+                password: PASSWORD.into(),
+            },
+            policy,
+            RetryPolicy::default(),
         )
     }
 

@@ -83,6 +83,20 @@ pub trait AdioFs: Send + Sync {
     /// oriented backends this establishes a fresh transport connection —
     /// SEMPLAR opens one TCP stream per `MPI_File_open` (§3.2).
     fn open(&self, path: &str, flags: OpenFlags) -> IoResult<Box<dyn AdioFile>>;
+    /// Open with a transport-placement hint: backends with a connection
+    /// pool route equal pins to the same pool slot and distinct pins to
+    /// distinct slots (striped files pin stream `i` to slot `i` so sibling
+    /// streams get truly independent connections). Backends without
+    /// placement ignore the pin.
+    fn open_pinned(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        pin: Option<usize>,
+    ) -> IoResult<Box<dyn AdioFile>> {
+        let _ = pin;
+        self.open(path, flags)
+    }
     /// Delete the file at `path`.
     fn delete(&self, path: &str) -> IoResult<()>;
     /// Backend name for diagnostics ("srbfs", "memfs").

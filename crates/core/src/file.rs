@@ -45,7 +45,21 @@ impl File {
         flags: OpenFlags,
         cfg: EngineCfg,
     ) -> IoResult<File> {
-        let adio = fs.open(path, flags)?;
+        File::open_pinned(rt, fs, path, flags, cfg, None)
+    }
+
+    /// Open with a transport-placement pin (see [`AdioFs::open_pinned`]):
+    /// striped files use this to land sibling streams on distinct pooled
+    /// transports so they stay truly independent connections.
+    pub fn open_pinned(
+        rt: &Arc<dyn Runtime>,
+        fs: &dyn AdioFs,
+        path: &str,
+        flags: OpenFlags,
+        cfg: EngineCfg,
+        pin: Option<usize>,
+    ) -> IoResult<File> {
+        let adio = fs.open_pinned(path, flags, pin)?;
         let inner = Arc::new(RtMutex::new(rt, adio));
         let engine = IoEngine::new(rt.clone(), cfg, inner.clone());
         Ok(File {

@@ -61,8 +61,19 @@ impl<'a> Prefetcher<'a> {
         let Some((off, req)) = self.inflight.pop_front() else {
             return Ok(None);
         };
-        let status = req.wait()?;
-        let data = status.data.unwrap_or(Payload::sized(status.bytes));
+        let status = match req.wait() {
+            Ok(s) => Some(s),
+            // A transient failure (link flap, server crash) must not
+            // abandon the window: re-issue the block synchronously, which
+            // routes it through the backend's retry-policy recovery. The
+            // speculative reads behind it recover the same way when waited.
+            Err(e) if e.is_transient() => None,
+            Err(e) => return Err(e),
+        };
+        let data = match status {
+            Some(s) => s.data.unwrap_or(Payload::sized(s.bytes)),
+            None => self.file.read_at(off, self.block)?,
+        };
         if data.len() < self.block {
             // EOF inside this block: drop the speculative reads behind it.
             self.finished = true;
@@ -137,6 +148,66 @@ mod tests {
                 .next_block()
                 .unwrap()
                 .is_none());
+            f.close().unwrap();
+        });
+    }
+
+    /// A transient cut mid-stream must not abandon the read-ahead window:
+    /// blocks whose speculative read died are re-issued through the
+    /// backend's recovery instead of surfacing the error to the consumer.
+    #[test]
+    fn window_survives_a_server_crash_via_retry_fallback() {
+        simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let up = net.add_link("up", Bw::mbps(100.0), Dur::from_millis(5));
+            let down = net.add_link("down", Bw::mbps(100.0), Dur::from_millis(5));
+            let server = SrbServer::new(net, SrbServerCfg::default());
+            server.mcat().add_user("u", "p");
+            // RetryPolicy::none: the engine-side read gets a single
+            // attempt, so while the server is down its error reaches the
+            // prefetcher — exercising the window's fallback path.
+            let fs = crate::srbfs::SrbFs::with_retry(
+                server.clone(),
+                crate::srbfs::SrbFsConfig {
+                    route: ConnRoute {
+                        fwd: vec![up],
+                        rev: vec![down],
+                        send_cap: None,
+                        recv_cap: None,
+                        bus: None,
+                    },
+                    user: "u".into(),
+                    password: "p".into(),
+                },
+                semplar_srb::RetryPolicy::none(),
+            );
+            let data: Vec<u8> = (0..400_000u32).map(|i| (i % 233) as u8).collect();
+            let f = File::open(&rt, &fs, "/crashy", OpenFlags::CreateRw).unwrap();
+            f.write_at(0, &Payload::bytes(data.clone())).unwrap();
+            f.close().unwrap();
+
+            let f = File::open(&rt, &fs, "/crashy", OpenFlags::Read).unwrap();
+            let s2 = server.clone();
+            let rt2 = rt.clone();
+            let chaos = semplar_runtime::spawn(&rt, "chaos", move || {
+                // Cut every stream while the window is in flight, then come
+                // back before the consumer reaches the dead blocks.
+                rt2.sleep(Dur::from_millis(30));
+                s2.crash();
+                rt2.sleep(Dur::from_millis(5));
+                s2.restart();
+            });
+            let mut pf = Prefetcher::new(&f, 0, 64 * 1024, 4);
+            let mut got = Vec::new();
+            while let Some((_, block)) = pf.next_block().unwrap() {
+                got.extend_from_slice(block.data().unwrap());
+                rt.sleep(Dur::from_millis(50)); // consumer processing
+            }
+            chaos.join_unwrap();
+            assert_eq!(got, data, "stream must be complete and in order");
+            let st = fs.recovery_stats();
+            assert!(st.disconnects >= 1, "the crash must have been observed");
+            assert!(st.reconnects >= 1, "fallback must have redialed");
             f.close().unwrap();
         });
     }

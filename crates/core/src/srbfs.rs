@@ -21,7 +21,10 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use semplar_runtime::{Dur, Time};
-use semplar_srb::{adler32, ConnRoute, OpenFlags, Payload, RetryPolicy, SrbConn, SrbServer};
+use semplar_srb::{
+    adler32, ConnPool, ConnRoute, OpenFlags, Payload, PoolPolicy, RetryPolicy, SrbConn, SrbError,
+    SrbServer,
+};
 
 use crate::adio::{AdioFile, AdioFs, IoError, IoResult};
 
@@ -46,8 +49,12 @@ pub struct SrbFsConfig {
 pub struct RecoveryStats {
     /// Transient failures observed on file operations.
     pub disconnects: u64,
-    /// Successful reconnects (a new TCP stream + reopen).
+    /// Successful reconnects that dialed a new TCP stream (+ reopen).
     pub reconnects: u64,
+    /// Reconnects satisfied by rebinding to a shared stream another session
+    /// had already redialed — one link flap, one handshake, however many
+    /// sessions rode the stream.
+    pub shared_reconnects: u64,
     /// Operations that failed transiently and eventually completed.
     pub recovered_ops: u64,
     /// Total virtual time spent inside recovery (first failure of an
@@ -59,14 +66,17 @@ pub struct RecoveryStats {
 pub struct SrbFs {
     server: Arc<SrbServer>,
     cfg: SrbFsConfig,
-    retry: RetryPolicy,
+    /// Sessions come from here; the pool also owns the [`RetryPolicy`]
+    /// pacing reconnects (moved down from this struct).
+    pool: Arc<ConnPool>,
     recovery: Mutex<RecoveryStats>,
     next_file: AtomicU64,
 }
 
 impl SrbFs {
     /// An SRBFS mount that will connect to `server` using `cfg`, with the
-    /// default [`RetryPolicy`].
+    /// default [`RetryPolicy`] and the paper-faithful
+    /// [`PoolPolicy::PerOpen`] (one TCP stream per open).
     pub fn new(server: Arc<SrbServer>, cfg: SrbFsConfig) -> Arc<SrbFs> {
         SrbFs::with_retry(server, cfg, RetryPolicy::default())
     }
@@ -74,13 +84,31 @@ impl SrbFs {
     /// An SRBFS mount with an explicit retry policy
     /// ([`RetryPolicy::none`] disables recovery).
     pub fn with_retry(server: Arc<SrbServer>, cfg: SrbFsConfig, retry: RetryPolicy) -> Arc<SrbFs> {
+        SrbFs::with_pool(server, cfg, PoolPolicy::PerOpen, retry)
+    }
+
+    /// An SRBFS mount with an explicit connection-pool policy. `PerOpen`
+    /// reproduces the paper exactly; `Shared` multiplexes opens over a
+    /// bounded set of streams for scale-out.
+    pub fn with_pool(
+        server: Arc<SrbServer>,
+        cfg: SrbFsConfig,
+        policy: PoolPolicy,
+        retry: RetryPolicy,
+    ) -> Arc<SrbFs> {
+        let pool = ConnPool::new(server.clone(), &cfg.user, &cfg.password, policy, retry);
         Arc::new(SrbFs {
             server,
             cfg,
-            retry,
+            pool,
             recovery: Mutex::new(RecoveryStats::default()),
             next_file: AtomicU64::new(0),
         })
+    }
+
+    /// The connection pool behind this mount.
+    pub fn pool(&self) -> &Arc<ConnPool> {
+        &self.pool
     }
 
     /// Snapshot of the recovery counters across every file opened through
@@ -111,9 +139,16 @@ struct SrbFile {
 
 impl AdioFs for Arc<SrbFs> {
     fn open(&self, path: &str, flags: OpenFlags) -> IoResult<Box<dyn AdioFile>> {
-        let conn =
-            self.server
-                .connect(self.cfg.route.clone(), &self.cfg.user, &self.cfg.password)?;
+        self.open_pinned(path, flags, None)
+    }
+
+    fn open_pinned(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        pin: Option<usize>,
+    ) -> IoResult<Box<dyn AdioFile>> {
+        let conn = self.pool.session(&self.cfg.route, pin)?;
         let fd = conn.open(path, flags)?;
         let file_id = self.next_file.fetch_add(1, Ordering::Relaxed);
         Ok(Box::new(SrbFile {
@@ -140,19 +175,23 @@ impl AdioFs for Arc<SrbFs> {
 }
 
 impl SrbFile {
-    /// Replace the dead connection with a fresh one and reopen the file.
+    /// Replace the dead session with a fresh one and reopen the file.
     /// Fails transiently while the server is still down, so callers run it
-    /// under the retry policy.
-    fn reconnect(&mut self) -> Result<(), semplar_srb::SrbError> {
-        let conn = self.fs.server.connect(
-            self.fs.cfg.route.clone(),
-            &self.fs.cfg.user,
-            &self.fs.cfg.password,
-        )?;
+    /// under the retry policy. Pooled sessions reconnect at the *transport*
+    /// level: the first session on a flapped stream redials it
+    /// (`reconnects`), every other session rebinds to the fresh stream
+    /// without a new handshake (`shared_reconnects`).
+    fn reconnect(&mut self) -> Result<(), SrbError> {
+        let (conn, shared) = self.fs.pool.reconnect(&self.fs.cfg.route, &self.conn)?;
         let fd = conn.open(&self.path, self.flags)?;
         self.conn = conn;
         self.fd = fd;
-        self.fs.recovery.lock().reconnects += 1;
+        let mut st = self.fs.recovery.lock();
+        if shared {
+            st.shared_reconnects += 1;
+        } else {
+            st.reconnects += 1;
+        }
         Ok(())
     }
 
@@ -162,6 +201,34 @@ impl SrbFile {
         let mut st = self.fs.recovery.lock();
         st.recovered_ops += 1;
         st.recovery_time += now - t0;
+    }
+
+    /// Recovery tail of an interrupted write: reconnect, then re-issue the
+    /// remainder in [`RESUME_BLOCK`] pieces starting at `done` (bytes of
+    /// this operation the server already acknowledged). `done` survives
+    /// further cuts, so each retry resumes at the last acknowledged block
+    /// instead of offset zero. Blocks are idempotent (same bytes, same
+    /// offsets), which keeps an unacknowledged-but-applied server write
+    /// harmless.
+    fn resume_write(&mut self, offset: u64, data: &Payload, mut done: u64) -> IoResult<u64> {
+        let rt = self.conn.runtime().clone();
+        let t0 = rt.now();
+        self.fs.recovery.lock().disconnects += 1;
+        let total = data.len();
+        let policy = self.fs.pool.retry().clone();
+        let key = self.key;
+        policy.run(&rt, key, |_| {
+            self.reconnect()?;
+            while done < total {
+                let blk = RESUME_BLOCK.min(total - done);
+                self.conn
+                    .write(self.fd, offset + done, data.slice(done, blk))?;
+                done += blk;
+            }
+            Ok(())
+        })?;
+        self.note_recovered(t0);
+        Ok(total)
     }
 }
 
@@ -179,7 +246,7 @@ impl AdioFile for SrbFile {
                 let rt = self.conn.runtime().clone();
                 let t0 = rt.now();
                 self.fs.recovery.lock().disconnects += 1;
-                let policy = self.fs.retry.clone();
+                let policy = self.fs.pool.retry().clone();
                 let key = self.key;
                 let out = policy.run(&rt, key, |_| {
                     self.reconnect()?;
@@ -196,36 +263,22 @@ impl AdioFile for SrbFile {
             return Err(IoError::Closed);
         }
         // Fault-free path: one request for the whole payload, exactly as
-        // without recovery.
+        // without recovery. The ledger snapshot lets the recovery path
+        // below tell how much of *this* operation the server had already
+        // acknowledged when the cut happened.
+        let before = self.conn.acked_bytes();
         match self.conn.write(self.fd, offset, data.clone()) {
-            Ok(n) => return Ok(n),
-            Err(e) if !e.is_transient() => return Err(e.into()),
-            Err(_) => {}
-        }
-        // Recovery: reconnect, then re-issue the remainder in
-        // [`RESUME_BLOCK`] pieces. `done` survives further cuts, so each
-        // retry resumes at the last acknowledged block instead of offset
-        // zero. Blocks are idempotent (same bytes, same offsets), which
-        // keeps an unacknowledged-but-applied server write harmless.
-        let rt = self.conn.runtime().clone();
-        let t0 = rt.now();
-        self.fs.recovery.lock().disconnects += 1;
-        let total = data.len();
-        let mut done: u64 = 0;
-        let policy = self.fs.retry.clone();
-        let key = self.key;
-        policy.run(&rt, key, |_| {
-            self.reconnect()?;
-            while done < total {
-                let blk = RESUME_BLOCK.min(total - done);
-                self.conn
-                    .write(self.fd, offset + done, data.slice(done, blk))?;
-                done += blk;
+            Ok(n) => Ok(n),
+            Err(e) if !e.is_transient() => Err(e.into()),
+            Err(SrbError::Disconnected { acked }) => {
+                // Recovery: seed the resume point from the acked-byte
+                // ledger carried by the disconnect — bytes the server
+                // acknowledged for this operation need not be re-sent.
+                let done = acked.saturating_sub(before).min(data.len());
+                self.resume_write(offset, data, done)
             }
-            Ok(())
-        })?;
-        self.note_recovered(t0);
-        Ok(total)
+            Err(_) => self.resume_write(offset, data, 0),
+        }
     }
 
     fn size(&mut self) -> IoResult<u64> {
@@ -239,7 +292,7 @@ impl AdioFile for SrbFile {
                 let rt = self.conn.runtime().clone();
                 let t0 = rt.now();
                 self.fs.recovery.lock().disconnects += 1;
-                let policy = self.fs.retry.clone();
+                let policy = self.fs.pool.retry().clone();
                 let key = self.key;
                 let s = policy.run(&rt, key, |_| {
                     self.reconnect()?;

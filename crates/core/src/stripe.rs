@@ -191,8 +191,11 @@ impl StripedFile {
             assert!(u >= 1, "stripe unit must be positive");
         }
         let mut files = Vec::with_capacity(streams);
-        for _ in 0..streams {
-            files.push(File::open_with(
+        for i in 0..streams {
+            // Pin stream `i` to pool slot `i`: under a shared connection
+            // pool the §7.2 double-streaming still gets truly independent
+            // transports instead of multiplexing onto one stream.
+            files.push(File::open_pinned(
                 rt,
                 fs,
                 path,
@@ -201,6 +204,7 @@ impl StripedFile {
                     io_threads: 1,
                     prespawn: true,
                 },
+                Some(i),
             )?);
         }
         Ok(StripedFile {

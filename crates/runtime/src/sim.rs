@@ -309,6 +309,18 @@ impl Default for SimRuntime {
 impl SimRuntime {
     /// Create a fresh simulation with the clock at [`Time::ZERO`].
     pub fn new() -> SimRuntime {
+        // Daemons left running at simulation end (server handlers, demux
+        // loops) are unwound via `panic_any(ShutdownSignal)`; keep the
+        // default hook from printing a backtrace for each of them.
+        static QUIET_SHUTDOWN: std::sync::Once = std::sync::Once::new();
+        QUIET_SHUTDOWN.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<ShutdownSignal>().is_none() {
+                    prev(info);
+                }
+            }));
+        });
         SimRuntime {
             eng: Arc::new(Engine {
                 state: Mutex::new(EngineState::default()),

@@ -122,6 +122,12 @@ impl<T> Channel<T> {
         self.items.signal_n(64);
     }
 
+    /// True once [`Channel::close`] has been called (queued items may still
+    /// be drained by receivers).
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+
     /// Number of queued items.
     pub fn len(&self) -> usize {
         self.inner.lock().q.len()

@@ -1,74 +1,82 @@
-//! The SRB client: one TCP connection plus a POSIX-like remote file API.
+//! The SRB client session: a POSIX-like remote file API over a transport.
 //!
-//! Each [`SrbConn`] corresponds to one TCP stream between a cluster node and
-//! the server (the paper's SEMPLAR opens one per `MPI_File_open`, and two
-//! when double-streaming, §7.2). All operations on one connection are
-//! serialized through a runtime-aware lock — a TCP stream can carry one
-//! synchronous SRB exchange at a time — which is precisely why multi-stream
-//! transfers require the asynchronous interface to make progress on both
-//! connections simultaneously.
+//! Pre-refactor, [`SrbConn`] *was* the TCP connection (the paper's SEMPLAR
+//! opens one per `MPI_File_open`, and two when double-streaming, §7.2).
+//! After the session/transport split it is a logical session — an fd
+//! namespace on the server plus the acked-byte ledger recovery resumes from
+//! — bound to a [`Transport`](crate::transport::Transport) that may be
+//! exclusive to this session (the default, timing-identical to the old
+//! one-stream-per-open behaviour) or shared with other sessions through a
+//! [`ConnPool`](crate::pool::ConnPool).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use semplar_netsim::net::XferOpts;
-use semplar_netsim::{LinkId, Network};
-use semplar_runtime::sync::{Channel, RtMutex};
 use semplar_runtime::Runtime;
 
-use crate::proto::{Request, Response};
+use crate::pool::SlotTicket;
+use crate::proto::{Request, Response, SessionId};
+use crate::transport::Transport;
 use crate::types::{ObjStat, OpenFlags, Payload, SrbError, SrbResult};
 
-/// A live connection to an SRB server. Obtain via
-/// [`SrbServer::connect`](crate::server::SrbServer::connect).
+/// A live session with an SRB server. Obtain via
+/// [`SrbServer::connect`](crate::server::SrbServer::connect) (exclusive
+/// stream) or [`ConnPool::session`](crate::pool::ConnPool::session).
 pub struct SrbConn {
-    rt: Arc<dyn Runtime>,
-    net: Arc<Network>,
-    fwd: Vec<LinkId>,
-    fwd_opts: XferOpts,
-    req_ch: Channel<Request>,
-    resp_ch: Channel<Response>,
-    lock: RtMutex<()>,
+    transport: Arc<Transport>,
+    session: SessionId,
+    /// Exclusive sessions own their stream: `disconnect` tears the whole
+    /// transport down. Shared sessions only retire their fd namespace.
+    exclusive: bool,
+    /// Which pool slot the transport came from, for transport-level
+    /// reconnect. `None` for unpooled / `PerOpen` sessions.
+    origin: Option<SlotTicket>,
     /// Cumulative payload bytes the server has acknowledged on this
-    /// connection (successful reads + writes). Reported inside
+    /// session (successful reads + writes). Reported inside
     /// [`SrbError::Disconnected`] so recovery can resume rather than replay.
     acked: AtomicU64,
 }
 
 impl SrbConn {
-    pub(crate) fn new(
-        rt: Arc<dyn Runtime>,
-        net: Arc<Network>,
-        fwd: Vec<LinkId>,
-        fwd_opts: XferOpts,
-        req_ch: Channel<Request>,
-        resp_ch: Channel<Response>,
-    ) -> SrbConn {
-        let lock = RtMutex::new(&rt, ());
+    /// A session that owns its transport outright (pre-refactor semantics).
+    pub(crate) fn exclusive(transport: Arc<Transport>) -> SrbConn {
+        let session = transport.open_session();
         SrbConn {
-            rt,
-            net,
-            fwd,
-            fwd_opts,
-            req_ch,
-            resp_ch,
-            lock,
+            transport,
+            session,
+            exclusive: true,
+            origin: None,
             acked: AtomicU64::new(0),
         }
+    }
+
+    /// A session multiplexed onto a pooled transport.
+    pub(crate) fn session_on(transport: Arc<Transport>, origin: SlotTicket) -> SrbConn {
+        let session = transport.open_session();
+        SrbConn {
+            transport,
+            session,
+            exclusive: false,
+            origin: Some(origin),
+            acked: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn origin(&self) -> Option<&SlotTicket> {
+        self.origin.as_ref()
     }
 
     /// Issue one synchronous request/response exchange. Charges the request
     /// transmission to the caller; the server handler charges processing,
     /// disk, and the response transmission before replying.
     fn call(&self, req: Request) -> SrbResult<Response> {
-        let _g = self.lock.lock();
         let cut = |acked: &AtomicU64| SrbError::Disconnected {
             acked: acked.load(Ordering::Relaxed),
         };
-        self.net
-            .send_message_opts(&self.fwd, req.wire_size(), &self.fwd_opts);
-        self.req_ch.send(req).map_err(|_| cut(&self.acked))?;
-        let resp = self.resp_ch.recv().map_err(|_| cut(&self.acked))?;
+        let resp = self
+            .transport
+            .exchange(self.session, req)
+            .map_err(|_| cut(&self.acked))?;
         match &resp {
             Response::Written(n) => {
                 self.acked.fetch_add(*n, Ordering::Relaxed);
@@ -82,7 +90,7 @@ impl SrbConn {
     }
 
     /// Cumulative payload bytes acknowledged by the server on this
-    /// connection so far (reads + writes that completed).
+    /// session so far (reads + writes that completed).
     pub fn acked_bytes(&self) -> u64 {
         self.acked.load(Ordering::Relaxed)
     }
@@ -188,17 +196,22 @@ impl SrbConn {
         })
     }
 
-    /// Gracefully close the connection. Further calls fail with
-    /// [`SrbError::Disconnected`].
+    /// Gracefully end the session. On an exclusive stream this tears the
+    /// connection down; on a shared stream it only retires this session's
+    /// fd namespace, leaving the transport to its other sessions. Further
+    /// calls fail with [`SrbError::Disconnected`].
     pub fn disconnect(&self) -> SrbResult<()> {
-        let r = self.expect_ok(Request::Disconnect);
-        self.req_ch.close();
-        self.resp_ch.close();
-        r
+        if self.exclusive {
+            let r = self.expect_ok(Request::Disconnect);
+            self.transport.close();
+            r
+        } else {
+            self.expect_ok(Request::EndSession)
+        }
     }
 
-    /// The runtime this connection charges time against.
+    /// The runtime this session charges time against.
     pub fn runtime(&self) -> &Arc<dyn Runtime> {
-        &self.rt
+        self.transport.runtime()
     }
 }

@@ -10,7 +10,67 @@
 use crate::types::{ObjStat, OpenFlags, Payload, SrbError};
 
 /// Fixed per-message framing/header overhead, bytes.
+///
+/// The session/transport tags ([`ReqFrame::seq`], [`ReqFrame::session`])
+/// ride inside this fixed header, so tagging requests does not change any
+/// wire size.
 pub const WIRE_HDR: u64 = 256;
+
+/// A logical session identifier, scoped to one transport stream.
+///
+/// The server keeps one fd namespace per `(connection, session)` pair so
+/// pooled clients multiplexed over a shared stream cannot observe each
+/// other's descriptors. Exclusive (per-open) transports carry exactly one
+/// session, id 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A tagged request as it travels on a transport stream.
+///
+/// `seq` is unique per stream and echoed verbatim by the server so that a
+/// demultiplexer can route responses back to the issuing exchange even when
+/// several are in flight on one stream.
+#[derive(Clone, Debug)]
+pub struct ReqFrame {
+    /// Stream-unique exchange tag, echoed in the matching [`RespFrame`].
+    pub seq: u64,
+    /// Session whose fd namespace the request operates in.
+    pub session: SessionId,
+    /// The operation itself.
+    pub req: Request,
+}
+
+impl ReqFrame {
+    /// Bytes on the wire — tags live in the fixed header, so this is the
+    /// inner request's size unchanged.
+    pub fn wire_size(&self) -> u64 {
+        self.req.wire_size()
+    }
+}
+
+/// A tagged response frame; `seq`/`session` echo the triggering request.
+#[derive(Clone, Debug)]
+pub struct RespFrame {
+    /// Echoed exchange tag.
+    pub seq: u64,
+    /// Echoed session id.
+    pub session: SessionId,
+    /// The result.
+    pub resp: Response,
+}
+
+impl RespFrame {
+    /// Bytes on the wire — the inner response's size unchanged.
+    pub fn wire_size(&self) -> u64 {
+        self.resp.wire_size()
+    }
+}
 
 /// A client → server request.
 #[derive(Clone, Debug)]
@@ -60,6 +120,10 @@ pub enum Request {
         /// Peer name registered via `SrbServer::add_peer`.
         peer: String,
     },
+    /// Retire one session's fd namespace without tearing the stream down.
+    /// Only meaningful on shared (multiplexed) transports; exclusive
+    /// connections use [`Request::Disconnect`].
+    EndSession,
     /// Tear the connection down.
     Disconnect,
 }
@@ -70,6 +134,26 @@ impl Request {
         match self {
             Request::Write { payload, .. } => WIRE_HDR + payload.len(),
             _ => WIRE_HDR,
+        }
+    }
+
+    /// Short stable operation name, used by the server's request trace.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::MkColl(_) => "mkcoll",
+            Request::RmColl(_) => "rmcoll",
+            Request::Create(_) => "create",
+            Request::Open(_, _) => "open",
+            Request::Close(_) => "close",
+            Request::Read { .. } => "read",
+            Request::Write { .. } => "write",
+            Request::Stat(_) => "stat",
+            Request::Unlink(_) => "unlink",
+            Request::List(_) => "list",
+            Request::Checksum(_) => "checksum",
+            Request::Replicate { .. } => "replicate",
+            Request::EndSession => "endsession",
+            Request::Disconnect => "disconnect",
         }
     }
 }

@@ -21,7 +21,8 @@ use semplar_runtime::{Dur, Runtime};
 
 use crate::client::SrbConn;
 use crate::mcat::Mcat;
-use crate::proto::{Request, Response, WIRE_HDR};
+use crate::proto::{ReqFrame, Request, RespFrame, Response, SessionId, WIRE_HDR};
+use crate::transport::Transport;
 use crate::types::{OpenFlags, SrbError, SrbResult};
 use crate::vault::{DiskSpec, Vault};
 
@@ -102,6 +103,25 @@ struct FdEntry {
     flags: OpenFlags,
 }
 
+/// One session's slice of handler state: its fd namespace. Keyed by
+/// [`SessionId`] so sessions multiplexed over a shared stream cannot
+/// observe each other's descriptors.
+struct SessionSpace {
+    fds: std::collections::HashMap<u32, FdEntry>,
+    next_fd: u32,
+}
+
+impl Default for SessionSpace {
+    fn default() -> Self {
+        SessionSpace {
+            fds: Default::default(),
+            // First descriptor is 3, like the pre-refactor per-connection
+            // table (0-2 notionally taken by stdio).
+            next_fd: 3,
+        }
+    }
+}
+
 struct Peer {
     server: Arc<SrbServer>,
     route: ConnRoute,
@@ -110,7 +130,11 @@ struct Peer {
 }
 
 /// Both directions of one live connection, as registered for fault injection.
-type ConnChannels = (Channel<Request>, Channel<Response>);
+type ConnChannels = (Channel<ReqFrame>, Channel<RespFrame>);
+
+/// Per-connection request trace, keyed by connection id so concurrent
+/// handlers produce a deterministic ordering.
+type RequestTrace = std::collections::BTreeMap<u64, Vec<String>>;
 
 /// The Storage Resource Broker server.
 pub struct SrbServer {
@@ -129,6 +153,9 @@ pub struct SrbServer {
     live_conns: Mutex<std::collections::HashMap<u64, ConnChannels>>,
     /// While set, the server refuses new connections (fault injection).
     crashed: AtomicBool,
+    /// When enabled, every request is recorded (per connection, in arrival
+    /// order) — the golden-trace tests pin the wire behaviour with this.
+    trace: Mutex<Option<RequestTrace>>,
     connections: AtomicU64,
     requests: AtomicU64,
     bytes_written: AtomicU64,
@@ -159,6 +186,7 @@ impl SrbServer {
             peers: Mutex::new(Default::default()),
             live_conns: Mutex::new(Default::default()),
             crashed: AtomicBool::new(false),
+            trace: Mutex::new(None),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
@@ -169,6 +197,11 @@ impl SrbServer {
     /// The metadata catalog (for account setup and test assertions).
     pub fn mcat(&self) -> &Arc<Mcat> {
         &self.mcat
+    }
+
+    /// The runtime the server charges time against.
+    pub fn runtime(&self) -> &Arc<dyn Runtime> {
+        &self.rt
     }
 
     /// The storage vault (for fault injection and test assertions).
@@ -303,15 +336,44 @@ impl SrbServer {
         }
     }
 
-    /// Establish a connection: authenticates `user`, assigns a NIC, spawns
-    /// the per-connection handler actor, and returns the client handle.
-    /// Charges the TCP + SRB handshake (one round trip) to the caller.
-    pub fn connect(
+    /// Start recording every request (tag, session, op, wire size), grouped
+    /// per connection. Test instrumentation for the golden-trace fixtures.
+    pub fn enable_request_trace(&self) {
+        *self.trace.lock() = Some(Default::default());
+    }
+
+    /// Stop recording and return the trace: one line per request, grouped
+    /// by connection id ascending, arrival order within each connection.
+    pub fn take_request_trace(&self) -> Vec<String> {
+        self.trace
+            .lock()
+            .take()
+            .map(|m| m.into_values().flatten().collect())
+            .unwrap_or_default()
+    }
+
+    fn trace_request(&self, conn: u64, frame: &ReqFrame) {
+        if let Some(t) = self.trace.lock().as_mut() {
+            t.entry(conn).or_default().push(format!(
+                "conn={conn} sess={} seq={} op={} wire={}",
+                frame.session,
+                frame.seq,
+                frame.req.op_name(),
+                frame.wire_size()
+            ));
+        }
+    }
+
+    /// Shared connection plumbing: refuse if crashed, assign a NIC, charge
+    /// the TCP + SRB handshake (one round trip) to the caller, authenticate,
+    /// register the stream's channels, and spawn the per-connection handler
+    /// actor. Returns the forward path and channel pair for the transport.
+    fn establish(
         self: &Arc<Self>,
-        route: ConnRoute,
+        route: &ConnRoute,
         user: &str,
         password: &str,
-    ) -> SrbResult<SrbConn> {
+    ) -> SrbResult<(Vec<LinkId>, ConnChannels, u64)> {
         // A crashed server refuses immediately (connection refused): no
         // handshake time is charged, the caller's retry backoff paces the
         // reconnect attempts.
@@ -336,8 +398,8 @@ impl SrbServer {
 
         self.connections.fetch_add(1, Ordering::Relaxed);
         let conn_id = self.next_conn.fetch_add(1, Ordering::Relaxed);
-        let req_ch: Channel<Request> = Channel::new(&self.rt);
-        let resp_ch: Channel<Response> = Channel::new(&self.rt);
+        let req_ch: Channel<ReqFrame> = Channel::new(&self.rt);
+        let resp_ch: Channel<RespFrame> = Channel::new(&self.rt);
         self.live_conns
             .lock()
             .insert(conn_id, (req_ch.clone(), resp_ch.clone()));
@@ -357,36 +419,81 @@ impl SrbServer {
             }),
         );
 
-        Ok(SrbConn::new(
+        Ok((fwd, (req_ch, resp_ch), conn_id))
+    }
+
+    /// Establish an exclusive connection: one stream, one session, one
+    /// exchange at a time — the pre-refactor behaviour, and what the
+    /// `PerOpen` pool policy uses.
+    pub fn connect(
+        self: &Arc<Self>,
+        route: ConnRoute,
+        user: &str,
+        password: &str,
+    ) -> SrbResult<SrbConn> {
+        let (fwd, chans, _conn_id) = self.establish(&route, user, password)?;
+        let transport = Transport::exclusive(
             self.rt.clone(),
             self.net.clone(),
             fwd,
             route.opts(route.send_cap),
-            req_ch,
-            resp_ch,
+            chans,
+        );
+        Ok(SrbConn::exclusive(transport))
+    }
+
+    /// Establish a multiplexed stream carrying up to `max_inflight`
+    /// concurrent tagged exchanges. Sessions are opened on it through a
+    /// [`ConnPool`](crate::pool::ConnPool).
+    pub fn connect_transport(
+        self: &Arc<Self>,
+        route: ConnRoute,
+        user: &str,
+        password: &str,
+        max_inflight: usize,
+    ) -> SrbResult<Arc<Transport>> {
+        let (fwd, chans, conn_id) = self.establish(&route, user, password)?;
+        Ok(Transport::multiplexed(
+            self.rt.clone(),
+            self.net.clone(),
+            fwd,
+            route.opts(route.send_cap),
+            chans,
+            &format!("{}/mux-{conn_id}", self.cfg.name),
+            max_inflight,
         ))
     }
 
     fn serve_connection(
         &self,
         conn_id: u64,
-        req_ch: Channel<Request>,
-        resp_ch: Channel<Response>,
+        req_ch: Channel<ReqFrame>,
+        resp_ch: Channel<RespFrame>,
         rev: Vec<LinkId>,
         rev_opts: XferOpts,
     ) {
-        let fds: Mutex<std::collections::HashMap<u32, FdEntry>> = Mutex::new(Default::default());
-        let mut next_fd: u32 = 3;
+        // One fd namespace per session on this stream; exclusive streams
+        // only ever populate session 0.
+        let mut sessions: std::collections::HashMap<SessionId, SessionSpace> = Default::default();
         // Loop until the client disconnects, drops the channel, or a fault
         // severs the connection from outside.
-        while let Ok(req) = req_ch.recv() {
+        while let Ok(frame) = req_ch.recv() {
             self.requests.fetch_add(1, Ordering::Relaxed);
+            self.trace_request(conn_id, &frame);
             self.rt.sleep(self.cfg.op_overhead);
+            let ReqFrame { seq, session, req } = frame;
             let last = matches!(req, Request::Disconnect);
-            let resp = self.handle(req, &fds, &mut next_fd);
+            let resp = if matches!(req, Request::EndSession) {
+                sessions.remove(&session);
+                Response::Ok
+            } else {
+                let space = sessions.entry(session).or_default();
+                self.handle(req, space)
+            };
+            let frame = RespFrame { seq, session, resp };
             self.net
-                .send_message_opts(&rev, resp.wire_size(), &rev_opts);
-            if resp_ch.send(resp).is_err() {
+                .send_message_opts(&rev, frame.wire_size(), &rev_opts);
+            if resp_ch.send(frame).is_err() {
                 break;
             }
             if last {
@@ -396,24 +503,14 @@ impl SrbServer {
         self.live_conns.lock().remove(&conn_id);
     }
 
-    fn handle(
-        &self,
-        req: Request,
-        fds: &Mutex<std::collections::HashMap<u32, FdEntry>>,
-        next_fd: &mut u32,
-    ) -> Response {
-        match self.handle_inner(req, fds, next_fd) {
+    fn handle(&self, req: Request, space: &mut SessionSpace) -> Response {
+        match self.handle_inner(req, space) {
             Ok(r) => r,
             Err(e) => Response::Error(e),
         }
     }
 
-    fn handle_inner(
-        &self,
-        req: Request,
-        fds: &Mutex<std::collections::HashMap<u32, FdEntry>>,
-        next_fd: &mut u32,
-    ) -> SrbResult<Response> {
+    fn handle_inner(&self, req: Request, space: &mut SessionSpace) -> SrbResult<Response> {
         match req {
             Request::MkColl(p) => {
                 self.mcat.mk_coll(&p)?;
@@ -438,9 +535,9 @@ impl SrbServer {
                     }
                     Err(e) => return Err(e),
                 };
-                let fd = *next_fd;
-                *next_fd += 1;
-                fds.lock().insert(
+                let fd = space.next_fd;
+                space.next_fd += 1;
+                space.fds.insert(
                     fd,
                     FdEntry {
                         path: p,
@@ -451,13 +548,12 @@ impl SrbServer {
                 Ok(Response::Fd(fd))
             }
             Request::Close(fd) => {
-                fds.lock().remove(&fd).ok_or(SrbError::BadFd(fd))?;
+                space.fds.remove(&fd).ok_or(SrbError::BadFd(fd))?;
                 Ok(Response::Ok)
             }
             Request::Read { fd, offset, len } => {
                 let obj_id = {
-                    let g = fds.lock();
-                    let e = g.get(&fd).ok_or(SrbError::BadFd(fd))?;
+                    let e = space.fds.get(&fd).ok_or(SrbError::BadFd(fd))?;
                     if !e.flags.readable() {
                         return Err(SrbError::InvalidArg("fd not open for read".into()));
                     }
@@ -473,8 +569,7 @@ impl SrbServer {
                 payload,
             } => {
                 let (obj_id, path) = {
-                    let g = fds.lock();
-                    let e = g.get(&fd).ok_or(SrbError::BadFd(fd))?;
+                    let e = space.fds.get(&fd).ok_or(SrbError::BadFd(fd))?;
                     if !e.flags.writable() {
                         return Err(SrbError::InvalidArg("fd not open for write".into()));
                     }
@@ -501,6 +596,9 @@ impl SrbServer {
                 self.replicate(&path, &peer)?;
                 Ok(Response::Ok)
             }
+            // EndSession is resolved in `serve_connection` (it retires the
+            // whole session space); reaching here means a stray frame.
+            Request::EndSession => Ok(Response::Ok),
             Request::Disconnect => Ok(Response::Ok),
         }
     }

@@ -1,0 +1,252 @@
+//! The transport layer: one physical stream carrying tagged exchanges.
+//!
+//! Pre-refactor, `SrbConn` owned the raw exchange machinery (links, channel
+//! pair, serializing lock) directly — one TCP stream per logical connection,
+//! one exchange in flight. This module extracts that machinery into
+//! [`Transport`] so the session layer above it can be bound to a stream in
+//! two ways:
+//!
+//! * **Exclusive** — the stream belongs to exactly one session and carries
+//!   one exchange at a time behind a runtime lock. The operation sequence
+//!   (lock, charge forward transfer, enqueue, block on response) is
+//!   instruction-for-instruction the pre-refactor `SrbConn::call`, so the
+//!   default `PerOpen` pool policy produces a bit-identical request stream
+//!   and identical virtual timing.
+//! * **Multiplexed** — many sessions share the stream. Each exchange takes a
+//!   stream-unique `seq` tag, sends under a send-side lock (a TCP stream
+//!   serializes bytes, so concurrent frames must queue for the wire), and
+//!   parks on a per-exchange cell; a demultiplexer daemon routes tagged
+//!   responses back to their issuers. An `inflight` semaphore bounds
+//!   outstanding exchanges per stream, and the FIFO-ish wakeup order of the
+//!   runtime semaphore gives fair tag scheduling across sessions.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use semplar_netsim::net::XferOpts;
+use semplar_netsim::{LinkId, Network};
+use semplar_runtime::sync::{Channel, Closed, OnceCellBlocking, RtMutex, Semaphore};
+use semplar_runtime::Runtime;
+
+use crate::proto::{ReqFrame, Request, RespFrame, Response, SessionId};
+
+type RespCell = Arc<OnceCellBlocking<Option<Response>>>;
+
+enum Mode {
+    /// One exchange at a time; timing-identical to the pre-split client.
+    Exclusive { lock: RtMutex<()> },
+    /// Tagged exchanges share the stream; a demux daemon routes responses.
+    Multiplexed {
+        /// In-flight exchanges awaiting their tagged response.
+        pending: Arc<Mutex<HashMap<u64, RespCell>>>,
+        /// Bounds outstanding exchanges on this stream.
+        inflight: Semaphore,
+        /// Serializes frames onto the wire — one TCP stream sends bytes in
+        /// order, so concurrent exchanges queue for the forward path.
+        send_lock: RtMutex<()>,
+        /// Set by the demux daemon when the stream dies.
+        dead: Arc<AtomicBool>,
+    },
+}
+
+/// A physical stream to the server: the forward link path plus the
+/// request/response channel pair registered with the server's handler.
+pub struct Transport {
+    rt: Arc<dyn Runtime>,
+    net: Arc<Network>,
+    fwd: Vec<LinkId>,
+    fwd_opts: XferOpts,
+    req_ch: Channel<ReqFrame>,
+    resp_ch: Channel<RespFrame>,
+    next_seq: AtomicU64,
+    next_session: AtomicU64,
+    mode: Mode,
+}
+
+impl Transport {
+    /// An exclusive (one-session) transport — the pre-refactor connection.
+    pub(crate) fn exclusive(
+        rt: Arc<dyn Runtime>,
+        net: Arc<Network>,
+        fwd: Vec<LinkId>,
+        fwd_opts: XferOpts,
+        chans: (Channel<ReqFrame>, Channel<RespFrame>),
+    ) -> Arc<Transport> {
+        let (req_ch, resp_ch) = chans;
+        let lock = RtMutex::new(&rt, ());
+        Arc::new(Transport {
+            rt,
+            net,
+            fwd,
+            fwd_opts,
+            req_ch,
+            resp_ch,
+            next_seq: AtomicU64::new(0),
+            next_session: AtomicU64::new(0),
+            mode: Mode::Exclusive { lock },
+        })
+    }
+
+    /// A multiplexed transport carrying up to `max_inflight` concurrent
+    /// exchanges. Spawns the demultiplexer daemon (named `label`).
+    pub(crate) fn multiplexed(
+        rt: Arc<dyn Runtime>,
+        net: Arc<Network>,
+        fwd: Vec<LinkId>,
+        fwd_opts: XferOpts,
+        chans: (Channel<ReqFrame>, Channel<RespFrame>),
+        label: &str,
+        max_inflight: usize,
+    ) -> Arc<Transport> {
+        let (req_ch, resp_ch) = chans;
+        let pending: Arc<Mutex<HashMap<u64, RespCell>>> = Arc::new(Mutex::new(Default::default()));
+        let dead = Arc::new(AtomicBool::new(false));
+        let inflight = Semaphore::new(&rt, max_inflight.max(1));
+        let send_lock = RtMutex::new(&rt, ());
+
+        // Demux daemon: routes tagged responses to the exchange that issued
+        // them. A daemon because an idle shared stream must not keep the
+        // simulation alive. On stream death it marks the transport dead
+        // *while holding the pending lock* (so no exchange can register a
+        // cell afterwards) and then fails every parked exchange.
+        let demux_pending = pending.clone();
+        let demux_dead = dead.clone();
+        let demux_resp = resp_ch.clone();
+        rt.spawn_daemon(
+            label,
+            Box::new(move || {
+                while let Ok(frame) = demux_resp.recv() {
+                    let cell = demux_pending.lock().remove(&frame.seq);
+                    if let Some(cell) = cell {
+                        cell.set(Some(frame.resp));
+                    }
+                }
+                let orphans: Vec<RespCell> = {
+                    let mut g = demux_pending.lock();
+                    demux_dead.store(true, Ordering::SeqCst);
+                    g.drain().map(|(_, c)| c).collect()
+                };
+                for cell in orphans {
+                    cell.set(None);
+                }
+            }),
+        );
+
+        Arc::new(Transport {
+            rt,
+            net,
+            fwd,
+            fwd_opts,
+            req_ch,
+            resp_ch,
+            next_seq: AtomicU64::new(0),
+            next_session: AtomicU64::new(0),
+            mode: Mode::Multiplexed {
+                pending,
+                inflight,
+                send_lock,
+                dead,
+            },
+        })
+    }
+
+    /// Allocate the next session id on this transport. Exclusive transports
+    /// call this exactly once (session 0).
+    pub fn open_session(&self) -> SessionId {
+        SessionId(self.next_session.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// One tagged request/response exchange on behalf of `session`. Charges
+    /// the forward transfer to the caller; the server handler charges
+    /// processing, disk, and the response transfer before replying. Fails
+    /// with [`Closed`] when the stream is severed.
+    pub fn exchange(&self, session: SessionId, req: Request) -> Result<Response, Closed> {
+        match &self.mode {
+            Mode::Exclusive { lock } => {
+                let _g = lock.lock();
+                let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+                let frame = ReqFrame { seq, session, req };
+                self.net
+                    .send_message_opts(&self.fwd, frame.wire_size(), &self.fwd_opts);
+                self.req_ch.send(frame).map_err(|_| Closed)?;
+                let resp = self.resp_ch.recv().map_err(|_| Closed)?;
+                debug_assert_eq!(resp.seq, seq, "exclusive stream reordered a response");
+                Ok(resp.resp)
+            }
+            Mode::Multiplexed {
+                pending,
+                inflight,
+                send_lock,
+                dead,
+            } => {
+                inflight.acquire();
+                let r = self.exchange_mux(pending, send_lock, dead, session, req);
+                inflight.release();
+                r
+            }
+        }
+    }
+
+    fn exchange_mux(
+        &self,
+        pending: &Mutex<HashMap<u64, RespCell>>,
+        send_lock: &RtMutex<()>,
+        dead: &AtomicBool,
+        session: SessionId,
+        req: Request,
+    ) -> Result<Response, Closed> {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let cell: RespCell = OnceCellBlocking::new(&self.rt);
+        {
+            // Registering under the pending lock pairs with the demux
+            // daemon's dead-marking under the same lock: either the daemon
+            // sees this cell when it drains, or we see `dead` here.
+            let mut g = pending.lock();
+            if dead.load(Ordering::SeqCst) {
+                return Err(Closed);
+            }
+            g.insert(seq, cell.clone());
+        }
+        let frame = ReqFrame { seq, session, req };
+        {
+            let _g = send_lock.lock();
+            self.net
+                .send_message_opts(&self.fwd, frame.wire_size(), &self.fwd_opts);
+            if self.req_ch.send(frame).is_err() {
+                pending.lock().remove(&seq);
+                return Err(Closed);
+            }
+        }
+        match cell.wait() {
+            Some(resp) => Ok(resp),
+            None => Err(Closed),
+        }
+    }
+
+    /// True while the stream can still carry exchanges. Checks the channel
+    /// itself as well as the demux daemon's flag, so a sever is visible to
+    /// the pool immediately — not only after the daemon has been scheduled.
+    pub fn is_alive(&self) -> bool {
+        if self.req_ch.is_closed() || self.resp_ch.is_closed() {
+            return false;
+        }
+        match &self.mode {
+            Mode::Exclusive { .. } => true,
+            Mode::Multiplexed { dead, .. } => !dead.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Sever the stream from the client side (both channel directions).
+    pub fn close(&self) {
+        self.req_ch.close();
+        self.resp_ch.close();
+    }
+
+    /// The runtime this transport charges time against.
+    pub fn runtime(&self) -> &Arc<dyn Runtime> {
+        &self.rt
+    }
+}
