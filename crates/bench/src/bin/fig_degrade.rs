@@ -1,0 +1,77 @@
+//! Degraded-link striping: one striped write on a multi-homed client with
+//! a seeded single-link degrade (stream 0's uplink throttled 4×), with
+//! round-robin vs goodput-adaptive block placement.
+//!
+//! Round-robin keeps feeding the throttled path its full share of blocks,
+//! so the slow stream gates the whole write; the adaptive scheduler weighs
+//! placement by each stream's measured goodput and rebalances mid-write.
+//! Entirely in virtual time and seeded, so the output is bit-identical
+//! across invocations — CI diffs `--quick` against
+//! `results/fig_degrade_quick.txt`.
+
+use semplar_bench::table::mbps;
+use semplar_bench::{fig_degrade, Table};
+use semplar_runtime::{Dur, Time};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bytes: u64 = if quick { 16 << 20 } else { 64 << 20 };
+    let streams = 2;
+    let block = 1u64 << 20;
+    let factor = 0.25;
+    let seed = 11u64;
+    let degrade_at = Dur::from_millis(200);
+
+    let rep = fig_degrade(streams, bytes, block, factor, seed, degrade_at);
+
+    let mut t = Table::new(
+        &format!(
+            "Degraded link (2x50 Mb/s paths): {} MiB striped write, {streams} streams, \
+             1 MiB blocks, uplink 0 at {}x from t={:.1}s, seed {seed}",
+            bytes >> 20,
+            factor,
+            rep.degrade_at_secs
+        ),
+        &["metric", "value"],
+    );
+    t.row(vec!["round-robin write".into(), mbps(rep.rr_mbps)]);
+    t.row(vec![
+        "round-robin time".into(),
+        format!("{:.3} s", rep.rr_secs),
+    ]);
+    t.row(vec!["adaptive write".into(), mbps(rep.adaptive_mbps)]);
+    t.row(vec![
+        "adaptive time".into(),
+        format!("{:.3} s", rep.adaptive_secs),
+    ]);
+    t.row(vec![
+        "adaptive speedup".into(),
+        format!("{:.2}x", rep.speedup()),
+    ]);
+    for (i, (blocks, by)) in rep
+        .stats
+        .blocks
+        .iter()
+        .zip(rep.stats.bytes.iter())
+        .enumerate()
+    {
+        t.row(vec![
+            format!("stream {i} carried"),
+            format!("{blocks} blocks / {} MiB", by >> 20),
+        ]);
+    }
+    t.row(vec![
+        "blocks migrated off home".into(),
+        rep.stats.migrated.to_string(),
+    ]);
+    t.row(vec![
+        "blocks requeued on failure".into(),
+        rep.stats.requeued.to_string(),
+    ]);
+    t.print();
+
+    println!("fault ledger (virtual time):");
+    for (at, what) in &rep.faults.ledger {
+        println!("  [{:9.3} s] {what}", (*at - Time::ZERO).as_secs_f64());
+    }
+}

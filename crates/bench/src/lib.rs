@@ -18,13 +18,16 @@
 
 use std::sync::{Arc, Mutex};
 
-use semplar::{AdioFs, OpenFlags, Payload, RecoveryStats, SrbFs, StripeUnit, StripedFile};
+use semplar::{
+    AdioFs, OpenFlags, Payload, RecoveryStats, SrbFs, SrbFsConfig, StripeStats, StripeUnit,
+    StripedFile,
+};
 use semplar_clusters::{ClusterSpec, Testbed};
 use semplar_faults::{FaultPlan, FaultStats};
-use semplar_netsim::NetStats;
+use semplar_netsim::{Bw, NetStats, Network};
 use semplar_runtime::sync::Barrier;
 use semplar_runtime::{spawn, Dur, SimRuntime};
-use semplar_srb::PoolPolicy;
+use semplar_srb::{ConnRoute, PoolPolicy, RetryPolicy, SrbServer, SrbServerCfg};
 use semplar_workloads::{
     estgen, run_blast, run_compress, run_laplace, run_perf, BlastParams, CompressMode,
     CompressParams, LaplaceMode, LaplaceParams, PerfParams,
@@ -536,6 +539,92 @@ pub fn fig_availability(
     })
 }
 
+/// Result of the Fig. 9 compression pipeline run under the availability
+/// fault plan: the async-compressed write, once fault-free and once with
+/// the same seeded WAN flaps / vault stall / connection reset / server
+/// crash used by [`fig_availability`].
+#[derive(Clone, Debug)]
+pub struct CompressFaultsReport {
+    /// Nodes writing concurrently.
+    pub procs: usize,
+    /// Source bytes per node.
+    pub file_bytes: u64,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Async-compressed aggregate write bandwidth without faults, Mb/s.
+    pub baseline_mbps: f64,
+    /// Async-compressed aggregate write bandwidth under the plan, Mb/s.
+    pub faulted_mbps: f64,
+    /// Compression ratio achieved under faults.
+    pub ratio: f64,
+    /// Compressed frames re-shipped from their retained copies instead of
+    /// being recompressed, summed over ranks.
+    pub resumed_frames: u64,
+    /// Client-side recovery counters from the faulted run.
+    pub recovery: RecoveryStats,
+    /// What the injector actually did (virtual-time ledger + counters).
+    pub faults: FaultStats,
+}
+
+impl CompressFaultsReport {
+    /// Goodput under faults as a fraction of the fault-free baseline.
+    pub fn goodput_fraction(&self) -> f64 {
+        self.faulted_mbps / self.baseline_mbps
+    }
+}
+
+/// The Fig. 9 compression workload under the [`fig_availability`] fault
+/// plan. The pipeline's retained compressed frames mean a severed
+/// connection costs a re-ship of at most `depth` frames, never a
+/// recompression. Entirely in virtual time and seeded, so the report is
+/// bit-identical for the same inputs.
+pub fn fig9_compress_faults(
+    spec: ClusterSpec,
+    procs: usize,
+    file_bytes: u64,
+    seed: u64,
+    reset_at: Dur,
+    crash_at: Dur,
+) -> CompressFaultsReport {
+    let data = Arc::new(estgen::generate(
+        file_bytes as usize,
+        2006,
+        &estgen::EstGenConfig::default(),
+    ));
+    with_testbed(spec, procs, move |tb| {
+        let params = CompressParams {
+            file_bytes,
+            mode: CompressMode::AsyncCompressed,
+            ..CompressParams::default()
+        };
+        let base = run_compress(&tb, procs, data.clone(), params);
+
+        let (wan_up, _) = tb.wan_links();
+        let plan = FaultPlan::new(seed)
+            .link_flap(wan_up, Dur::from_millis(500), Dur::from_millis(300), 2)
+            .vault_stall_at(Dur::from_millis(900), 4 << 20)
+            .conn_reset_at(reset_at)
+            .server_crash_at(crash_at, Dur::from_millis(400));
+        let inj = plan.inject(&tb.rt, &tb.net, &tb.server);
+        let faulted = run_compress(&tb, procs, data.clone(), params);
+        while !inj.done() {
+            tb.rt.sleep(Dur::from_millis(50));
+        }
+
+        CompressFaultsReport {
+            procs,
+            file_bytes,
+            seed,
+            baseline_mbps: base.agg_write_mbps,
+            faulted_mbps: faulted.agg_write_mbps,
+            ratio: faulted.ratio,
+            resumed_frames: faulted.resumed_frames,
+            recovery: faulted.recovery,
+            faults: inj.stats(),
+        }
+    })
+}
+
 /// One row of the scale experiment: many clients, one server.
 #[derive(Clone, Debug)]
 pub struct ScaleRow {
@@ -629,5 +718,157 @@ pub fn fig_scale(
         live_handlers,
         secs,
         mbps: (clients as u64 * bytes) as f64 * 8.0 / 1e6 / secs,
+    }
+}
+
+/// Result of the degraded-link striping experiment: one striped write with
+/// round-robin block placement vs the goodput-adaptive scheduler, under an
+/// identical seeded [`FaultPlan`] that throttles stream 0's uplink.
+#[derive(Clone, Debug)]
+pub struct DegradeReport {
+    /// Striped streams (each on its own physical path).
+    pub streams: usize,
+    /// Bytes written.
+    pub bytes: u64,
+    /// Stripe/scheduling block size.
+    pub block: u64,
+    /// Capacity multiplier applied to stream 0's uplink (0.25 = 4× slower).
+    pub factor: f64,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Virtual seconds the degrade lands after the write starts.
+    pub degrade_at_secs: f64,
+    /// Round-robin (`StripeUnit::Bytes`) write bandwidth, Mb/s.
+    pub rr_mbps: f64,
+    /// Round-robin write time, virtual seconds.
+    pub rr_secs: f64,
+    /// Adaptive (`StripeUnit::Adaptive`) write bandwidth, Mb/s.
+    pub adaptive_mbps: f64,
+    /// Adaptive write time, virtual seconds.
+    pub adaptive_secs: f64,
+    /// Placement ledger of the adaptive run.
+    pub stats: StripeStats,
+    /// What the injector did during the adaptive run (identical plan and
+    /// seed in the round-robin run).
+    pub faults: FaultStats,
+}
+
+impl DegradeReport {
+    /// Adaptive bandwidth over round-robin bandwidth.
+    pub fn speedup(&self) -> f64 {
+        self.adaptive_mbps / self.rr_mbps
+    }
+}
+
+/// One arm of the degrade experiment in a fresh simulation: a multi-homed
+/// client (one 50 Mb/s path per stream) writes `bytes` over a striped file
+/// while a seeded plan throttles stream 0's uplink to `factor` of its
+/// capacity. Returns (virtual seconds, placement stats, fault ledger).
+fn degrade_write(
+    unit: StripeUnit,
+    streams: usize,
+    bytes: u64,
+    factor: f64,
+    seed: u64,
+    degrade_at: Dur,
+) -> (f64, StripeStats, FaultStats) {
+    let sim = SimRuntime::new();
+    sim.run_root(move |rt| {
+        let net = Network::new(rt.clone());
+        let mut routes = Vec::with_capacity(streams);
+        let mut up0 = None;
+        for i in 0..streams {
+            let up = net.add_link(&format!("up{i}"), Bw::mbps(50.0), Dur::from_millis(10));
+            let down = net.add_link(&format!("down{i}"), Bw::mbps(50.0), Dur::from_millis(10));
+            if i == 0 {
+                up0 = Some(up);
+            }
+            routes.push(ConnRoute {
+                fwd: vec![up],
+                rev: vec![down],
+                send_cap: None,
+                recv_cap: None,
+                bus: None,
+            });
+        }
+        let server = SrbServer::new(net.clone(), SrbServerCfg::default());
+        server.mcat().add_user("u", "p");
+        let fs = SrbFs::with_stream_routes(
+            server.clone(),
+            SrbFsConfig {
+                route: routes[0].clone(),
+                user: "u".into(),
+                password: "p".into(),
+            },
+            routes.clone(),
+            PoolPolicy::PerOpen,
+            RetryPolicy::default(),
+        );
+        // The degrade persists past the end of the write (restore far out);
+        // the run ends when the root closure returns.
+        let plan = FaultPlan::new(seed).link_degrade_at(
+            up0.expect("stream 0 uplink"),
+            degrade_at,
+            factor,
+            Dur::from_secs(3600),
+        );
+        let inj = plan.inject(&rt, &net, &server);
+
+        let f = StripedFile::open(&rt, &fs, "/deg", OpenFlags::CreateRw, streams, unit)
+            .expect("open degrade file");
+        let t0 = rt.now();
+        let req = f.iwrite_at(0, Payload::sized(bytes));
+        let total = req.wait_rebalanced().expect("degrade write");
+        assert_eq!(total, bytes, "short striped write");
+        let secs = (rt.now() - t0).as_secs_f64();
+        let stats = f.stripe_stats();
+        f.close().expect("close degrade file");
+        (secs, stats, inj.stats())
+    })
+}
+
+/// The degraded-link experiment: same write, same seeded single-link
+/// degrade, with round-robin vs goodput-adaptive block placement. Under
+/// round-robin the throttled stream carries `1/streams` of the blocks and
+/// gates the whole operation; the adaptive scheduler re-weights placement
+/// by the measured goodput and keeps every path busy until the end.
+pub fn fig_degrade(
+    streams: usize,
+    bytes: u64,
+    block: u64,
+    factor: f64,
+    seed: u64,
+    degrade_at: Dur,
+) -> DegradeReport {
+    let (rr_secs, _, _) = degrade_write(
+        StripeUnit::Bytes(block),
+        streams,
+        bytes,
+        factor,
+        seed,
+        degrade_at,
+    );
+    let (adaptive_secs, stats, faults) = degrade_write(
+        StripeUnit::Adaptive { block },
+        streams,
+        bytes,
+        factor,
+        seed,
+        degrade_at,
+    );
+    let mbps = |secs: f64| bytes as f64 * 8.0 / secs / 1e6;
+    DegradeReport {
+        streams,
+        bytes,
+        block,
+        factor,
+        seed,
+        degrade_at_secs: degrade_at.as_secs_f64(),
+        rr_mbps: mbps(rr_secs),
+        rr_secs,
+        adaptive_mbps: mbps(adaptive_secs),
+        adaptive_secs,
+        stats,
+        faults,
     }
 }

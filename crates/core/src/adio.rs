@@ -75,6 +75,12 @@ pub trait AdioFile: Send {
     /// Flush and release resources (terminates the connection on SRBFS,
     /// matching the paper's `MPI_File_close`).
     fn close(&mut self) -> IoResult<()>;
+    /// Goodput telemetry for the stream this file rides, if the backend
+    /// measures one ([`IoMeter`](semplar_srb::IoMeter) on SRBFS). Local
+    /// backends return `None` and schedulers fall back to uniform weights.
+    fn meter(&self) -> Option<Arc<semplar_srb::IoMeter>> {
+        None
+    }
 }
 
 /// A mountable filesystem backend.

@@ -22,6 +22,13 @@ pub struct File {
     rt: Arc<dyn Runtime>,
     inner: Arc<RtMutex<Box<dyn crate::adio::AdioFile>>>,
     engine: Arc<IoEngine>,
+    /// The backend stream's goodput meter, captured at open so schedulers
+    /// can read it without taking `inner` (which an I/O thread holds for
+    /// the whole duration of a block transfer). If the backend later
+    /// reconnects onto a fresh stream the handle goes stale (it stops
+    /// updating); adaptive consumers treat a failed stream as out of the
+    /// operation anyway.
+    meter: Option<Arc<semplar_srb::IoMeter>>,
 }
 
 impl File {
@@ -60,12 +67,14 @@ impl File {
         pin: Option<usize>,
     ) -> IoResult<File> {
         let adio = fs.open_pinned(path, flags, pin)?;
+        let meter = adio.meter();
         let inner = Arc::new(RtMutex::new(rt, adio));
         let engine = IoEngine::new(rt.clone(), cfg, inner.clone());
         Ok(File {
             rt: rt.clone(),
             inner,
             engine,
+            meter,
         })
     }
 
@@ -132,6 +141,17 @@ impl File {
     pub fn close(&self) -> IoResult<()> {
         self.engine.shutdown();
         self.inner.lock().close()
+    }
+
+    /// The backend stream's goodput meter, if the backend measures one
+    /// (see the field docs for staleness after a reconnect).
+    pub fn meter_handle(&self) -> Option<&Arc<semplar_srb::IoMeter>> {
+        self.meter.as_ref()
+    }
+
+    /// Snapshot of the backend stream's telemetry, if measured.
+    pub fn meter(&self) -> Option<semplar_srb::MeterSnapshot> {
+        self.meter.as_ref().map(|m| m.snapshot())
     }
 
     /// Engine counters (tests, ablations).

@@ -44,17 +44,19 @@ pub mod stripe;
 pub use adio::{AdioFile, AdioFs, IoError, IoResult, MemFs};
 pub use engine::{EngineCfg, EngineStats};
 pub use file::{with_file, File};
-pub use pipeline::{CompressedReader, CompressedWriter, ComputeModel, DEFAULT_BLOCK};
+pub use pipeline::{
+    CompressCheckpoint, CompressedReader, CompressedWriter, ComputeModel, DEFAULT_BLOCK,
+};
 pub use pointer::{FilePointer, Whence};
 pub use prefetch::Prefetcher;
 pub use pvfs::PvfsLike;
 pub use request::{Request, Status};
 pub use srbfs::{RecoveryStats, SrbFs, SrbFsConfig, RESUME_BLOCK};
 pub use staging::{stage_in, stage_out, STAGE_BLOCK};
-pub use stripe::{MultiRequest, StripeUnit, StripedFile};
+pub use stripe::{MultiRequest, StripeStats, StripeUnit, StripedFile};
 
 // Re-export the substrate types users need at the API surface.
-pub use semplar_srb::{OpenFlags, Payload};
+pub use semplar_srb::{IoMeter, MeterSnapshot, OpenFlags, Payload, SlotPolicy};
 
 #[cfg(test)]
 mod tests {

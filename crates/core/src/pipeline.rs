@@ -49,6 +49,31 @@ impl ComputeModel {
     }
 }
 
+/// A durable position in a compressed stream: everything up to here is
+/// acknowledged by the server. Feed it to [`CompressedWriter::resume`] after
+/// a connection loss and re-supply the input from `raw_offset` — nothing
+/// before it is recompressed or retransmitted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompressCheckpoint {
+    /// Uncompressed input bytes acknowledged.
+    pub raw_offset: u64,
+    /// Wire (compressed-stream) offset acknowledged — where the next frame
+    /// will land.
+    pub wire_offset: u64,
+}
+
+/// One dispatched frame awaiting acknowledgement. The payload is retained
+/// until the ack so a transiently failed frame can be re-shipped as-is
+/// (no recompression) — the write-side analogue of the transport's
+/// `Disconnected{acked}` resume.
+struct Frame {
+    wire_off: u64,
+    raw_len: u64,
+    wire_len: u64,
+    payload: Payload,
+    req: Request,
+}
+
 /// Streaming compressed writer over a [`File`].
 pub struct CompressedWriter<'a> {
     file: &'a File,
@@ -64,10 +89,16 @@ pub struct CompressedWriter<'a> {
     /// sweeps to keep host memory flat; timing is identical.
     sized_output: bool,
     offset: u64,
-    inflight: VecDeque<Request>,
+    inflight: VecDeque<Frame>,
     pending: Vec<u8>,
     bytes_in: u64,
     bytes_out: u64,
+    /// Input/wire bytes acknowledged so far — the checkpoint frontier.
+    acked_raw: u64,
+    acked_wire: u64,
+    /// Frames whose async write failed transiently and were re-shipped from
+    /// the retained copy instead of being recompressed.
+    resumed_frames: u64,
 }
 
 impl<'a> CompressedWriter<'a> {
@@ -86,7 +117,27 @@ impl<'a> CompressedWriter<'a> {
             pending: Vec::new(),
             bytes_in: 0,
             bytes_out: 0,
+            acked_raw: 0,
+            acked_wire: 0,
+            resumed_frames: 0,
         }
+    }
+
+    /// Rebuild a writer mid-stream after a failure: frames land from
+    /// `ckpt.wire_offset` on, and the caller re-feeds input starting at
+    /// `ckpt.raw_offset`. Combined with [`checkpoint`](Self::checkpoint)
+    /// this resumes from the last acked compressed block instead of
+    /// recompressing (and re-sending) the stream from offset zero.
+    pub fn resume(
+        file: &'a File,
+        codec: &'a dyn Codec,
+        ckpt: CompressCheckpoint,
+    ) -> CompressedWriter<'a> {
+        let mut w = CompressedWriter::new(file, codec);
+        w.offset = ckpt.wire_offset;
+        w.acked_raw = ckpt.raw_offset;
+        w.acked_wire = ckpt.wire_offset;
+        w
     }
 
     /// Override the block size.
@@ -153,29 +204,72 @@ impl<'a> CompressedWriter<'a> {
             // Synchronous baseline: compression and the remote write both sit
             // in the critical path.
             self.file.write_at(self.offset, &payload)?;
+            self.acked_raw += block.len() as u64;
+            self.acked_wire = self.offset + len;
         } else {
             while self.inflight.len() >= self.depth {
                 let oldest = self.inflight.pop_front().expect("non-empty");
-                oldest.wait()?;
+                self.settle_frame(oldest)?;
             }
-            self.inflight
-                .push_back(self.file.iwrite_at(self.offset, payload));
+            let req = self.file.iwrite_at(self.offset, payload.clone());
+            self.inflight.push_back(Frame {
+                wire_off: self.offset,
+                raw_len: block.len() as u64,
+                wire_len: len,
+                payload,
+                req,
+            });
         }
         self.offset += len;
         Ok(())
     }
 
+    /// Wait for `frame`'s ack and advance the checkpoint frontier. A
+    /// transient failure re-ships the retained payload synchronously (the
+    /// backend's reconnect+resume recovery underneath) — the block is never
+    /// recompressed.
+    fn settle_frame(&mut self, frame: Frame) -> IoResult<()> {
+        match frame.req.wait() {
+            Ok(_) => {}
+            Err(e) if e.is_transient() => {
+                self.file.write_at(frame.wire_off, &frame.payload)?;
+                self.resumed_frames += 1;
+            }
+            Err(e) => return Err(e),
+        }
+        self.acked_raw += frame.raw_len;
+        self.acked_wire = frame.wire_off + frame.wire_len;
+        Ok(())
+    }
+
     /// Flush the trailing partial block and wait for the pipeline to drain.
-    /// Returns (uncompressed bytes, compressed bytes on the wire).
-    pub fn finish(mut self) -> IoResult<(u64, u64)> {
+    /// Returns (uncompressed bytes, compressed bytes on the wire). On error
+    /// the writer stays usable for [`checkpoint`](Self::checkpoint), so a
+    /// caller can hand the position to [`resume`](Self::resume).
+    pub fn finish(&mut self) -> IoResult<(u64, u64)> {
         if !self.pending.is_empty() {
             let block = std::mem::take(&mut self.pending);
             self.dispatch(&block)?;
         }
-        while let Some(r) = self.inflight.pop_front() {
-            r.wait()?;
+        while let Some(f) = self.inflight.pop_front() {
+            self.settle_frame(f)?;
         }
         Ok((self.bytes_in, self.bytes_out))
+    }
+
+    /// The acknowledged stream position. Bytes buffered in [`write`](
+    /// Self::write) or still in flight are *not* covered — after a failure,
+    /// re-feed input from `raw_offset`.
+    pub fn checkpoint(&self) -> CompressCheckpoint {
+        CompressCheckpoint {
+            raw_offset: self.acked_raw,
+            wire_offset: self.acked_wire,
+        }
+    }
+
+    /// Frames re-shipped from their retained copy after a transient failure.
+    pub fn resumed_frames(&self) -> u64 {
+        self.resumed_frames
     }
 
     /// Compression ratio so far (compressed / uncompressed).
@@ -226,5 +320,168 @@ impl CompressedReader {
             off += 8 + clen;
         }
         Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adio::MemFs;
+    use crate::srbfs::{SrbFs, SrbFsConfig};
+    use semplar_compress::Lzf;
+    use semplar_netsim::Network;
+    use semplar_runtime::{simulate, Dur};
+    use semplar_srb::{ConnRoute, OpenFlags, RetryPolicy, SrbServer, SrbServerCfg};
+
+    #[test]
+    fn checkpoint_advances_only_on_acked_frames() {
+        simulate(|rt| {
+            let fs = MemFs::new(rt.clone());
+            let codec = Lzf;
+            let f = File::open(&rt, &fs, "/ck", OpenFlags::CreateRw).unwrap();
+            let mut w = CompressedWriter::new(&f, &codec).block_size(4096).depth(2);
+            assert_eq!(w.checkpoint(), CompressCheckpoint::default());
+            // One partial block: buffered, not dispatched, not checkpointed.
+            w.write(&[7u8; 1000]).unwrap();
+            assert_eq!(w.checkpoint().raw_offset, 0);
+            // Enough blocks that the depth-2 window must settle some acks.
+            w.write(&vec![42u8; 64 * 1024]).unwrap();
+            let ck = w.checkpoint();
+            assert!(ck.raw_offset > 0, "settled frames must advance the ckpt");
+            assert_eq!(ck.raw_offset % 4096, 0, "ckpt lands on block boundaries");
+            assert!(ck.wire_offset > 0);
+            w.finish().unwrap();
+            f.close().unwrap();
+        });
+    }
+
+    /// The write-side resume: a crash mid-stream surfaces an error; the
+    /// caller reopens, resumes from the checkpoint, and re-feeds only the
+    /// unacked tail. The stream decompresses to the original data and the
+    /// acked prefix was neither recompressed nor retransmitted.
+    #[test]
+    fn resume_from_checkpoint_after_server_crash() {
+        simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let up = net.add_link("up", semplar_netsim::Bw::mbps(40.0), Dur::from_millis(5));
+            let down = net.add_link("down", semplar_netsim::Bw::mbps(40.0), Dur::from_millis(5));
+            let server = SrbServer::new(net, SrbServerCfg::default());
+            server.mcat().add_user("u", "p");
+            // No retries: the first failure reaches the writer, like the
+            // prefetcher's fallback test.
+            let fs = SrbFs::with_retry(
+                server.clone(),
+                SrbFsConfig {
+                    route: ConnRoute {
+                        fwd: vec![up],
+                        rev: vec![down],
+                        send_cap: None,
+                        recv_cap: None,
+                        bus: None,
+                    },
+                    user: "u".into(),
+                    password: "p".into(),
+                },
+                RetryPolicy::none(),
+            );
+            let codec = Lzf;
+            let data: Vec<u8> = b"REMOTE-IO-".repeat(80_000); // 800 KB
+            let block = 64 * 1024usize;
+
+            let f = File::open(&rt, &fs, "/z", OpenFlags::CreateRw).unwrap();
+            let mut w = CompressedWriter::new(&f, &codec).block_size(block);
+            let s2 = server.clone();
+            let rt2 = rt.clone();
+            let chaos = semplar_runtime::spawn(&rt, "chaos", move || {
+                rt2.sleep(Dur::from_millis(40));
+                s2.crash();
+                rt2.sleep(Dur::from_millis(20));
+                s2.restart();
+            });
+            // Feed in block-sized steps so the error surfaces mid-stream.
+            let mut fed = 0usize;
+            let mut failed_at = None;
+            while fed < data.len() {
+                let end = (fed + block).min(data.len());
+                if w.write(&data[fed..end]).is_err() {
+                    failed_at = Some(fed);
+                    break;
+                }
+                fed = end;
+            }
+            let failed = match failed_at {
+                Some(_) => true,
+                // The window may hold the error until the drain.
+                None => w.finish().is_err(),
+            };
+            chaos.join_unwrap();
+            assert!(failed, "the crash must surface to the writer");
+            let ck = w.checkpoint();
+            assert!(ck.raw_offset > 0, "some frames were acked before the cut");
+            assert!(
+                ck.raw_offset < data.len() as u64,
+                "not everything can be acked"
+            );
+            let _ = f.close();
+
+            // Resume: reopen (fresh connection) and re-feed the unacked tail.
+            let f = File::open(&rt, &fs, "/z", OpenFlags::ReadWrite).unwrap();
+            let mut w = CompressedWriter::resume(&f, &codec, ck);
+            w.write(&data[ck.raw_offset as usize..]).unwrap();
+            w.finish().unwrap();
+            let back = CompressedReader::read_all(&f, &codec).unwrap();
+            assert_eq!(back, data, "resumed stream must decompress exactly");
+            f.close().unwrap();
+        });
+    }
+
+    /// A transient mid-window failure that the settle path can cure itself:
+    /// the retained frame is re-shipped without recompression and the
+    /// stream completes with no caller involvement.
+    #[test]
+    fn transient_frame_failure_reships_retained_copy() {
+        simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let up = net.add_link("up", semplar_netsim::Bw::mbps(40.0), Dur::from_millis(5));
+            let down = net.add_link("down", semplar_netsim::Bw::mbps(40.0), Dur::from_millis(5));
+            let server = SrbServer::new(net, SrbServerCfg::default());
+            server.mcat().add_user("u", "p");
+            // Default retry policy: the synchronous re-ship inside
+            // settle_frame rides the backend's reconnect recovery.
+            let fs = SrbFs::new(
+                server.clone(),
+                SrbFsConfig {
+                    route: ConnRoute {
+                        fwd: vec![up],
+                        rev: vec![down],
+                        send_cap: None,
+                        recv_cap: None,
+                        bus: None,
+                    },
+                    user: "u".into(),
+                    password: "p".into(),
+                },
+            );
+            let codec = Lzf;
+            let data: Vec<u8> = b"GATTACA".repeat(100_000); // 700 KB
+            let f = File::open(&rt, &fs, "/t", OpenFlags::CreateRw).unwrap();
+            let mut w = CompressedWriter::new(&f, &codec).block_size(64 * 1024);
+            let s2 = server.clone();
+            let rt2 = rt.clone();
+            let chaos = semplar_runtime::spawn(&rt, "chaos", move || {
+                rt2.sleep(Dur::from_millis(30));
+                s2.crash();
+                rt2.sleep(Dur::from_millis(10));
+                s2.restart();
+            });
+            w.write(&data).unwrap();
+            let resumed = w.resumed_frames();
+            w.finish().unwrap();
+            chaos.join_unwrap();
+            let _ = resumed; // may settle during write or during finish
+            let back = CompressedReader::read_all(&f, &codec).unwrap();
+            assert_eq!(back, data);
+            f.close().unwrap();
+        });
     }
 }

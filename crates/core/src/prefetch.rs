@@ -10,18 +10,32 @@
 //! pipeline.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-use semplar_srb::Payload;
+use semplar_srb::{IoMeter, Payload};
 
 use crate::adio::IoResult;
 use crate::file::File;
 use crate::request::Request;
 
+/// How many blocks the prefetcher keeps in flight.
+enum Window {
+    /// A fixed depth chosen by the caller.
+    Fixed(usize),
+    /// Sized from the stream's measured goodput: enough blocks to cover
+    /// twice the bandwidth–delay product, re-evaluated before each refill,
+    /// clamped to `[1, max]`. Starts at 1 until telemetry arrives.
+    Auto {
+        max: usize,
+        meter: Option<Arc<IoMeter>>,
+    },
+}
+
 /// A streaming reader with asynchronous read-ahead.
 pub struct Prefetcher<'a> {
     file: &'a File,
     block: u64,
-    depth: usize,
+    window: Window,
     next_issue: u64,
     inflight: VecDeque<(u64, Request)>,
     finished: bool,
@@ -35,15 +49,54 @@ impl<'a> Prefetcher<'a> {
         Prefetcher {
             file,
             block,
-            depth,
+            window: Window::Fixed(depth),
             next_issue: offset,
             inflight: VecDeque::new(),
             finished: false,
         }
     }
 
+    /// Like [`new`](Self::new), but the window sizes itself from the
+    /// backend's goodput telemetry instead of a fixed depth: deep enough to
+    /// cover 2× the measured bandwidth–delay product (the classic pipe-full
+    /// condition with headroom for estimate noise), never more than `max`.
+    /// On backends without a meter (e.g. [`MemFs`](crate::MemFs), where I/O
+    /// is immediate anyway) the window stays at one block.
+    pub fn auto(file: &'a File, offset: u64, block: u64, max: usize) -> Prefetcher<'a> {
+        assert!(block > 0 && max > 0);
+        Prefetcher {
+            file,
+            block,
+            window: Window::Auto {
+                max,
+                meter: file.meter_handle().cloned(),
+            },
+            next_issue: offset,
+            inflight: VecDeque::new(),
+            finished: false,
+        }
+    }
+
+    /// The depth the window is currently targeting.
+    pub fn window_depth(&self) -> usize {
+        match &self.window {
+            Window::Fixed(d) => *d,
+            Window::Auto { max, meter } => {
+                let Some(snap) = meter.as_ref().map(|m| m.snapshot()) else {
+                    return 1;
+                };
+                if snap.goodput_bps <= 0.0 || snap.latency_s <= 0.0 {
+                    return 1;
+                }
+                let blocks = (2.0 * snap.goodput_bps * snap.latency_s / self.block as f64).ceil();
+                (blocks as usize).clamp(1, *max)
+            }
+        }
+    }
+
     fn fill(&mut self) {
-        while !self.finished && self.inflight.len() < self.depth {
+        let depth = self.window_depth();
+        while !self.finished && self.inflight.len() < depth {
             let off = self.next_issue;
             self.inflight
                 .push_back((off, self.file.iread_at(off, self.block)));
@@ -210,6 +263,91 @@ mod tests {
             assert!(st.reconnects >= 1, "fallback must have redialed");
             f.close().unwrap();
         });
+    }
+
+    /// Without telemetry (MemFs) the auto window stays at one block and the
+    /// stream still arrives complete and in order.
+    #[test]
+    fn auto_window_without_meter_stays_minimal() {
+        simulate(|rt| {
+            let fs = MemFs::new(rt.clone());
+            let data: Vec<u8> = (0..100_000u32).map(|i| (i % 241) as u8).collect();
+            fs.put("/auto", data.clone());
+            let f = File::open(&rt, &fs, "/auto", OpenFlags::Read).unwrap();
+            let mut pf = Prefetcher::auto(&f, 0, 16 * 1024, 8);
+            assert_eq!(pf.window_depth(), 1);
+            let mut got = Vec::new();
+            while let Some((_, b)) = pf.next_block().unwrap() {
+                got.extend_from_slice(b.data().unwrap());
+            }
+            assert_eq!(pf.window_depth(), 1);
+            assert_eq!(got, data);
+            f.close().unwrap();
+        });
+    }
+
+    /// On a measured remote stream the auto window opens to cover the
+    /// bandwidth–delay product — deep enough to hide the consumer's
+    /// processing behind the transfers, like a hand-tuned fixed depth.
+    #[test]
+    fn auto_window_sizes_from_goodput() {
+        let (na, ra, depth) = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let up = net.add_link("up", Bw::mbps(100.0), Dur::from_millis(40));
+            let down = net.add_link("down", Bw::mbps(100.0), Dur::from_millis(40));
+            let server = SrbServer::new(net, SrbServerCfg::default());
+            server.mcat().add_user("u", "p");
+            let fs = crate::srbfs::SrbFs::new(
+                server,
+                crate::srbfs::SrbFsConfig {
+                    route: ConnRoute {
+                        fwd: vec![up],
+                        rev: vec![down],
+                        send_cap: None,
+                        recv_cap: None,
+                        bus: None,
+                    },
+                    user: "u".into(),
+                    password: "p".into(),
+                },
+            );
+            let f = File::open(&rt, &fs, "/viz", OpenFlags::CreateRw).unwrap();
+            f.write_at(0, &Payload::sized(2 << 20)).unwrap();
+            f.close().unwrap();
+
+            let consume = Dur::from_millis(60);
+
+            let f = File::open(&rt, &fs, "/viz", OpenFlags::Read).unwrap();
+            let t0 = rt.now();
+            let mut off = 0u64;
+            loop {
+                let b = f.read_at(off, 256 * 1024).unwrap();
+                if b.is_empty() {
+                    break;
+                }
+                off += b.len();
+                rt.sleep(consume);
+            }
+            let na = (rt.now() - t0).as_secs_f64();
+            f.close().unwrap();
+
+            let f = File::open(&rt, &fs, "/viz", OpenFlags::Read).unwrap();
+            let t0 = rt.now();
+            let mut pf = Prefetcher::auto(&f, 0, 256 * 1024, 8);
+            assert_eq!(pf.window_depth(), 1, "no telemetry before the first block");
+            while pf.next_block().unwrap().is_some() {
+                rt.sleep(consume);
+            }
+            let depth = pf.window_depth();
+            let ra = (rt.now() - t0).as_secs_f64();
+            f.close().unwrap();
+            (na, ra, depth)
+        });
+        assert!(depth > 1, "window never opened: depth {depth}");
+        assert!(
+            ra < na * 0.8,
+            "auto read-ahead {ra:.2}s should beat no-read-ahead {na:.2}s"
+        );
     }
 
     /// The point of read-ahead: on a high-RTT path, a consumer that

@@ -22,8 +22,8 @@ use parking_lot::Mutex;
 
 use semplar_runtime::{Dur, Time};
 use semplar_srb::{
-    adler32, ConnPool, ConnRoute, OpenFlags, Payload, PoolPolicy, RetryPolicy, SrbConn, SrbError,
-    SrbServer,
+    adler32, ConnPool, ConnRoute, IoMeter, OpenFlags, Payload, PoolPolicy, RetryPolicy, SlotPolicy,
+    SrbConn, SrbError, SrbServer,
 };
 
 use crate::adio::{AdioFile, AdioFs, IoError, IoResult};
@@ -69,6 +69,12 @@ pub struct SrbFs {
     /// Sessions come from here; the pool also owns the [`RetryPolicy`]
     /// pacing reconnects (moved down from this struct).
     pool: Arc<ConnPool>,
+    /// Pin-indexed route table: stream `i` of a striped file (pin `i`)
+    /// dials `stream_routes[i % len]` instead of `cfg.route`, giving
+    /// sibling streams physically distinct paths — the setup where a
+    /// single-link degrade hits one stream and not the others. Empty (the
+    /// default) means every open uses `cfg.route`, exactly as before.
+    stream_routes: Vec<ConnRoute>,
     recovery: Mutex<RecoveryStats>,
     next_file: AtomicU64,
 }
@@ -96,14 +102,77 @@ impl SrbFs {
         policy: PoolPolicy,
         retry: RetryPolicy,
     ) -> Arc<SrbFs> {
-        let pool = ConnPool::new(server.clone(), &cfg.user, &cfg.password, policy, retry);
+        SrbFs::build(
+            server,
+            cfg,
+            Vec::new(),
+            policy,
+            SlotPolicy::default(),
+            retry,
+        )
+    }
+
+    /// An SRBFS mount with a goodput-aware (or explicit) slot-placement
+    /// policy for unpinned pooled sessions — see [`SlotPolicy`].
+    pub fn with_slot_policy(
+        server: Arc<SrbServer>,
+        cfg: SrbFsConfig,
+        policy: PoolPolicy,
+        slot_policy: SlotPolicy,
+        retry: RetryPolicy,
+    ) -> Arc<SrbFs> {
+        SrbFs::build(server, cfg, Vec::new(), policy, slot_policy, retry)
+    }
+
+    /// An SRBFS mount whose pinned opens dial per-stream routes: stream
+    /// `i` (pin `i`) connects over `routes[i % routes.len()]`. Unpinned
+    /// opens use `cfg.route` as always. This models a multi-homed client
+    /// whose striped streams take physically distinct paths.
+    pub fn with_stream_routes(
+        server: Arc<SrbServer>,
+        cfg: SrbFsConfig,
+        routes: Vec<ConnRoute>,
+        policy: PoolPolicy,
+        retry: RetryPolicy,
+    ) -> Arc<SrbFs> {
+        SrbFs::build(server, cfg, routes, policy, SlotPolicy::default(), retry)
+    }
+
+    fn build(
+        server: Arc<SrbServer>,
+        cfg: SrbFsConfig,
+        stream_routes: Vec<ConnRoute>,
+        policy: PoolPolicy,
+        slot_policy: SlotPolicy,
+        retry: RetryPolicy,
+    ) -> Arc<SrbFs> {
+        let pool = ConnPool::with_slot_policy(
+            server.clone(),
+            &cfg.user,
+            &cfg.password,
+            policy,
+            slot_policy,
+            retry,
+        );
         Arc::new(SrbFs {
             server,
             cfg,
             pool,
+            stream_routes,
             recovery: Mutex::new(RecoveryStats::default()),
             next_file: AtomicU64::new(0),
         })
+    }
+
+    /// The route an open with placement hint `pin` dials: the pin-indexed
+    /// stream route when a table is configured, `cfg.route` otherwise.
+    fn route_for(&self, pin: Option<usize>) -> &ConnRoute {
+        match pin {
+            Some(p) if !self.stream_routes.is_empty() => {
+                &self.stream_routes[p % self.stream_routes.len()]
+            }
+            _ => &self.cfg.route,
+        }
     }
 
     /// The connection pool behind this mount.
@@ -131,6 +200,9 @@ struct SrbFile {
     fd: u32,
     path: String,
     flags: OpenFlags,
+    /// The route this file dialed (a stream route for pinned opens) —
+    /// reconnects must redial the same path, not `cfg.route`.
+    route: ConnRoute,
     /// Jitter key: distinct per open, stable per file, so two streams on
     /// the same path do not retry in lock-step.
     key: u64,
@@ -148,7 +220,8 @@ impl AdioFs for Arc<SrbFs> {
         flags: OpenFlags,
         pin: Option<usize>,
     ) -> IoResult<Box<dyn AdioFile>> {
-        let conn = self.pool.session(&self.cfg.route, pin)?;
+        let route = self.route_for(pin).clone();
+        let conn = self.pool.session(&route, pin)?;
         let fd = conn.open(path, flags)?;
         let file_id = self.next_file.fetch_add(1, Ordering::Relaxed);
         Ok(Box::new(SrbFile {
@@ -157,6 +230,7 @@ impl AdioFs for Arc<SrbFs> {
             fd,
             path: path.to_string(),
             flags,
+            route,
             key: (adler32(path.as_bytes()) as u64) | (file_id << 32),
             closed: false,
         }))
@@ -182,7 +256,7 @@ impl SrbFile {
     /// (`reconnects`), every other session rebinds to the fresh stream
     /// without a new handshake (`shared_reconnects`).
     fn reconnect(&mut self) -> Result<(), SrbError> {
-        let (conn, shared) = self.fs.pool.reconnect(&self.fs.cfg.route, &self.conn)?;
+        let (conn, shared) = self.fs.pool.reconnect(&self.route, &self.conn)?;
         let fd = conn.open(&self.path, self.flags)?;
         self.conn = conn;
         self.fd = fd;
@@ -279,6 +353,10 @@ impl AdioFile for SrbFile {
             }
             Err(_) => self.resume_write(offset, data, 0),
         }
+    }
+
+    fn meter(&self) -> Option<Arc<IoMeter>> {
+        Some(self.conn.meter_handle())
     }
 
     fn size(&mut self) -> IoResult<u64> {

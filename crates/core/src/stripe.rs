@@ -15,18 +15,33 @@
 //! [`StripedFile::write_at`] is internally asynchronous — it fans the blocks
 //! out as `iwrite`s and waits for all of them.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use semplar_runtime::Runtime;
-use semplar_srb::{OpenFlags, Payload};
+use semplar_srb::{IoMeter, OpenFlags, Payload};
 
-use crate::adio::{AdioFs, IoResult};
+use crate::adio::{AdioFs, IoError, IoResult};
 use crate::engine::EngineCfg;
 use crate::file::File;
 use crate::request::{Request, Status};
+
+/// Blocks the adaptive scheduler keeps in flight per stream. Two matches
+/// the paper's two-consecutive-blocks pipeline: enough to keep a stream
+/// busy across the scheduler's reaction time, small enough that a degraded
+/// stream strands at most this many blocks.
+const ADAPTIVE_WINDOW: usize = 2;
+
+/// A stream whose EWMA goodput falls below this fraction of the fastest
+/// sibling stops receiving new blocks entirely (it keeps its in-flight
+/// ones). Above the gate, allocation is proportional to goodput — a 4×
+/// degraded stream still carries ~1/5 of the blocks, which finishes sooner
+/// than handing everything to the fast siblings. The gate only cuts off
+/// streams so slow that even a proportional share would gate the tail.
+const ADAPTIVE_GATE: f64 = 1.0 / 6.0;
 
 /// How one operation's byte range is divided across the streams.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,17 +52,77 @@ pub enum StripeUnit {
     /// the paper's two-descriptor pattern (each connection carries half of
     /// the node's file section).
     Even,
+    /// Fixed-size blocks assigned to streams **at completion pace** by
+    /// observed goodput: each block goes to the stream with the smallest
+    /// weighted virtual finish tag `(bytes issued + block) / goodput`, so
+    /// allocation tracks each stream's measured bytes/sec and rebalances
+    /// mid-operation as the [`IoMeter`] estimates move. With uniform
+    /// goodput (or no telemetry, e.g. [`MemFs`](crate::MemFs)) the tags
+    /// tie and placement degenerates to exactly `Bytes(block)`'s
+    /// round-robin. Deterministic on virtual time: same seed, same fault
+    /// plan ⇒ bit-identical placement.
+    Adaptive {
+        /// Block size in bytes (the scheduling granule).
+        block: u64,
+    },
+}
+
+/// Placement ledger of the adaptive scheduler, accumulated over every
+/// adaptive operation on one [`StripedFile`]. Derived entirely from
+/// virtual-time completion order, so two runs with the same seed and fault
+/// plan compare equal with `==`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StripeStats {
+    /// Blocks completed per stream.
+    pub blocks: Vec<u64>,
+    /// Bytes completed per stream.
+    pub bytes: Vec<u64>,
+    /// Blocks placed on a stream other than their round-robin home, whether
+    /// the goodput imbalance steered them or a failure re-queued them.
+    pub migrated: u64,
+    /// Blocks re-queued onto siblings after their stream failed in flight.
+    pub requeued: u64,
 }
 
 /// A file striped across several independent connections.
 pub struct StripedFile {
     files: Arc<Vec<File>>,
+    /// Per-stream goodput meters captured at open (None for backends
+    /// without telemetry; the scheduler then weighs streams uniformly).
+    meters: Arc<Vec<Option<Arc<IoMeter>>>>,
     unit: StripeUnit,
     path: String,
     /// Read fallback: a federated replica of the file on another server
     /// (or any other [`AdioFs`]), consulted when every stream has failed.
     replica: Arc<Mutex<Option<Box<dyn AdioFs>>>>,
     failovers: Arc<AtomicU64>,
+    stats: Arc<Mutex<StripeStats>>,
+}
+
+/// Mutable state of one adaptive striped operation (behind a mutex in the
+/// [`MultiRequest`]). Blocks are issued incrementally — at most
+/// [`ADAPTIVE_WINDOW`] in flight per stream — so the scheduler can steer
+/// later blocks by goodput observed while earlier ones transferred.
+struct AdaptiveSched {
+    /// Layout indices not yet issued, in order. Failed blocks re-enter at
+    /// the front so byte order is preserved as far as possible.
+    queue: VecDeque<usize>,
+    /// (layout index, stream, request) per in-flight block.
+    inflight: Vec<(usize, usize, Request)>,
+    statuses: Vec<Option<Status>>,
+    /// Final stream per layout index (starts at the round-robin home).
+    placement: Vec<usize>,
+    /// Bytes issued per stream this operation — the WFQ virtual time.
+    issued_bytes: Vec<u64>,
+    inflight_count: Vec<usize>,
+    /// Streams that failed a block mid-operation: they keep nothing new.
+    banned: Vec<bool>,
+    requeued: u64,
+    /// First permanent error, surfaced by the next wait.
+    fatal: Option<IoError>,
+    recorded: bool,
+    meters: Arc<Vec<Option<Arc<IoMeter>>>>,
+    stats: Arc<Mutex<StripeStats>>,
 }
 
 /// A bundle of per-block requests from one striped operation.
@@ -63,6 +138,9 @@ pub struct MultiRequest {
     path: String,
     replica: Arc<Mutex<Option<Box<dyn AdioFs>>>>,
     failovers: Arc<AtomicU64>,
+    /// Present iff the operation uses [`StripeUnit::Adaptive`]; then `reqs`
+    /// stays empty and blocks live in the scheduler instead.
+    sched: Option<Mutex<AdaptiveSched>>,
 }
 
 impl MultiRequest {
@@ -71,15 +149,32 @@ impl MultiRequest {
         Ok(self.settle()?.iter().map(|s| s.bytes).sum())
     }
 
+    /// Wait with mid-operation rebalancing. On an adaptive operation this
+    /// *is* the drive loop — queued blocks migrate to faster siblings as
+    /// goodput estimates move, and a failed stream's blocks re-queue at the
+    /// front — so this is just [`wait`](Self::wait) under the name the
+    /// semantics deserve. On fixed layouts it degenerates to plain `wait`
+    /// (re-issue happens only after failure, the old path).
+    pub fn wait_rebalanced(&self) -> IoResult<u64> {
+        self.wait()
+    }
+
     /// Wait for every block of a striped read and reassemble the payload in
     /// offset order.
     pub fn wait_read(&self) -> IoResult<Payload> {
         assemble_read(&self.layout, &self.settle()?)
     }
 
+    fn settle(&self) -> IoResult<Vec<Status>> {
+        match &self.sched {
+            Some(_) => self.settle_adaptive(),
+            None => self.settle_fixed(),
+        }
+    }
+
     /// Wait for all blocks, then give transiently failed ones a second life
     /// on a surviving stream (or, for reads, the replica).
-    fn settle(&self) -> IoResult<Vec<Status>> {
+    fn settle_fixed(&self) -> IoResult<Vec<Status>> {
         let raw: Vec<IoResult<Status>> = self.reqs.iter().map(|r| r.wait()).collect();
         let mut out = Vec::with_capacity(raw.len());
         for (i, r) in raw.into_iter().enumerate() {
@@ -130,19 +225,245 @@ impl MultiRequest {
         Err(orig)
     }
 
-    /// `true` once all blocks have completed (`MPIO_Testall`).
+    /// `true` once all blocks have completed (`MPIO_Testall`). On adaptive
+    /// operations this also pumps the scheduler: completed blocks are
+    /// harvested and the freed window slots refilled, all without blocking.
     pub fn test(&self) -> bool {
-        Request::test_all(&self.reqs)
+        match &self.sched {
+            None => Request::test_all(&self.reqs),
+            Some(mx) => {
+                let mut s = mx.lock();
+                self.harvest_ready(&mut s);
+                self.assign_blocks(&mut s);
+                s.fatal.is_some() || (s.queue.is_empty() && s.inflight.is_empty())
+            }
+        }
     }
 
     /// Number of per-stream block requests in this bundle.
     pub fn len(&self) -> usize {
-        self.reqs.len()
+        self.layout.len()
     }
 
     /// True if the operation was empty.
     pub fn is_empty(&self) -> bool {
-        self.reqs.is_empty()
+        self.layout.is_empty()
+    }
+
+    // -- adaptive drive loop -------------------------------------------------
+
+    /// Drive the adaptive operation to completion: keep each eligible
+    /// stream's window full, harvest completions as they land, re-queue a
+    /// failed stream's block onto the survivors, and record placement stats.
+    fn settle_adaptive(&self) -> IoResult<Vec<Status>> {
+        let mx = self.sched.as_ref().expect("settle_adaptive without sched");
+        let rt = self.files[0].runtime().clone();
+        loop {
+            let waiters: Vec<Request> = {
+                let mut s = mx.lock();
+                if let Some(e) = &s.fatal {
+                    return Err(e.clone());
+                }
+                self.assign_blocks(&mut s);
+                if s.inflight.is_empty() {
+                    if s.queue.is_empty() {
+                        // Everything completed (or the op was empty).
+                        self.record_stats(&mut s);
+                        return Ok(s
+                            .statuses
+                            .iter()
+                            .map(|o| o.clone().expect("settled without status"))
+                            .collect());
+                    }
+                    // Queue non-empty but nothing assignable: every stream
+                    // is banned. Fall back to the synchronous drain (the
+                    // backends' own retry/reconnect is the second chance,
+                    // then the replica for reads).
+                    self.drain_banned(&mut s)?;
+                    continue;
+                }
+                s.inflight.iter().map(|(_, _, r)| r.clone()).collect()
+            };
+            // Wait unlocked so completions (I/O threads) are free to land.
+            let (idx, _res) = Request::wait_any(&rt, &waiters);
+            let mut s = mx.lock();
+            self.harvest_one(&mut s, idx);
+            if let Some(e) = &s.fatal {
+                return Err(e.clone());
+            }
+        }
+    }
+
+    /// Harvest in-flight entry `idx` (which has completed).
+    fn harvest_one(&self, s: &mut AdaptiveSched, idx: usize) {
+        let (li, stream, req) = s.inflight.remove(idx);
+        s.inflight_count[stream] -= 1;
+        match req.wait() {
+            Ok(st) => s.statuses[li] = Some(st),
+            Err(e) if e.is_transient() => {
+                // The slowness path and the failure path unify here: the
+                // stream is cut off from new blocks (like a fully gated
+                // one) and this block re-queues for the siblings.
+                s.banned[stream] = true;
+                s.requeued += 1;
+                s.queue.push_front(li);
+            }
+            Err(e) => s.fatal = Some(e),
+        }
+    }
+
+    /// Non-blocking sweep: harvest every in-flight block that has already
+    /// completed.
+    fn harvest_ready(&self, s: &mut AdaptiveSched) {
+        loop {
+            let Some(idx) = s.inflight.iter().position(|(_, _, r)| r.test().is_some()) else {
+                return;
+            };
+            self.harvest_one(s, idx);
+        }
+    }
+
+    /// Issue queued blocks until the next block's chosen stream has a full
+    /// window (then stop — spilling to the second-best stream would break
+    /// round-robin equivalence under uniform goodput) or nothing is
+    /// assignable.
+    fn assign_blocks(&self, s: &mut AdaptiveSched) {
+        let n = self.files.len();
+        while let Some(&li) = s.queue.front() {
+            // Weigh streams by EWMA goodput. Unmeasured streams (no meter,
+            // or no payload exchanged yet) optimistically get the best
+            // known weight so they are probed rather than starved; with no
+            // measurements at all every weight is 1.0 and the WFQ tags
+            // degenerate to exact round-robin.
+            let mut weights = vec![0.0f64; n];
+            let mut max_known = 0.0f64;
+            for (i, w) in weights.iter_mut().enumerate() {
+                if s.banned[i] {
+                    continue;
+                }
+                if let Some(m) = &s.meters[i] {
+                    let g = m.snapshot().goodput_bps;
+                    if g > 0.0 {
+                        *w = g;
+                        max_known = max_known.max(g);
+                    }
+                }
+            }
+            let fallback = if max_known > 0.0 { max_known } else { 1.0 };
+            let (home, _, len) = self.layout[li];
+            let mut best: Option<(f64, usize)> = None;
+            // Visit streams home-first so WFQ ties resolve to the
+            // round-robin placement (the home sequence starts at
+            // `(offset / block) % n`, not at stream 0).
+            for k in 0..n {
+                let i = (home + k) % n;
+                if s.banned[i] {
+                    continue;
+                }
+                if weights[i] == 0.0 {
+                    weights[i] = fallback;
+                } else if weights[i] < ADAPTIVE_GATE * max_known {
+                    // Degraded below the gate: keeps its in-flight blocks
+                    // but receives no new ones. The fastest stream always
+                    // has w == max_known, so somebody stays eligible.
+                    continue;
+                }
+                let tag = (s.issued_bytes[i] + len) as f64 / weights[i];
+                if best.is_none_or(|(bt, _)| tag < bt) {
+                    best = Some((tag, i));
+                }
+            }
+            let Some((_, stream)) = best else {
+                return; // every stream banned — caller drains synchronously
+            };
+            if s.inflight_count[stream] >= ADAPTIVE_WINDOW {
+                return; // window full: wait for a completion, don't spill
+            }
+            s.queue.pop_front();
+            let (_, off, blen) = self.layout[li];
+            s.placement[li] = stream;
+            s.issued_bytes[stream] += blen;
+            s.inflight_count[stream] += 1;
+            let req = match &self.data {
+                Some(d) => self.files[stream].iwrite_at(off, d.slice(off - self.base, blen)),
+                None => self.files[stream].iread_at(off, blen),
+            };
+            s.inflight.push((li, stream, req));
+        }
+    }
+
+    /// Every stream is banned and blocks remain: try each synchronously
+    /// (the backend's internal reconnect+retry is the second chance), in
+    /// deterministic home-first order, then the replica for reads.
+    fn drain_banned(&self, s: &mut AdaptiveSched) -> IoResult<()> {
+        let n = self.files.len();
+        while let Some(li) = s.queue.pop_front() {
+            let (home, off, len) = self.layout[li];
+            let mut served = None;
+            let mut last_err = None;
+            for k in 0..n {
+                let stream = (home + k) % n;
+                let r = match &self.data {
+                    Some(d) => self.files[stream]
+                        .write_at(off, &d.slice(off - self.base, len))
+                        .map(|bytes| Status { bytes, data: None }),
+                    None => self.files[stream].read_at(off, len).map(|p| Status {
+                        bytes: p.len(),
+                        data: Some(p),
+                    }),
+                };
+                match r {
+                    Ok(st) => {
+                        served = Some((stream, st));
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if served.is_none() && self.data.is_none() {
+                if let Some(fs) = self.replica.lock().as_ref() {
+                    let mut f = fs.open(&self.path, OpenFlags::Read)?;
+                    let p = f.read_at(off, len)?;
+                    let _ = f.close();
+                    served = Some((
+                        home,
+                        Status {
+                            bytes: p.len(),
+                            data: Some(p),
+                        },
+                    ));
+                }
+            }
+            match served {
+                Some((stream, st)) => {
+                    if stream != home {
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    s.placement[li] = stream;
+                    s.statuses[li] = Some(st);
+                }
+                None => return Err(last_err.expect("drain with no streams")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold this operation's placement into the file-level [`StripeStats`].
+    fn record_stats(&self, s: &mut AdaptiveSched) {
+        if s.recorded {
+            return;
+        }
+        s.recorded = true;
+        let mut g = s.stats.lock();
+        for (li, &(home, _, _)) in self.layout.iter().enumerate() {
+            let stream = s.placement[li];
+            g.blocks[stream] += 1;
+            g.bytes[stream] += s.statuses[li].as_ref().map_or(0, |st| st.bytes);
+            if stream != home {
+                g.migrated += 1;
+            }
+        }
+        g.requeued += s.requeued;
     }
 }
 
@@ -187,7 +508,7 @@ impl StripedFile {
         unit: StripeUnit,
     ) -> IoResult<StripedFile> {
         assert!(streams >= 1, "need at least one stream");
-        if let StripeUnit::Bytes(u) = unit {
+        if let StripeUnit::Bytes(u) | StripeUnit::Adaptive { block: u } = unit {
             assert!(u >= 1, "stripe unit must be positive");
         }
         let mut files = Vec::with_capacity(streams);
@@ -207,12 +528,20 @@ impl StripedFile {
                 Some(i),
             )?);
         }
+        let meters = files.iter().map(|f| f.meter_handle().cloned()).collect();
         Ok(StripedFile {
             files: Arc::new(files),
+            meters: Arc::new(meters),
             unit,
             path: path.to_string(),
             replica: Arc::new(Mutex::new(None)),
             failovers: Arc::new(AtomicU64::new(0)),
+            stats: Arc::new(Mutex::new(StripeStats {
+                blocks: vec![0; streams],
+                bytes: vec![0; streams],
+                migrated: 0,
+                requeued: 0,
+            })),
         })
     }
 
@@ -235,12 +564,26 @@ impl StripedFile {
         self.failovers.load(Ordering::Relaxed)
     }
 
+    /// The stripe unit this file was opened with.
+    pub fn unit(&self) -> StripeUnit {
+        self.unit
+    }
+
+    /// Placement ledger accumulated over this file's adaptive operations
+    /// (zeros for fixed layouts — only [`StripeUnit::Adaptive`] records).
+    pub fn stripe_stats(&self) -> StripeStats {
+        self.stats.lock().clone()
+    }
+
     /// Split `[offset, offset+len)` into stripe blocks: (stream, off, len).
     fn blocks(&self, offset: u64, len: u64) -> Vec<(usize, u64, u64)> {
         let n = self.files.len() as u64;
         let mut out = Vec::new();
         match self.unit {
-            StripeUnit::Bytes(unit) => {
+            // Adaptive uses Bytes' tiling; `stream` is the round-robin
+            // *home* the scheduler starts from (and reverts to under
+            // uniform goodput).
+            StripeUnit::Bytes(unit) | StripeUnit::Adaptive { block: unit } => {
                 let mut off = offset;
                 let end = offset + len;
                 while off < end {
@@ -268,9 +611,15 @@ impl StripedFile {
     }
 
     /// Asynchronous striped write: every block is queued on its stream's
-    /// I/O thread; all streams transfer concurrently.
+    /// I/O thread; all streams transfer concurrently. Under
+    /// [`StripeUnit::Adaptive`] blocks are instead issued incrementally by
+    /// the goodput scheduler (the first window starts here, the rest as
+    /// completions land).
     pub fn iwrite_at(&self, offset: u64, data: Payload) -> MultiRequest {
         let layout = self.blocks(offset, data.len());
+        if matches!(self.unit, StripeUnit::Adaptive { .. }) {
+            return self.adaptive_request(layout, offset, Some(data));
+        }
         let reqs = layout
             .iter()
             .map(|&(stream, off, len)| {
@@ -286,12 +635,16 @@ impl StripedFile {
             path: self.path.clone(),
             replica: self.replica.clone(),
             failovers: self.failovers.clone(),
+            sched: None,
         }
     }
 
     /// Asynchronous striped read.
     pub fn iread_at(&self, offset: u64, len: u64) -> MultiRequest {
         let layout = self.blocks(offset, len);
+        if matches!(self.unit, StripeUnit::Adaptive { .. }) {
+            return self.adaptive_request(layout, offset, None);
+        }
         let reqs = layout
             .iter()
             .map(|&(stream, off, len)| self.files[stream].iread_at(off, len))
@@ -305,7 +658,50 @@ impl StripedFile {
             path: self.path.clone(),
             replica: self.replica.clone(),
             failovers: self.failovers.clone(),
+            sched: None,
         }
+    }
+
+    /// Build a scheduler-backed [`MultiRequest`] and issue the first window
+    /// so the transfer is in flight when this returns (the async-overlap
+    /// contract of `iwrite`/`iread`).
+    fn adaptive_request(
+        &self,
+        layout: Vec<(usize, u64, u64)>,
+        base: u64,
+        data: Option<Payload>,
+    ) -> MultiRequest {
+        let n = self.files.len();
+        let sched = AdaptiveSched {
+            queue: (0..layout.len()).collect(),
+            inflight: Vec::new(),
+            statuses: vec![None; layout.len()],
+            placement: layout.iter().map(|&(home, _, _)| home).collect(),
+            issued_bytes: vec![0; n],
+            inflight_count: vec![0; n],
+            banned: vec![false; n],
+            requeued: 0,
+            fatal: None,
+            recorded: false,
+            meters: self.meters.clone(),
+            stats: self.stats.clone(),
+        };
+        let mr = MultiRequest {
+            reqs: Vec::new(),
+            layout,
+            base,
+            data,
+            files: self.files.clone(),
+            path: self.path.clone(),
+            replica: self.replica.clone(),
+            failovers: self.failovers.clone(),
+            sched: Some(Mutex::new(sched)),
+        };
+        {
+            let mut s = mr.sched.as_ref().expect("just built").lock();
+            mr.assign_blocks(&mut s);
+        }
+        mr
     }
 
     /// Blocking striped write (fan out + wait all).
@@ -378,15 +774,15 @@ mod tests {
         #[test]
         fn blocks_tile_the_range_exactly(
             streams in 1usize..6,
-            unit_kind in 0u8..2,
+            unit_kind in 0u8..3,
             unit_bytes in 1u64..5000,
             offset in 0u64..100_000,
             len in 1u64..200_000,
         ) {
-            let unit = if unit_kind == 0 {
-                StripeUnit::Bytes(unit_bytes)
-            } else {
-                StripeUnit::Even
+            let unit = match unit_kind {
+                0 => StripeUnit::Bytes(unit_bytes),
+                1 => StripeUnit::Even,
+                _ => StripeUnit::Adaptive { block: unit_bytes },
             };
             let blocks = layout_for(streams, unit, offset, len);
             prop_assert!(!blocks.is_empty());
@@ -426,7 +822,8 @@ mod tests {
             streams in 1usize..5,
             unit in prop_oneof![
                 (16u64..4096).prop_map(StripeUnit::Bytes),
-                Just(StripeUnit::Even)
+                Just(StripeUnit::Even),
+                (16u64..4096).prop_map(|b| StripeUnit::Adaptive { block: b })
             ],
             offset in 0u64..10_000,
             data in proptest::collection::vec(any::<u8>(), 1..20_000),
@@ -443,5 +840,90 @@ mod tests {
             });
             prop_assert!(ok);
         }
+
+        /// With uniform goodput (MemFs has no meters, so every stream weighs
+        /// the same) the adaptive scheduler's placement must be *exactly*
+        /// round-robin: no block leaves its home stream.
+        #[test]
+        fn adaptive_uniform_goodput_is_round_robin(
+            streams in 1usize..5,
+            block in 64u64..2048,
+            offset in 0u64..10_000,
+            len in 1u64..50_000,
+        ) {
+            let (stats, homes) = simulate(move |rt| {
+                let fs = MemFs::new(rt.clone());
+                let f = StripedFile::open(
+                    &rt, &fs, "/ad", OpenFlags::CreateRw, streams,
+                    StripeUnit::Adaptive { block },
+                ).unwrap();
+                let homes: Vec<usize> =
+                    f.blocks(offset, len).iter().map(|&(h, _, _)| h).collect();
+                f.write_at(offset, Payload::sized(len)).unwrap();
+                let stats = f.stripe_stats();
+                f.close().unwrap();
+                (stats, homes)
+            });
+            prop_assert_eq!(stats.migrated, 0, "uniform goodput moved blocks");
+            prop_assert_eq!(stats.requeued, 0);
+            let mut rr = vec![0u64; streams];
+            for h in homes {
+                rr[h] += 1;
+            }
+            prop_assert_eq!(&stats.blocks, &rr, "per-stream counts differ from RR");
+            prop_assert_eq!(stats.bytes.iter().sum::<u64>(), len);
+        }
+    }
+
+    #[test]
+    fn adaptive_write_read_roundtrip_and_stats() {
+        simulate(|rt| {
+            let fs = MemFs::new(rt.clone());
+            let data: Vec<u8> = (0..30_000u32).map(|i| (i * 13 % 256) as u8).collect();
+            let f = StripedFile::open(
+                &rt,
+                &fs,
+                "/ad",
+                OpenFlags::CreateRw,
+                3,
+                StripeUnit::Adaptive { block: 4096 },
+            )
+            .unwrap();
+            let req = f.iwrite_at(0, Payload::bytes(data.clone()));
+            assert_eq!(req.wait_rebalanced().unwrap(), data.len() as u64);
+            let back = f.read_at(0, data.len() as u64).unwrap();
+            assert_eq!(back.data().unwrap(), &data[..]);
+            let stats = f.stripe_stats();
+            assert_eq!(
+                stats.blocks.iter().sum::<u64>(),
+                16,
+                "8 write + 8 read blocks"
+            );
+            assert_eq!(stats.bytes.iter().sum::<u64>(), 2 * data.len() as u64);
+            f.close().unwrap();
+        });
+    }
+
+    #[test]
+    fn adaptive_test_pumps_to_completion() {
+        simulate(|rt| {
+            let fs = MemFs::new(rt.clone());
+            let f = StripedFile::open(
+                &rt,
+                &fs,
+                "/tp",
+                OpenFlags::CreateRw,
+                2,
+                StripeUnit::Adaptive { block: 1024 },
+            )
+            .unwrap();
+            let req = f.iwrite_at(0, Payload::sized(64 * 1024));
+            // Poll like MPIO_Test: each call pumps the scheduler forward.
+            while !req.test() {
+                rt.sleep(semplar_runtime::Dur::from_micros(10));
+            }
+            assert_eq!(req.wait().unwrap(), 64 * 1024);
+            f.close().unwrap();
+        });
     }
 }

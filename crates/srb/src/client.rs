@@ -95,6 +95,13 @@ impl SrbConn {
         self.acked.load(Ordering::Relaxed)
     }
 
+    /// The goodput meter of the stream this session currently rides. On a
+    /// shared transport the meter aggregates every session on the stream —
+    /// which is exactly the slot-level view schedulers want.
+    pub fn meter_handle(&self) -> Arc<crate::transport::IoMeter> {
+        self.transport.meter().clone()
+    }
+
     fn expect_ok(&self, req: Request) -> SrbResult<()> {
         match self.call(req)? {
             Response::Ok => Ok(()),

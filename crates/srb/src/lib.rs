@@ -34,11 +34,11 @@ pub mod vault;
 
 pub use client::SrbConn;
 pub use mcat::Mcat;
-pub use pool::{ConnPool, PoolPolicy};
+pub use pool::{ConnPool, PoolPolicy, SlotPolicy};
 pub use proto::SessionId;
 pub use retry::RetryPolicy;
 pub use server::{ConnRoute, ServerStats, SrbServer, SrbServerCfg};
-pub use transport::Transport;
+pub use transport::{IoMeter, MeterSnapshot, Transport};
 pub use types::{adler32, ObjStat, OpenFlags, Payload, SrbError, SrbResult};
 pub use vault::{DiskSpec, Vault};
 

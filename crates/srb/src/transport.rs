@@ -21,7 +21,7 @@
 //!   runtime semaphore gives fair tag scheduling across sessions.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -34,6 +34,110 @@ use semplar_runtime::Runtime;
 use crate::proto::{ReqFrame, Request, RespFrame, Response, SessionId};
 
 type RespCell = Arc<OnceCellBlocking<Option<Response>>>;
+
+/// EWMA smoothing factor for the per-stream goodput/latency estimates. A
+/// fixed constant (not wall-clock dependent) keeps the meter deterministic
+/// on virtual time: the same exchange history always produces the same
+/// estimate, bit for bit.
+const METER_ALPHA: f64 = 0.25;
+
+/// Point-in-time view of one stream's [`IoMeter`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MeterSnapshot {
+    /// EWMA goodput in payload bytes/second, over exchanges that carried
+    /// payload (writes sent, read data received). `0.0` until the first
+    /// payload-bearing exchange completes.
+    pub goodput_bps: f64,
+    /// EWMA exchange latency in seconds (every exchange, payload or not).
+    pub latency_s: f64,
+    /// Exchanges currently outstanding on the stream (issued, not yet
+    /// completed — includes time queued behind the stream's serialization).
+    pub in_flight: usize,
+    /// Completed exchanges.
+    pub exchanges: u64,
+    /// Cumulative payload bytes acknowledged over this stream.
+    pub payload_bytes: u64,
+}
+
+struct MeterInner {
+    ewma_bps: f64,
+    ewma_latency_s: f64,
+    exchanges: u64,
+    payload_bytes: u64,
+}
+
+/// Per-stream goodput telemetry, sampled on virtual time at exchange
+/// completion. One meter per [`Transport`]; the pool aggregates them per
+/// slot and the adaptive stripe scheduler reads them per stream.
+///
+/// Recording is passive — it never sleeps, locks the runtime, or otherwise
+/// perturbs virtual timing — so metered and unmetered runs are bit-identical.
+pub struct IoMeter {
+    in_flight: AtomicUsize,
+    inner: Mutex<MeterInner>,
+}
+
+impl IoMeter {
+    fn new() -> Arc<IoMeter> {
+        Arc::new(IoMeter {
+            in_flight: AtomicUsize::new(0),
+            inner: Mutex::new(MeterInner {
+                ewma_bps: 0.0,
+                ewma_latency_s: 0.0,
+                exchanges: 0,
+                payload_bytes: 0,
+            }),
+        })
+    }
+
+    fn begin(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one completed exchange: `bytes` of payload acknowledged over
+    /// `elapsed_s` of virtual time. Non-payload exchanges (`bytes == 0`)
+    /// update only the latency estimate, so control traffic (open, stat,
+    /// close) does not drag the goodput estimate toward zero.
+    fn complete(&self, bytes: u64, elapsed_s: f64) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let mut g = self.inner.lock();
+        g.exchanges += 1;
+        g.payload_bytes += bytes;
+        if elapsed_s > 0.0 {
+            let first = g.exchanges == 1;
+            g.ewma_latency_s = if first {
+                elapsed_s
+            } else {
+                METER_ALPHA * elapsed_s + (1.0 - METER_ALPHA) * g.ewma_latency_s
+            };
+            if bytes > 0 {
+                let rate = bytes as f64 / elapsed_s;
+                g.ewma_bps = if g.ewma_bps == 0.0 {
+                    rate
+                } else {
+                    METER_ALPHA * rate + (1.0 - METER_ALPHA) * g.ewma_bps
+                };
+            }
+        }
+    }
+
+    /// Record one failed exchange (stream severed mid-flight).
+    fn abort(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current estimates.
+    pub fn snapshot(&self) -> MeterSnapshot {
+        let g = self.inner.lock();
+        MeterSnapshot {
+            goodput_bps: g.ewma_bps,
+            latency_s: g.ewma_latency_s,
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            exchanges: g.exchanges,
+            payload_bytes: g.payload_bytes,
+        }
+    }
+}
 
 enum Mode {
     /// One exchange at a time; timing-identical to the pre-split client.
@@ -64,6 +168,7 @@ pub struct Transport {
     next_seq: AtomicU64,
     next_session: AtomicU64,
     mode: Mode,
+    meter: Arc<IoMeter>,
 }
 
 impl Transport {
@@ -87,6 +192,7 @@ impl Transport {
             next_seq: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
             mode: Mode::Exclusive { lock },
+            meter: IoMeter::new(),
         })
     }
 
@@ -150,6 +256,7 @@ impl Transport {
                 send_lock,
                 dead,
             },
+            meter: IoMeter::new(),
         })
     }
 
@@ -164,17 +271,22 @@ impl Transport {
     /// processing, disk, and the response transfer before replying. Fails
     /// with [`Closed`] when the stream is severed.
     pub fn exchange(&self, session: SessionId, req: Request) -> Result<Response, Closed> {
-        match &self.mode {
+        let t0 = self.rt.now();
+        self.meter.begin();
+        let r = match &self.mode {
             Mode::Exclusive { lock } => {
                 let _g = lock.lock();
                 let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
                 let frame = ReqFrame { seq, session, req };
-                self.net
-                    .send_message_opts(&self.fwd, frame.wire_size(), &self.fwd_opts);
-                self.req_ch.send(frame).map_err(|_| Closed)?;
-                let resp = self.resp_ch.recv().map_err(|_| Closed)?;
-                debug_assert_eq!(resp.seq, seq, "exclusive stream reordered a response");
-                Ok(resp.resp)
+                let send = || -> Result<Response, Closed> {
+                    self.net
+                        .send_message_opts(&self.fwd, frame.wire_size(), &self.fwd_opts);
+                    self.req_ch.send(frame).map_err(|_| Closed)?;
+                    let resp = self.resp_ch.recv().map_err(|_| Closed)?;
+                    debug_assert_eq!(resp.seq, seq, "exclusive stream reordered a response");
+                    Ok(resp.resp)
+                };
+                send()
             }
             Mode::Multiplexed {
                 pending,
@@ -187,7 +299,22 @@ impl Transport {
                 inflight.release();
                 r
             }
+        };
+        match &r {
+            Ok(resp) => {
+                // Payload bytes the exchange actually moved: data received
+                // for reads, bytes the server acknowledged for writes.
+                let bytes = match resp {
+                    Response::Data(p) => p.len(),
+                    Response::Written(n) => *n,
+                    _ => 0,
+                };
+                self.meter
+                    .complete(bytes, (self.rt.now() - t0).as_secs_f64());
+            }
+            Err(_) => self.meter.abort(),
         }
+        r
     }
 
     fn exchange_mux(
@@ -224,6 +351,13 @@ impl Transport {
             Some(resp) => Ok(resp),
             None => Err(Closed),
         }
+    }
+
+    /// This stream's goodput telemetry. The meter is owned by the transport
+    /// (it dies with the stream): per-slot continuity across redials is the
+    /// pool's job, per-stream weights are the stripe scheduler's.
+    pub fn meter(&self) -> &Arc<IoMeter> {
+        &self.meter
     }
 
     /// True while the stream can still carry exchanges. Checks the channel

@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use semplar::{AdioFs, CompressedWriter, ComputeModel, File, OpenFlags, Payload};
+use semplar::{AdioFs, CompressedWriter, ComputeModel, File, OpenFlags, Payload, RecoveryStats};
 use semplar_clusters::Testbed;
 use semplar_compress::Lzf;
 use semplar_mpi::run_world;
@@ -64,7 +64,7 @@ impl Default for CompressParams {
 }
 
 /// Results from one run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CompressReport {
     /// Nodes writing concurrently.
     pub procs: usize,
@@ -74,6 +74,11 @@ pub struct CompressReport {
     pub agg_write_mbps: f64,
     /// Compression ratio achieved (1.0 for the uncompressed arm).
     pub ratio: f64,
+    /// Client-side recovery counters summed over every rank's mount.
+    pub recovery: RecoveryStats,
+    /// Compressed frames re-shipped from their retained copies after a
+    /// transient pipeline failure, summed over ranks (async arm only).
+    pub resumed_frames: u64,
 }
 
 /// Run the workload on `n` nodes of `tb`. `data` is the source text (each
@@ -99,7 +104,7 @@ pub fn run_compress(
 
         r.barrier();
         let t0 = rt.now();
-        let ratio = match p.mode {
+        let (ratio, resumed) = match p.mode {
             CompressMode::SyncUncompressed => {
                 let mut off = 0u64;
                 for chunk in data.chunks(p.block) {
@@ -108,7 +113,7 @@ pub fn run_compress(
                         .expect("sync write");
                     off += chunk.len() as u64;
                 }
-                1.0
+                (1.0, 0)
             }
             CompressMode::SyncCompressed | CompressMode::AsyncCompressed => {
                 let codec = Lzf;
@@ -130,22 +135,34 @@ pub fn run_compress(
                     w.write(chunk).expect("pipeline write");
                 }
                 let (bin, bout) = w.finish().expect("pipeline finish");
-                bout as f64 / bin as f64
+                (bout as f64 / bin as f64, w.resumed_frames())
             }
         };
         let elapsed = (rt.now() - t0).as_secs_f64();
         f.close().expect("close remote EST file");
         let _ = fs.delete(&format!("/est-{}", r.rank)); // free vault memory
-        (elapsed, ratio)
+        (elapsed, ratio, fs.recovery_stats(), resumed)
     });
 
     let slowest = results.iter().map(|r| r.0).fold(0.0f64, f64::max);
     let ratio = results.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    let mut recovery = RecoveryStats::default();
+    let mut resumed_frames = 0;
+    for (_, _, rec, res) in &results {
+        recovery.disconnects += rec.disconnects;
+        recovery.reconnects += rec.reconnects;
+        recovery.shared_reconnects += rec.shared_reconnects;
+        recovery.recovered_ops += rec.recovered_ops;
+        recovery.recovery_time += rec.recovery_time;
+        resumed_frames += res;
+    }
     CompressReport {
         procs: n,
         mode: p.mode,
         agg_write_mbps: n as f64 * p.file_bytes as f64 * 8.0 / slowest / 1e6,
         ratio,
+        recovery,
+        resumed_frames,
     }
 }
 

@@ -1,0 +1,268 @@
+//! Goodput-adaptive striping and congestion-aware pooling, end to end:
+//! the adaptive scheduler must replay bit-identically under a seeded
+//! fault plan, must beat round-robin placement when one path degrades,
+//! and the pool's congestion policy must steer unpinned sessions toward
+//! the slot with the best observed goodput.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use semplar_repro::faults::{FaultPlan, FaultStats};
+use semplar_repro::netsim::{Bw, LinkId, Network};
+use semplar_repro::runtime::{simulate, Dur, Time};
+use semplar_repro::semplar::{
+    OpenFlags, Payload, SrbFs, SrbFsConfig, StripeStats, StripeUnit, StripedFile,
+};
+use semplar_repro::srb::{
+    adler32, ConnPool, ConnRoute, PoolPolicy, RetryPolicy, SlotPolicy, SrbServer, SrbServerCfg,
+};
+
+/// A multi-homed client: one 50 Mb/s, 10 ms path per stream to the same
+/// server. Returns the per-stream routes and the uplink ids.
+fn multihome(net: &Network, streams: usize) -> (Vec<ConnRoute>, Vec<LinkId>) {
+    let mut routes = Vec::with_capacity(streams);
+    let mut ups = Vec::with_capacity(streams);
+    for i in 0..streams {
+        let up = net.add_link(&format!("up{i}"), Bw::mbps(50.0), Dur::from_millis(10));
+        let down = net.add_link(&format!("down{i}"), Bw::mbps(50.0), Dur::from_millis(10));
+        ups.push(up);
+        routes.push(ConnRoute {
+            fwd: vec![up],
+            rev: vec![down],
+            send_cap: None,
+            recv_cap: None,
+            bus: None,
+        });
+    }
+    (routes, ups)
+}
+
+/// Everything observable about one degraded-link striped write.
+#[derive(Debug, PartialEq)]
+struct DegradeTrace {
+    secs: f64,
+    end: Time,
+    stats: StripeStats,
+    faults: FaultStats,
+    checksum: u32,
+}
+
+/// One striped write of `data` over two paths while a seeded plan throttles
+/// stream 0's uplink to a quarter of its rate at t=200 ms.
+fn degrade_run(unit: StripeUnit, seed: u64, data: Arc<Vec<u8>>) -> DegradeTrace {
+    simulate(move |rt| {
+        let net = Network::new(rt.clone());
+        let (routes, ups) = multihome(&net, 2);
+        let server = SrbServer::new(net.clone(), SrbServerCfg::default());
+        server.mcat().add_user("u", "p");
+        let fs = SrbFs::with_stream_routes(
+            server.clone(),
+            SrbFsConfig {
+                route: routes[0].clone(),
+                user: "u".into(),
+                password: "p".into(),
+            },
+            routes.clone(),
+            PoolPolicy::PerOpen,
+            RetryPolicy::default(),
+        );
+        let plan = FaultPlan::new(seed).link_degrade_at(
+            ups[0],
+            Dur::from_millis(200),
+            0.25,
+            Dur::from_secs(3600),
+        );
+        let inj = plan.inject(&rt, &net, &server);
+
+        let f = StripedFile::open(&rt, &fs, "/deg", OpenFlags::CreateRw, 2, unit)
+            .expect("open striped file");
+        let t0 = rt.now();
+        let req = f.iwrite_at(0, Payload::bytes((*data).clone()));
+        let total = req.wait_rebalanced().expect("degraded write");
+        assert_eq!(total, data.len() as u64, "short striped write");
+        let secs = (rt.now() - t0).as_secs_f64();
+        let stats = f.stripe_stats();
+        f.close().expect("close striped file");
+
+        let conn = server
+            .connect(routes[0].clone(), "u", "p")
+            .expect("verify conn");
+        let checksum = conn.checksum("/deg").expect("checksum");
+        conn.disconnect().expect("disconnect");
+
+        DegradeTrace {
+            secs,
+            end: rt.now(),
+            stats,
+            faults: inj.stats(),
+            checksum,
+        }
+    })
+}
+
+fn patterned(len: usize, seed: u64) -> Arc<Vec<u8>> {
+    let k = seed | 1;
+    Arc::new(
+        (0..len)
+            .map(|i| ((i as u64).wrapping_mul(k) >> 3) as u8)
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Same seed, same fault plan ⇒ the adaptive scheduler replays a
+    /// bit-identical history: placement counters, fault ledger, final
+    /// clock, and the bytes that land.
+    #[test]
+    fn adaptive_replays_bit_identical_under_faults(seed in any::<u64>()) {
+        let data = patterned(4 << 20, seed);
+        let unit = StripeUnit::Adaptive { block: 512 << 10 };
+        let a = degrade_run(unit, seed, data.clone());
+        let b = degrade_run(unit, seed, data.clone());
+        prop_assert_eq!(&a, &b, "seed {} diverged", seed);
+        // The degrade really happened and the bytes are the bytes written.
+        prop_assert_eq!(a.faults.ledger.len(), 1);
+        prop_assert_eq!(a.checksum, adler32(&data));
+        let placed: u64 = a.stats.blocks.iter().sum();
+        prop_assert_eq!(placed, 8, "4 MiB / 512 KiB blocks");
+    }
+}
+
+/// Under a 4x single-link degrade the adaptive scheduler must beat
+/// round-robin by a wide margin, by migrating queued blocks off the
+/// throttled stream's home slots.
+#[test]
+fn adaptive_beats_round_robin_under_degrade() {
+    let data = patterned(16 << 20, 11);
+    let rr = degrade_run(StripeUnit::Bytes(1 << 20), 11, data.clone());
+    let ad = degrade_run(StripeUnit::Adaptive { block: 1 << 20 }, 11, data);
+
+    assert_eq!(rr.checksum, ad.checksum, "both layouts land the same bytes");
+    assert!(
+        ad.secs * 1.5 < rr.secs,
+        "adaptive {:.3}s should be at least 1.5x faster than round-robin {:.3}s",
+        ad.secs,
+        rr.secs
+    );
+    assert!(
+        ad.stats.migrated > 0,
+        "no blocks migrated off the slow home"
+    );
+    assert!(
+        ad.stats.blocks[1] > ad.stats.blocks[0],
+        "the healthy stream should carry the majority: {:?}",
+        ad.stats.blocks
+    );
+}
+
+/// Drive asymmetric traffic through a two-slot shared pool and return the
+/// per-slot payload totals after a 2 MiB probe session picked its slot.
+/// Slot 0 serves tiny latency-bound writes (low goodput), slot 1 serves
+/// 1 MiB writes (high goodput).
+fn pooled_probe(slot_policy: SlotPolicy) -> Vec<u64> {
+    simulate(move |rt| {
+        let net = Network::new(rt.clone());
+        let (routes, _) = multihome(&net, 1);
+        let server = SrbServer::new(net.clone(), SrbServerCfg::default());
+        server.mcat().add_user("u", "p");
+        let pool = ConnPool::with_slot_policy(
+            server,
+            "u",
+            "p",
+            PoolPolicy::Shared {
+                max_streams: 2,
+                max_inflight: 4,
+            },
+            slot_policy,
+            RetryPolicy::default(),
+        );
+        let route = &routes[0];
+
+        // Cold slots are dialed in index order: a -> slot 0, b -> slot 1.
+        let a = pool.session(route, None).expect("session a");
+        let b = pool.session(route, None).expect("session b");
+        a.create("/small").expect("create small");
+        let fa = a.open("/small", OpenFlags::CreateRw).expect("open small");
+        for i in 0..4u64 {
+            a.write(fa, i * 4096, Payload::sized(4096))
+                .expect("small write");
+        }
+        b.create("/big").expect("create big");
+        let fb = b.open("/big", OpenFlags::CreateRw).expect("open big");
+        for i in 0..4u64 {
+            b.write(fb, i * (1 << 20), Payload::sized(1 << 20))
+                .expect("big write");
+        }
+
+        let c = pool.session(route, None).expect("probe session");
+        c.create("/probe").expect("create probe");
+        let fc = c.open("/probe", OpenFlags::CreateRw).expect("open probe");
+        c.write(fc, 0, Payload::sized(2 << 20))
+            .expect("probe write");
+
+        pool.slot_meters()
+            .into_iter()
+            .map(|(_, m)| m.map(|s| s.payload_bytes).unwrap_or(0))
+            .collect()
+    })
+}
+
+/// `SlotPolicy::Congestion` sends the probe to the high-goodput slot;
+/// `SlotPolicy::LeastAssigned` (the default, tie on assignments) sends it
+/// to slot 0. The 2 MiB probe payload shows up where the session landed.
+#[test]
+fn congestion_policy_steers_probe_to_high_goodput_slot() {
+    let by_goodput = pooled_probe(SlotPolicy::Congestion);
+    assert_eq!(
+        by_goodput,
+        vec![4 * 4096, (4 << 20) + (2 << 20)],
+        "probe should land on the high-goodput slot"
+    );
+
+    let by_count = pooled_probe(SlotPolicy::LeastAssigned);
+    assert_eq!(
+        by_count,
+        vec![4 * 4096 + (2 << 20), 4 << 20],
+        "least-assigned breaks the tie to slot 0"
+    );
+}
+
+/// `with_stream_routes` really pins stream `i` to route `i % n`: an evenly
+/// striped write over two single-link routes pushes roughly half the
+/// payload bits over each uplink.
+#[test]
+fn stream_routes_pin_streams_to_their_links() {
+    simulate(|rt| {
+        let net = Network::new(rt.clone());
+        let (routes, ups) = multihome(&net, 2);
+        let server = SrbServer::new(net.clone(), SrbServerCfg::default());
+        server.mcat().add_user("u", "p");
+        let fs = SrbFs::with_stream_routes(
+            server,
+            SrbFsConfig {
+                route: routes[0].clone(),
+                user: "u".into(),
+                password: "p".into(),
+            },
+            routes.clone(),
+            PoolPolicy::PerOpen,
+            RetryPolicy::default(),
+        );
+        let f = StripedFile::open(&rt, &fs, "/pin", OpenFlags::CreateRw, 2, StripeUnit::Even)
+            .expect("open striped file");
+        let bytes = 4u64 << 20;
+        f.write_at(0, Payload::sized(bytes)).expect("striped write");
+        f.close().expect("close striped file");
+
+        let total_bits = bytes as f64 * 8.0;
+        for (i, up) in ups.iter().enumerate() {
+            let moved = net.link_bits_moved(*up);
+            assert!(
+                moved > total_bits * 0.4,
+                "uplink {i} carried only {moved} of {total_bits} payload bits"
+            );
+        }
+    });
+}
