@@ -161,6 +161,7 @@ fn io_thread_sweep() {
                 EngineCfg {
                     io_threads: threads,
                     prespawn: true,
+                    ..EngineCfg::default()
                 },
             )
             .unwrap();

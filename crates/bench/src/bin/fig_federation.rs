@@ -1,0 +1,122 @@
+//! Federated SRB: sharded MCAT, write-path replication, reconciliation.
+//!
+//! The same round-robin multi-file write runs twice — fault-free, then
+//! with a seeded crash of the primary owning the first file, landing
+//! mid-write. During the outage writes and reads fail over to the shard's
+//! replica (the replicator is quiesced first, so every acked byte is
+//! durable there); once the primary restarts, the replica's divergent
+//! suffix is replayed back in order. Zero acked bytes may be lost: both
+//! arms must end with bit-identical per-file checksums on every primary
+//! and every replica. Entirely in virtual time and seeded, so the output
+//! is bit-identical across invocations — CI diffs `--quick` against
+//! `results/fig_federation_quick.txt`.
+
+use semplar_bench::table::mbps;
+use semplar_bench::{fig_federation, Table};
+use semplar_runtime::{Dur, Time};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let shards = 2usize;
+    let (files, bytes_per_file, chunk, crash_at, down_for) = if quick {
+        (2usize, 6u64 << 20, 1u64 << 20, 1_000u64, 1_500u64)
+    } else {
+        (3usize, 16u64 << 20, 2u64 << 20, 2_500u64, 3_000u64)
+    };
+    let seed = 23u64;
+    let rep = fig_federation(
+        shards,
+        files,
+        bytes_per_file,
+        chunk,
+        seed,
+        Dur::from_millis(crash_at),
+        Dur::from_millis(down_for),
+    );
+
+    let mut t = Table::new(
+        &format!(
+            "Federated SRB ({shards} shards x primary+replica, 50 Mb/s client paths): \
+             {files} x {} MiB files, shard-0 owner crashed at t={:.1}s for {:.1}s, seed {seed}",
+            bytes_per_file >> 20,
+            rep.crash_at_secs,
+            rep.down_for_secs
+        ),
+        &["metric", "value"],
+    );
+    t.row(vec!["fault-free write".into(), mbps(rep.fault_free_mbps)]);
+    t.row(vec![
+        "fault-free time".into(),
+        format!("{:.3} s", rep.fault_free_secs),
+    ]);
+    t.row(vec!["faulted write".into(), mbps(rep.faulted_mbps)]);
+    t.row(vec![
+        "faulted time".into(),
+        format!("{:.3} s", rep.faulted_secs),
+    ]);
+    t.row(vec![
+        "goodput retained".into(),
+        format!(
+            "{:.1} %",
+            100.0 * rep.faulted_mbps / rep.fault_free_mbps.max(1e-9)
+        ),
+    ]);
+    t.row(vec![
+        "ops failed over to replica".into(),
+        rep.failovers.to_string(),
+    ]);
+    t.row(vec![
+        "mid-outage federated read".into(),
+        if rep.outage_read_ok {
+            "bytes intact".into()
+        } else {
+            "MISMATCH".to_string()
+        },
+    ]);
+    t.row(vec![
+        "reconciliation rounds".into(),
+        rep.ledger.rounds.to_string(),
+    ]);
+    t.row(vec![
+        "extents replayed".into(),
+        rep.ledger.entries.len().to_string(),
+    ]);
+    t.row(vec![
+        "bytes replayed to primary".into(),
+        format!("{} MiB", rep.ledger.bytes >> 20),
+    ]);
+    t.row(vec![
+        "recovery time".into(),
+        format!("{:.3} s", rep.recovery.recovery_time.as_secs_f64()),
+    ]);
+    for (s, r) in rep.repl.iter().enumerate() {
+        t.row(vec![
+            format!("shard {s} replicated"),
+            format!(
+                "{} extents / {} blocks / {} MiB ({} re-ships)",
+                r.enqueued,
+                r.shipped_blocks,
+                r.shipped_bytes >> 20,
+                r.reships
+            ),
+        ]);
+    }
+    t.row(vec![
+        "checksums (faulted vs fault-free)".into(),
+        if rep.converged() {
+            "bit-identical on primaries and replicas".into()
+        } else {
+            "DIVERGED".to_string()
+        },
+    ]);
+    for (i, sum) in rep.primary_sums.iter().enumerate() {
+        t.row(vec![format!("file {i} adler32"), format!("{sum:08x}")]);
+    }
+    t.print();
+
+    println!("fault ledger (virtual time):");
+    for (at, what) in &rep.faults.ledger {
+        println!("  [{:9.3} s] {what}", (*at - Time::ZERO).as_secs_f64());
+    }
+    assert!(rep.converged(), "acked bytes lost: checksums diverged");
+}

@@ -19,15 +19,17 @@
 use std::sync::{Arc, Mutex};
 
 use semplar::{
-    AdioFs, OpenFlags, Payload, RecoveryStats, SrbFs, SrbFsConfig, StripeStats, StripeUnit,
-    StripedFile,
+    AdioFile, AdioFs, FedFs, FedShard, OpenFlags, Payload, ReconcileLedger, RecoveryStats, SrbFs,
+    SrbFsConfig, StripeStats, StripeUnit, StripedFile,
 };
 use semplar_clusters::{ClusterSpec, Testbed};
 use semplar_faults::{FaultPlan, FaultStats};
 use semplar_netsim::{Bw, NetStats, Network};
 use semplar_runtime::sync::Barrier;
 use semplar_runtime::{spawn, Dur, SimRuntime};
-use semplar_srb::{ConnRoute, PoolPolicy, RetryPolicy, SrbServer, SrbServerCfg};
+use semplar_srb::{
+    ConnRoute, PoolPolicy, ReplStats, Replicator, RetryPolicy, SrbServer, SrbServerCfg,
+};
 use semplar_workloads::{
     estgen, run_blast, run_compress, run_laplace, run_perf, BlastParams, CompressMode,
     CompressParams, LaplaceMode, LaplaceParams, PerfParams,
@@ -870,5 +872,289 @@ pub fn fig_degrade(
         adaptive_secs,
         stats,
         faults,
+    }
+}
+
+/// Result of the federation experiment: the same round-robin multi-file
+/// write against a sharded federation, fault-free vs with a seeded crash
+/// of one shard's primary mid-write.
+#[derive(Clone, Debug)]
+pub struct FederationReport {
+    /// Shards in the federation (each a primary + replica server pair).
+    pub shards: usize,
+    /// Files written (hash-routed across the shards).
+    pub files: usize,
+    /// Bytes per file.
+    pub bytes_per_file: u64,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Virtual seconds the primary crash lands after the writes start.
+    pub crash_at_secs: f64,
+    /// Virtual seconds the crashed primary stays down.
+    pub down_for_secs: f64,
+    /// Fault-free write time, virtual seconds.
+    pub fault_free_secs: f64,
+    /// Fault-free write goodput, Mb/s.
+    pub fault_free_mbps: f64,
+    /// Faulted-arm write time, virtual seconds (failover + reconciliation
+    /// overlap the write).
+    pub faulted_secs: f64,
+    /// Faulted-arm write goodput, Mb/s.
+    pub faulted_mbps: f64,
+    /// Operations the federation served from a replica during the outage.
+    pub failovers: u64,
+    /// Federation recovery counters of the faulted arm.
+    pub recovery: RecoveryStats,
+    /// Deterministic replay ledger of the faulted arm.
+    pub ledger: ReconcileLedger,
+    /// Per-shard replicator counters of the faulted arm.
+    pub repl: Vec<ReplStats>,
+    /// Per-file checksums on the owning primaries, faulted arm.
+    pub primary_sums: Vec<u32>,
+    /// Per-file checksums on the replicas, faulted arm.
+    pub replica_sums: Vec<u32>,
+    /// Per-file checksums of the fault-free arm (primaries).
+    pub fault_free_sums: Vec<u32>,
+    /// The mid-outage federated read returned exactly the written bytes.
+    pub outage_read_ok: bool,
+    /// What the injector did in the faulted arm.
+    pub faults: FaultStats,
+}
+
+impl FederationReport {
+    /// Zero acked-byte loss: after reconciliation, every file checksums
+    /// bit-identically to the fault-free run on the primary *and* the
+    /// replica.
+    pub fn converged(&self) -> bool {
+        self.primary_sums == self.fault_free_sums && self.replica_sums == self.fault_free_sums
+    }
+}
+
+/// The deterministic byte at `pos` of federation file `file`.
+fn fed_pattern(file: usize, offset: u64, len: u64) -> Vec<u8> {
+    (0..len)
+        .map(|k| (((offset + k) as usize).wrapping_mul(131) + file * 29 + 17) as u8)
+        .collect()
+}
+
+/// One arm of one federation run.
+struct FedArm {
+    secs: f64,
+    primary_sums: Vec<u32>,
+    replica_sums: Vec<u32>,
+    failovers: u64,
+    recovery: RecoveryStats,
+    ledger: ReconcileLedger,
+    repl: Vec<ReplStats>,
+    outage_read_ok: bool,
+    faults: Option<FaultStats>,
+}
+
+/// One federation run in a fresh simulation: `shards` primary/replica
+/// server pairs on one network, a per-shard write-path [`Replicator`], and
+/// `files` files written round-robin in `chunk`-byte pieces through a
+/// [`FedFs`]. With `crash = Some((at, down_for))` a seeded plan crashes
+/// the primary that owns the first file mid-write: writes and reads fail
+/// over to its replica, and the divergent suffix is replayed back once the
+/// primary restarts.
+fn federation_run(
+    shards: usize,
+    files: usize,
+    bytes_per_file: u64,
+    chunk: u64,
+    seed: u64,
+    crash: Option<(Dur, Dur)>,
+) -> FedArm {
+    let sim = SimRuntime::new();
+    sim.run_root(move |rt| {
+        let net = Network::new(rt.clone());
+        let mut fed_shards = Vec::with_capacity(shards);
+        let mut primary_servers = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let route = |name: String, bw_mbps: f64, lat_ms: u64| ConnRoute {
+                fwd: vec![net.add_link(
+                    &format!("{name}-fwd"),
+                    Bw::mbps(bw_mbps),
+                    Dur::from_millis(lat_ms),
+                )],
+                rev: vec![net.add_link(
+                    &format!("{name}-rev"),
+                    Bw::mbps(bw_mbps),
+                    Dur::from_millis(lat_ms),
+                )],
+                send_cap: None,
+                recv_cap: None,
+                bus: None,
+            };
+            let primary = SrbServer::new(net.clone(), SrbServerCfg::default());
+            let replica = SrbServer::new(net.clone(), SrbServerCfg::default());
+            primary.mcat().add_user("u", "p");
+            replica.mcat().add_user("u", "p");
+            // The replication service account on the replica.
+            replica.mcat().add_user("fed", "fed");
+            let cfg = |r: ConnRoute| SrbFsConfig {
+                route: r,
+                user: "u".into(),
+                password: "p".into(),
+            };
+            // Federated failover IS the recovery: a crashed primary then
+            // refuses instantly instead of the client backing off.
+            let primary_fs = SrbFs::with_retry(
+                primary.clone(),
+                cfg(route(format!("s{s}-client-primary"), 50.0, 10)),
+                RetryPolicy::none(),
+            );
+            let replica_fs = SrbFs::with_retry(
+                replica.clone(),
+                cfg(route(format!("s{s}-client-replica"), 50.0, 10)),
+                RetryPolicy::none(),
+            );
+            // Fast server-to-server path for the replication stream.
+            let repl = Replicator::start(
+                &rt,
+                primary.clone(),
+                replica,
+                route(format!("s{s}-repl"), 1000.0, 1),
+                "fed",
+                "fed",
+                RetryPolicy::default(),
+            );
+            primary_servers.push(primary);
+            fed_shards.push(FedShard {
+                primary: primary_fs,
+                replica: replica_fs,
+                replicator: Some(repl),
+            });
+        }
+        let fed = FedFs::new(&rt, fed_shards);
+        fed.mk_coll_all("/fed").expect("mk /fed everywhere");
+        let paths: Vec<String> = (0..files).map(|i| format!("/fed/data{i}")).collect();
+        // The crash targets the primary that owns the first file, so the
+        // outage is guaranteed to land on an actively written shard.
+        let inj = crash.map(|(at, down_for)| {
+            FaultPlan::new(seed).server_crash_at(at, down_for).inject(
+                &rt,
+                &net,
+                &primary_servers[fed.shard_of(&paths[0])],
+            )
+        });
+
+        let mut handles: Vec<Box<dyn AdioFile>> = paths
+            .iter()
+            .map(|p| fed.open(p, OpenFlags::CreateRw).expect("open federated"))
+            .collect();
+        let chunks = bytes_per_file / chunk;
+        let mut outage_read_ok = None;
+        let t0 = rt.now();
+        for c in 0..chunks {
+            for (i, h) in handles.iter_mut().enumerate() {
+                let data = Payload::bytes(fed_pattern(i, c * chunk, chunk));
+                let n = h.write_at(c * chunk, &data).expect("federated write");
+                assert_eq!(n, chunk, "short federated write");
+            }
+            // First failover observed: read the crashed shard's file back
+            // through the federation mid-outage. The replicator is
+            // quiesced and the replica serves every acked byte.
+            if outage_read_ok.is_none() && fed.failovers() > 0 {
+                let mut r = fed.open(&paths[0], OpenFlags::Read).expect("outage open");
+                let got = r.read_at(0, chunk).expect("outage read");
+                let _ = r.close();
+                outage_read_ok = Some(got.data() == Some(&fed_pattern(0, 0, chunk)[..]));
+            }
+        }
+        let secs = (rt.now() - t0).as_secs_f64();
+        for mut h in handles {
+            h.close().expect("close federated");
+        }
+        // Let the plan finish (the restart may land after the writes), then
+        // replay whatever divergence remains and settle replication.
+        if let Some(inj) = &inj {
+            while !inj.done() {
+                rt.sleep(Dur::from_millis(100));
+            }
+        }
+        while !fed.reconcile() {
+            rt.sleep(Dur::from_millis(50));
+        }
+        for shard in fed.shards() {
+            if let Some(repl) = &shard.replicator {
+                repl.quiesce();
+            }
+        }
+        let mut primary_sums = Vec::with_capacity(files);
+        let mut replica_sums = Vec::with_capacity(files);
+        for p in &paths {
+            let shard = &fed.shards()[fed.shard_of(p)];
+            let conn = shard.primary.admin_conn().expect("primary admin");
+            primary_sums.push(conn.checksum(p).expect("primary checksum"));
+            let _ = conn.disconnect();
+            let conn = shard.replica.admin_conn().expect("replica admin");
+            replica_sums.push(conn.checksum(p).expect("replica checksum"));
+            let _ = conn.disconnect();
+        }
+        FedArm {
+            secs,
+            primary_sums,
+            replica_sums,
+            failovers: fed.failovers(),
+            recovery: fed.recovery_stats(),
+            ledger: fed.reconcile_ledger(),
+            repl: fed
+                .shards()
+                .iter()
+                .filter_map(|s| s.replicator.as_ref())
+                .map(|r| r.stats())
+                .collect(),
+            outage_read_ok: outage_read_ok.unwrap_or(crash.is_none()),
+            faults: inj.map(|i| i.stats()),
+        }
+    })
+}
+
+/// The federation experiment: identical round-robin writes of `files`
+/// files across a sharded federation, fault-free vs with the seeded crash
+/// of one shard's primary `crash_at` into the write (down for `down_for`).
+/// Zero acked bytes may be lost: the faulted arm must reconcile to
+/// checksums bit-identical to the fault-free arm on primaries *and*
+/// replicas.
+pub fn fig_federation(
+    shards: usize,
+    files: usize,
+    bytes_per_file: u64,
+    chunk: u64,
+    seed: u64,
+    crash_at: Dur,
+    down_for: Dur,
+) -> FederationReport {
+    let clean = federation_run(shards, files, bytes_per_file, chunk, seed, None);
+    let faulted = federation_run(
+        shards,
+        files,
+        bytes_per_file,
+        chunk,
+        seed,
+        Some((crash_at, down_for)),
+    );
+    let total_bits = (files as u64 * bytes_per_file) as f64 * 8.0;
+    FederationReport {
+        shards,
+        files,
+        bytes_per_file,
+        seed,
+        crash_at_secs: crash_at.as_secs_f64(),
+        down_for_secs: down_for.as_secs_f64(),
+        fault_free_secs: clean.secs,
+        fault_free_mbps: total_bits / clean.secs / 1e6,
+        faulted_secs: faulted.secs,
+        faulted_mbps: total_bits / faulted.secs / 1e6,
+        failovers: faulted.failovers,
+        recovery: faulted.recovery,
+        ledger: faulted.ledger,
+        repl: faulted.repl,
+        primary_sums: faulted.primary_sums,
+        replica_sums: faulted.replica_sums,
+        fault_free_sums: clean.primary_sums,
+        outage_read_ok: faulted.outage_read_ok,
+        faults: faulted.faults.expect("faulted arm has an injector"),
     }
 }

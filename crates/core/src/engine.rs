@@ -27,6 +27,27 @@ use crate::adio::{AdioFile, IoError, IoResult};
 use crate::request::{Completion, Status};
 use semplar_runtime::sync::RtMutex;
 
+/// Bound on the engine's FIFO queue — the write-side analogue of the
+/// prefetcher's read window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueWindow {
+    /// No bound: submits never block (the paper's behaviour, and the
+    /// default — async writes queue arbitrarily deep).
+    #[default]
+    Unbounded,
+    /// Size the admission window from the backend stream's telemetry:
+    /// `2·BDP / block` outstanding jobs (goodput × latency, doubled so the
+    /// pipe stays full while one window is in flight), clamped to
+    /// `1..=max`. With no meter — or before it warms up — the window is 1.
+    /// A submit beyond the window blocks (on virtual time) until a job
+    /// completes, bounding queued payload memory to roughly what the
+    /// stream can absorb.
+    Auto {
+        /// Hard ceiling on outstanding jobs.
+        max: usize,
+    },
+}
+
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineCfg {
@@ -35,6 +56,8 @@ pub struct EngineCfg {
     /// Spawn the threads at engine creation (`true`) or on the first
     /// asynchronous call (`false`, the paper's default).
     pub prespawn: bool,
+    /// Admission bound on outstanding jobs (default: unbounded).
+    pub queue_window: QueueWindow,
 }
 
 impl Default for EngineCfg {
@@ -42,6 +65,7 @@ impl Default for EngineCfg {
         EngineCfg {
             io_threads: 1,
             prespawn: false,
+            queue_window: QueueWindow::Unbounded,
         }
     }
 }
@@ -79,6 +103,12 @@ pub(crate) struct IoEngine {
     cfg: EngineCfg,
     queue: Channel<IoJob>,
     file: Arc<RtMutex<Box<dyn AdioFile>>>,
+    /// The backend stream's telemetry, for [`QueueWindow::Auto`] sizing.
+    meter: Option<Arc<semplar_srb::IoMeter>>,
+    /// Jobs admitted and not yet completed (only tracked under `Auto`).
+    outstanding: Mutex<u64>,
+    /// Completion tokens waking submitters blocked on a full window.
+    slots: Channel<()>,
     inner: Mutex<EngineInner>,
     stats: Mutex<EngineStats>,
 }
@@ -88,13 +118,17 @@ impl IoEngine {
         rt: Arc<dyn Runtime>,
         cfg: EngineCfg,
         file: Arc<RtMutex<Box<dyn AdioFile>>>,
+        meter: Option<Arc<semplar_srb::IoMeter>>,
     ) -> Arc<IoEngine> {
         assert!(cfg.io_threads >= 1, "engine needs at least one I/O thread");
         let engine = Arc::new(IoEngine {
             queue: Channel::new(&rt),
+            slots: Channel::new(&rt),
             rt,
             cfg,
             file,
+            meter,
+            outstanding: Mutex::new(0),
             inner: Mutex::new(EngineInner {
                 threads: Vec::new(),
                 spawned: 0,
@@ -151,16 +185,60 @@ impl IoEngine {
                 }
             };
             self.stats.lock().completed += 1;
+            if matches!(self.cfg.queue_window, QueueWindow::Auto { .. }) {
+                *self.outstanding.lock() -= 1;
+                let _ = self.slots.send(());
+            }
             job.done.set(result);
         }
     }
 
-    /// Enqueue a job (compute-thread side of Fig. 2).
+    /// The admission window for a job of `block` bytes under
+    /// [`QueueWindow::Auto`]: `2·BDP / block` off the stream meter (the
+    /// prefetcher's read-window formula, applied to the write queue), 1
+    /// while there is no telemetry yet.
+    fn window_depth(&self, block: u64, max: usize) -> usize {
+        let Some(meter) = &self.meter else { return 1 };
+        let snap = meter.snapshot();
+        if snap.goodput_bps <= 0.0 || snap.latency_s <= 0.0 {
+            return 1;
+        }
+        let blocks = (2.0 * snap.goodput_bps * snap.latency_s / block.max(1) as f64).ceil();
+        (blocks as usize).clamp(1, max)
+    }
+
+    /// Enqueue a job (compute-thread side of Fig. 2). Under
+    /// [`QueueWindow::Auto`] a submit beyond the admission window blocks
+    /// until an outstanding job completes — asynchronous I/O keeps the
+    /// pipe full without queueing unbounded payload memory.
     pub fn submit(self: &Arc<Self>, op: IoOp, done: Completion) -> IoResult<()> {
         self.ensure_threads();
-        self.queue
-            .send(IoJob { op, done })
-            .map_err(|_| IoError::Closed)?;
+        if let QueueWindow::Auto { max } = self.cfg.queue_window {
+            let block = match &op {
+                IoOp::Read { len, .. } => *len,
+                IoOp::Write { data, .. } => data.len(),
+            };
+            loop {
+                // Re-evaluated each wakeup: the window grows as the meter
+                // warms up, and tokens may be stale (condvar-loop style).
+                let depth = self.window_depth(block, max) as u64;
+                if *self.outstanding.lock() < depth {
+                    break;
+                }
+                if self.slots.recv().is_err() {
+                    // Engine shut down; fall through and fail the enqueue.
+                    break;
+                }
+            }
+            *self.outstanding.lock() += 1;
+        }
+        let admitted = self.queue.send(IoJob { op, done }).map_err(|_| {
+            if matches!(self.cfg.queue_window, QueueWindow::Auto { .. }) {
+                *self.outstanding.lock() -= 1;
+            }
+            IoError::Closed
+        });
+        admitted?;
         // Count only jobs actually enqueued: a submit against a shut-down
         // engine must not inflate `submitted` past what can ever complete.
         self.stats.lock().submitted += 1;
@@ -187,6 +265,7 @@ impl IoEngine {
             }
             g.shut_down = true;
             self.queue.close();
+            self.slots.close();
             std::mem::take(&mut g.threads)
         };
         for t in threads {

@@ -1,0 +1,544 @@
+//! The federated ADIO backend: shard-routed mounts with write-path replica
+//! failover and restart reconciliation.
+//!
+//! [`FedFs`] glues the server-side federation pieces
+//! ([`ShardMap`](semplar_srb::ShardMap) routing and the
+//! [`Replicator`](semplar_srb::Replicator) write-path replication) into one
+//! [`AdioFs`] mount:
+//!
+//! * **Sharded MCAT** — every path is owned by exactly one shard
+//!   (deterministic hash partition); opens and metadata ops go to the
+//!   owning shard's primary, so `File`/`StripedFile` spread their sessions
+//!   across servers through each mount's existing connection pool.
+//! * **Write failover** — a transient failure on a shard primary (crash,
+//!   reset) fails the write over to the shard's replica and records the
+//!   extent in a per-shard *divergence queue*. Blocks are idempotent (same
+//!   bytes, same offsets), so the overlap between the replica copy and
+//!   whatever the primary had already acknowledged is harmless — no acked
+//!   byte is ever lost.
+//! * **Read failover** — reads fail over to the replica too; before the
+//!   first failover read the shard's replicator is quiesced, so every byte
+//!   the primary ever acknowledged is durable on the replica when the read
+//!   is served.
+//! * **Reconciliation** — once the primary is reachable again (the
+//!   crash/restart plan from `semplar-faults` restores it), the next
+//!   operation on the shard replays the divergence queue *in order* from
+//!   the replica back to the primary in [`RESUME_BLOCK`] blocks, recording
+//!   each replayed extent in a deterministic [`ReconcileLedger`] and in
+//!   [`RecoveryStats::reconciles`]/[`RecoveryStats::reconciled_bytes`].
+//!   Replayed writes re-enter the primary's write hook, so the replicator
+//!   re-ships them and both copies converge bit-identically.
+//!
+//! Shard mounts should be built with [`RetryPolicy::none`]
+//! (federated failover *is* the recovery — a crashed primary then refuses
+//! instantly and the client moves on, instead of backing off for seconds).
+//!
+//! [`RetryPolicy::none`]: semplar_srb::RetryPolicy::none
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use semplar_runtime::Runtime;
+use semplar_srb::{IoMeter, OpenFlags, Payload, Replicator, ShardMap, SrbError};
+
+use crate::adio::{AdioFile, AdioFs, IoError, IoResult};
+use crate::srbfs::{RecoveryStats, SrbFs, RESUME_BLOCK};
+
+/// One shard of the federation: the primary mount that owns a partition of
+/// the namespace, its replica mount, and (optionally) the replicator that
+/// keeps the replica in sync on the write path.
+pub struct FedShard {
+    /// Mount of the shard's primary server (owns the partition).
+    pub primary: Arc<SrbFs>,
+    /// Mount of the shard's replica server (failover target).
+    pub replica: Arc<SrbFs>,
+    /// The primary→replica write-path replicator, if wired. Read failover
+    /// quiesces it so acked-but-unshipped extents land before the read.
+    pub replicator: Option<Arc<Replicator>>,
+}
+
+/// Deterministic record of everything reconciliation replayed: one
+/// `(path, offset, len)` entry per extent, in replay order. Same seed ⇒
+/// bit-identical ledger (pinned by the federation fault test).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReconcileLedger {
+    /// Replayed extents in order.
+    pub entries: Vec<(String, u64, u64)>,
+    /// Total bytes replayed.
+    pub bytes: u64,
+    /// Completed reconciliation rounds (one per drained shard queue).
+    pub rounds: u64,
+}
+
+struct ShardState {
+    /// Extents written to the replica while the primary was unreachable,
+    /// in write order — the replica's divergent suffix.
+    divergence: Mutex<VecDeque<(String, u64, u64)>>,
+    /// Guards a reconciliation round so concurrent callers neither replay
+    /// twice nor treat the shard as clean mid-replay.
+    reconciling: AtomicBool,
+    /// Set once a failover read has quiesced the replicator (later
+    /// failover reads already know the queue order is preserved).
+    quiesced: AtomicBool,
+}
+
+/// A federated filesystem over N shards — see the module docs.
+pub struct FedFs {
+    rt: Arc<dyn Runtime>,
+    map: ShardMap,
+    shards: Vec<FedShard>,
+    state: Vec<ShardState>,
+    ledger: Mutex<ReconcileLedger>,
+    recovery: Mutex<RecoveryStats>,
+    failovers: AtomicU64,
+}
+
+impl FedFs {
+    /// A federation over `shards` (at least one). The shard map is sized to
+    /// the vector, so path routing is a pure function of the shard count.
+    pub fn new(rt: &Arc<dyn Runtime>, shards: Vec<FedShard>) -> Arc<FedFs> {
+        assert!(!shards.is_empty(), "a federation needs at least one shard");
+        let state = shards
+            .iter()
+            .map(|_| ShardState {
+                divergence: Mutex::new(VecDeque::new()),
+                reconciling: AtomicBool::new(false),
+                quiesced: AtomicBool::new(false),
+            })
+            .collect();
+        Arc::new(FedFs {
+            rt: rt.clone(),
+            map: ShardMap::new(shards.len()),
+            shards,
+            state,
+            ledger: Mutex::new(ReconcileLedger::default()),
+            recovery: Mutex::new(RecoveryStats::default()),
+            failovers: AtomicU64::new(0),
+        })
+    }
+
+    /// The path→shard routing function.
+    pub fn shard_map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// The shard that owns `path`.
+    pub fn shard_of(&self, path: &str) -> usize {
+        self.map.shard_of(path)
+    }
+
+    /// The shards (primary/replica mounts) of this federation.
+    pub fn shards(&self) -> &[FedShard] {
+        &self.shards
+    }
+
+    /// Create a collection on every shard's primary *and* replica
+    /// (metadata is broadcast: any shard may own paths under it). Existing
+    /// collections are tolerated.
+    pub fn mk_coll_all(&self, path: &str) -> IoResult<()> {
+        for shard in &self.shards {
+            for fs in [&shard.primary, &shard.replica] {
+                let conn = fs.admin_conn()?;
+                let r = conn.mk_coll(path);
+                let _ = conn.disconnect();
+                match r {
+                    Ok(()) | Err(SrbError::AlreadyExists(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Operations served by a replica because the owning primary was
+    /// unreachable.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the cumulative reconciliation ledger.
+    pub fn reconcile_ledger(&self) -> ReconcileLedger {
+        self.ledger.lock().clone()
+    }
+
+    /// Federation-level recovery counters: primary disconnects observed,
+    /// operations completed via failover, and reconciliation totals.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery.lock().clone()
+    }
+
+    /// Extents currently awaiting replay (divergence across all shards).
+    pub fn divergent_extents(&self) -> usize {
+        self.state.iter().map(|s| s.divergence.lock().len()).sum()
+    }
+
+    /// Try to reconcile every shard. Returns true when no divergence
+    /// remains — every extent written to a replica during an outage has
+    /// been replayed to its primary.
+    pub fn reconcile(&self) -> bool {
+        (0..self.shards.len()).all(|i| self.try_reconcile(i))
+    }
+
+    /// True while ops on `shard` must keep using the replica: divergence
+    /// queued, or a replay currently in flight.
+    fn shard_degraded(&self, shard: usize) -> bool {
+        self.state[shard].reconciling.load(Ordering::SeqCst)
+            || !self.state[shard].divergence.lock().is_empty()
+    }
+
+    fn note_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.recovery.lock();
+        st.disconnects += 1;
+        st.recovered_ops += 1;
+    }
+
+    /// Drain the replicator queue before the first failover read on a
+    /// shard, so the replica holds every byte the primary ever acked.
+    fn quiesce_for_reads(&self, shard: usize) {
+        if self.state[shard].quiesced.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(repl) = &self.shards[shard].replicator {
+            repl.quiesce();
+        }
+    }
+
+    /// One reconciliation attempt for `shard`: replay its divergence queue
+    /// (in order) from the replica to the primary in [`RESUME_BLOCK`]
+    /// blocks. Returns true if the queue is empty afterwards. A primary
+    /// that is still down refuses its first open instantly (no time
+    /// charged under `RetryPolicy::none`), so probing is cheap; unreplayed
+    /// entries are put back in order.
+    fn try_reconcile(&self, shard: usize) -> bool {
+        let state = &self.state[shard];
+        if state.reconciling.swap(true, Ordering::SeqCst) {
+            // Another actor is mid-replay; the shard stays degraded here.
+            return false;
+        }
+        let pending: Vec<(String, u64, u64)> = {
+            let mut q = state.divergence.lock();
+            q.drain(..).collect()
+        };
+        if pending.is_empty() {
+            state.reconciling.store(false, Ordering::SeqCst);
+            return true;
+        }
+        let t0 = self.rt.now();
+        let mut replayed: Vec<(String, u64, u64)> = Vec::new();
+        let mut replayed_bytes = 0u64;
+        let mut failed = false;
+        let mut rest = pending.into_iter();
+        for (path, offset, len) in rest.by_ref() {
+            match self.replay_extent(shard, &path, offset, len) {
+                Ok(()) => {
+                    replayed_bytes += len;
+                    replayed.push((path, offset, len));
+                }
+                Err(e) if e.is_transient() => {
+                    // Primary (or replica) still unreachable: requeue this
+                    // extent and stop — order must be preserved.
+                    let mut q = state.divergence.lock();
+                    q.push_front((path, offset, len));
+                    failed = true;
+                    break;
+                }
+                Err(_) => {
+                    // Permanent error (object unlinked mid-outage): the
+                    // extent can never be replayed; drop it.
+                }
+            }
+        }
+        if failed {
+            // Everything after the failed extent, back in order.
+            let mut q = state.divergence.lock();
+            for entry in rest.rev() {
+                q.push_front(entry);
+            }
+        }
+        if !replayed.is_empty() {
+            let mut ledger = self.ledger.lock();
+            ledger.bytes += replayed_bytes;
+            ledger.entries.extend(replayed);
+            if !failed {
+                ledger.rounds += 1;
+            }
+            let mut st = self.recovery.lock();
+            st.reconciled_bytes += replayed_bytes;
+            if !failed {
+                st.reconciles += 1;
+            }
+            st.recovery_time += self.rt.now() - t0;
+        }
+        state.reconciling.store(false, Ordering::SeqCst);
+        !failed
+    }
+
+    /// Replay one divergent extent: read it from the replica, write it to
+    /// the primary (created if it was born on the replica during the
+    /// outage). The primary's write hook fires for the replayed blocks, so
+    /// the replicator re-ships them — idempotent, and it keeps the pair
+    /// converged.
+    fn replay_extent(&self, shard: usize, path: &str, offset: u64, len: u64) -> IoResult<()> {
+        // Probe the primary first (instant refusal while crashed) so a
+        // dead primary costs nothing — no replica reads are wasted.
+        let mut dst = self.shards[shard].primary.open(path, OpenFlags::CreateRw)?;
+        let mut src = self.shards[shard].replica.open(path, OpenFlags::Read)?;
+        let mut done = 0u64;
+        let result = loop {
+            if done >= len {
+                break Ok(());
+            }
+            let blk = RESUME_BLOCK.min(len - done);
+            let data = match src.read_at(offset + done, blk) {
+                Ok(d) => d,
+                Err(e) => break Err(e),
+            };
+            if data.is_empty() {
+                // Replica object shorter than the recorded extent (can only
+                // happen for sparse test payloads); nothing left to copy.
+                break Ok(());
+            }
+            let n = data.len();
+            if let Err(e) = dst.write_at(offset + done, &data) {
+                break Err(e);
+            }
+            done += n;
+            if n < blk {
+                break Ok(());
+            }
+        };
+        let _ = src.close();
+        let _ = dst.close();
+        result
+    }
+}
+
+impl AdioFs for Arc<FedFs> {
+    fn open(&self, path: &str, flags: OpenFlags) -> IoResult<Box<dyn AdioFile>> {
+        self.open_pinned(path, flags, None)
+    }
+
+    fn open_pinned(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        pin: Option<usize>,
+    ) -> IoResult<Box<dyn AdioFile>> {
+        let shard = self.shard_of(path);
+        let mut file = FedFile {
+            fed: self.clone(),
+            shard,
+            path: path.to_string(),
+            flags,
+            pin,
+            primary: None,
+            replica: None,
+            closed: false,
+        };
+        // Bind to the owning primary eagerly when it is healthy; a
+        // transient refusal defers to per-op failover (a CreateRw open can
+        // be replayed, and reads go to the replica).
+        if !self.shard_degraded(shard) {
+            match file.open_primary() {
+                Ok(()) => {}
+                Err(e) if e.is_transient() => {
+                    self.note_failover();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Box::new(file))
+    }
+
+    fn delete(&self, path: &str) -> IoResult<()> {
+        let shard = self.shard_of(path);
+        let r = self.shards[shard].primary.delete(path);
+        // Best-effort on the replica: it may not have the object yet.
+        let _ = self.shards[shard].replica.delete(path);
+        r
+    }
+
+    fn name(&self) -> &'static str {
+        "fedfs"
+    }
+}
+
+/// An open federated file: primary handle plus lazily-opened replica
+/// failover handle.
+struct FedFile {
+    fed: Arc<FedFs>,
+    shard: usize,
+    path: String,
+    flags: OpenFlags,
+    pin: Option<usize>,
+    primary: Option<Box<dyn AdioFile>>,
+    replica: Option<Box<dyn AdioFile>>,
+    closed: bool,
+}
+
+impl FedFile {
+    fn open_primary(&mut self) -> IoResult<()> {
+        if self.primary.is_none() {
+            let f = self.fed.shards[self.shard]
+                .primary
+                .open_pinned(&self.path, self.flags, self.pin)?;
+            self.primary = Some(f);
+        }
+        Ok(())
+    }
+
+    /// The replica handle, opened on first use. Writable files open
+    /// `CreateRw` — during an outage the object may not exist on the
+    /// replica yet (created on the primary, replication still in flight).
+    fn replica_file(&mut self) -> IoResult<&mut Box<dyn AdioFile>> {
+        if self.replica.is_none() {
+            let flags = if self.flags.writable() {
+                OpenFlags::CreateRw
+            } else {
+                OpenFlags::Read
+            };
+            let f = self.fed.shards[self.shard]
+                .replica
+                .open_pinned(&self.path, flags, self.pin)?;
+            self.replica = Some(f);
+        }
+        Ok(self.replica.as_mut().expect("replica handle just opened"))
+    }
+
+    /// Write `data` to the replica and queue the extent for replay.
+    fn write_failover(&mut self, offset: u64, data: &Payload) -> IoResult<u64> {
+        let n = {
+            let f = self.replica_file()?;
+            f.write_at(offset, data)?
+        };
+        self.fed.state[self.shard]
+            .divergence
+            .lock()
+            .push_back((self.path.clone(), offset, n));
+        Ok(n)
+    }
+
+    /// Reconcile-first: replay any divergence on this shard before
+    /// touching the primary, so replayed and new writes stay ordered and
+    /// reads never see a stale primary. Returns true if the primary is
+    /// clean (use it), false if the shard must stay on the replica.
+    fn settle(&mut self) -> bool {
+        if !self.fed.shard_degraded(self.shard) {
+            return true;
+        }
+        if self.fed.try_reconcile(self.shard) {
+            // Primary is live and caught up; rebind to it.
+            self.primary = None;
+            self.open_primary().is_ok()
+        } else {
+            false
+        }
+    }
+}
+
+impl AdioFile for FedFile {
+    fn read_at(&mut self, offset: u64, len: u64) -> IoResult<Payload> {
+        if self.closed {
+            return Err(IoError::Closed);
+        }
+        if self.settle() {
+            match self.open_primary().and_then(|()| {
+                self.primary
+                    .as_mut()
+                    .expect("primary bound by open_primary")
+                    .read_at(offset, len)
+            }) {
+                Ok(p) => return Ok(p),
+                Err(e) if e.is_transient() => {
+                    self.fed.note_failover();
+                    self.primary = None;
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            self.fed.note_failover();
+        }
+        // Failover read: make sure everything the primary acked reached
+        // the replica, then serve from it.
+        self.fed.quiesce_for_reads(self.shard);
+        self.replica_file()?.read_at(offset, len)
+    }
+
+    fn write_at(&mut self, offset: u64, data: &Payload) -> IoResult<u64> {
+        if self.closed {
+            return Err(IoError::Closed);
+        }
+        if self.settle() {
+            match self.open_primary().and_then(|()| {
+                self.primary
+                    .as_mut()
+                    .expect("primary bound by open_primary")
+                    .write_at(offset, data)
+            }) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.is_transient() => {
+                    self.fed.note_failover();
+                    self.primary = None;
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            self.fed.note_failover();
+        }
+        // The whole payload goes to the replica. Any prefix the primary
+        // acknowledged before the cut is also in the extent — replay is
+        // idempotent (same bytes, same offsets), so the overlap is
+        // harmless and no acked byte can be lost.
+        self.write_failover(offset, data)
+    }
+
+    fn size(&mut self) -> IoResult<u64> {
+        if self.closed {
+            return Err(IoError::Closed);
+        }
+        if self.settle() {
+            match self.open_primary().and_then(|()| {
+                self.primary
+                    .as_mut()
+                    .expect("primary bound by open_primary")
+                    .size()
+            }) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.is_transient() => {
+                    self.fed.note_failover();
+                    self.primary = None;
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            self.fed.note_failover();
+        }
+        self.fed.quiesce_for_reads(self.shard);
+        self.replica_file()?.size()
+    }
+
+    fn meter(&self) -> Option<Arc<IoMeter>> {
+        self.primary
+            .as_ref()
+            .and_then(|f| f.meter())
+            .or_else(|| self.replica.as_ref().and_then(|f| f.meter()))
+    }
+
+    fn close(&mut self) -> IoResult<()> {
+        if self.closed {
+            return Ok(());
+        }
+        self.closed = true;
+        if let Some(mut f) = self.primary.take() {
+            let _ = f.close();
+        }
+        if let Some(mut f) = self.replica.take() {
+            let _ = f.close();
+        }
+        Ok(())
+    }
+}

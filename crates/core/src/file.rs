@@ -69,7 +69,7 @@ impl File {
         let adio = fs.open_pinned(path, flags, pin)?;
         let meter = adio.meter();
         let inner = Arc::new(RtMutex::new(rt, adio));
-        let engine = IoEngine::new(rt.clone(), cfg, inner.clone());
+        let engine = IoEngine::new(rt.clone(), cfg, inner.clone(), meter.clone());
         Ok(File {
             rt: rt.clone(),
             inner,

@@ -60,6 +60,11 @@ pub struct RecoveryStats {
     /// Total virtual time spent inside recovery (first failure of an
     /// operation to its eventual completion), summed over operations.
     pub recovery_time: Dur,
+    /// Federation: reconciliation rounds that replayed a replica's
+    /// divergent suffix back to a restarted shard primary.
+    pub reconciles: u64,
+    /// Federation: bytes replayed to primaries by those rounds.
+    pub reconciled_bytes: u64,
 }
 
 /// The SRB-backed filesystem for one client node.

@@ -43,6 +43,32 @@ const ADAPTIVE_WINDOW: usize = 2;
 /// streams so slow that even a proportional share would gate the tail.
 const ADAPTIVE_GATE: f64 = 1.0 / 6.0;
 
+/// How often a banned or hard-gated stream is probed with a single block:
+/// once every this many harvested completions (per stream), and only while
+/// it has nothing in flight and at least one other block remains queued. A
+/// probe that completes lifts the ban (and refreshes a gated stream's
+/// goodput EWMA) so a recovered stream rejoins the WFQ allocation instead
+/// of staying cut off for the rest of the operation; a probe that fails
+/// re-queues like any failed block and the stream waits out another period.
+const PROBE_EVERY: u64 = 4;
+
+/// How a [`StripedFile`]'s sibling streams are placed on the backend's
+/// pooled transports at open time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StreamPlacement {
+    /// Stream `i` pins pool slot `i`: siblings land on distinct transports
+    /// in a fixed order. Deterministic regardless of pool policy — the
+    /// paper's configuration and the default.
+    #[default]
+    Pinned,
+    /// No pin: each stream asks the pool to place it by the mount's
+    /// [`SlotPolicy`](crate::SlotPolicy) — under
+    /// [`SlotPolicy::Congestion`](crate::SlotPolicy) the slot with the
+    /// least queue-and-flight pressure at open time, so streams avoid
+    /// transports already loaded by other files sharing the pool.
+    Congestion,
+}
+
 /// How one operation's byte range is divided across the streams.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StripeUnit {
@@ -82,6 +108,10 @@ pub struct StripeStats {
     pub migrated: u64,
     /// Blocks re-queued onto siblings after their stream failed in flight.
     pub requeued: u64,
+    /// Single-block probes issued to banned or hard-gated streams.
+    pub probes: u64,
+    /// Banned streams readmitted to the WFQ after a probe completed.
+    pub unbans: u64,
 }
 
 /// A file striped across several independent connections.
@@ -115,9 +145,16 @@ struct AdaptiveSched {
     /// Bytes issued per stream this operation — the WFQ virtual time.
     issued_bytes: Vec<u64>,
     inflight_count: Vec<usize>,
-    /// Streams that failed a block mid-operation: they keep nothing new.
+    /// Streams that failed a block mid-operation: they keep nothing new
+    /// until a probe block completes on them.
     banned: Vec<bool>,
+    /// Completions harvested this operation — the probe clock.
+    completions: u64,
+    /// `completions` value at each stream's last probe.
+    last_probe: Vec<u64>,
     requeued: u64,
+    probes: u64,
+    unbans: u64,
     /// First permanent error, surfaced by the next wait.
     fatal: Option<IoError>,
     recorded: bool,
@@ -298,8 +335,17 @@ impl MultiRequest {
     fn harvest_one(&self, s: &mut AdaptiveSched, idx: usize) {
         let (li, stream, req) = s.inflight.remove(idx);
         s.inflight_count[stream] -= 1;
+        s.completions += 1;
         match req.wait() {
-            Ok(st) => s.statuses[li] = Some(st),
+            Ok(st) => {
+                s.statuses[li] = Some(st);
+                if s.banned[stream] {
+                    // A probe came back: the stream (and its backend's
+                    // reconnect) is live again — readmit it to the WFQ.
+                    s.banned[stream] = false;
+                    s.unbans += 1;
+                }
+            }
             Err(e) if e.is_transient() => {
                 // The slowness path and the failure path unify here: the
                 // stream is cut off from new blocks (like a fully gated
@@ -350,6 +396,38 @@ impl MultiRequest {
                 }
             }
             let fallback = if max_known > 0.0 { max_known } else { 1.0 };
+            // Periodic recovery probe: a banned stream — or one hard-gated
+            // below ADAPTIVE_GATE, whose goodput EWMA would otherwise stay
+            // frozen because it receives no blocks — gets one block every
+            // PROBE_EVERY completions, idle streams first. Only while at
+            // least one more block stays queued, so the operation's tail is
+            // never staked on a possibly-dead stream.
+            if s.queue.len() >= 2 {
+                let probe = (0..n).find(|&i| {
+                    let gated =
+                        !s.banned[i] && weights[i] > 0.0 && weights[i] < ADAPTIVE_GATE * max_known;
+                    (s.banned[i] || gated)
+                        && s.inflight_count[i] == 0
+                        && s.completions >= s.last_probe[i] + PROBE_EVERY
+                });
+                if let Some(stream) = probe {
+                    s.queue.pop_front();
+                    s.last_probe[stream] = s.completions;
+                    s.probes += 1;
+                    let (_, off, blen) = self.layout[li];
+                    s.placement[li] = stream;
+                    s.issued_bytes[stream] += blen;
+                    s.inflight_count[stream] += 1;
+                    let req = match &self.data {
+                        Some(d) => {
+                            self.files[stream].iwrite_at(off, d.slice(off - self.base, blen))
+                        }
+                        None => self.files[stream].iread_at(off, blen),
+                    };
+                    s.inflight.push((li, stream, req));
+                    continue;
+                }
+            }
             let (home, _, len) = self.layout[li];
             let mut best: Option<(f64, usize)> = None;
             // Visit streams home-first so WFQ ties resolve to the
@@ -464,6 +542,8 @@ impl MultiRequest {
             }
         }
         g.requeued += s.requeued;
+        g.probes += s.probes;
+        g.unbans += s.unbans;
     }
 }
 
@@ -507,15 +587,36 @@ impl StripedFile {
         streams: usize,
         unit: StripeUnit,
     ) -> IoResult<StripedFile> {
+        StripedFile::open_placed(rt, fs, path, flags, streams, unit, StreamPlacement::Pinned)
+    }
+
+    /// [`StripedFile::open`] with an explicit [`StreamPlacement`]:
+    /// congestion-aware placement lets the pool spread this file's streams
+    /// away from transports other files are already loading.
+    pub fn open_placed(
+        rt: &Arc<dyn Runtime>,
+        fs: &dyn AdioFs,
+        path: &str,
+        flags: OpenFlags,
+        streams: usize,
+        unit: StripeUnit,
+        placement: StreamPlacement,
+    ) -> IoResult<StripedFile> {
         assert!(streams >= 1, "need at least one stream");
         if let StripeUnit::Bytes(u) | StripeUnit::Adaptive { block: u } = unit {
             assert!(u >= 1, "stripe unit must be positive");
         }
         let mut files = Vec::with_capacity(streams);
         for i in 0..streams {
-            // Pin stream `i` to pool slot `i`: under a shared connection
-            // pool the §7.2 double-streaming still gets truly independent
-            // transports instead of multiplexing onto one stream.
+            // Pinned: stream `i` takes pool slot `i`, so under a shared
+            // connection pool the §7.2 double-streaming still gets truly
+            // independent transports instead of multiplexing onto one
+            // stream. Congestion: the pool's slot policy places each
+            // stream where pressure is lowest right now.
+            let pin = match placement {
+                StreamPlacement::Pinned => Some(i),
+                StreamPlacement::Congestion => None,
+            };
             files.push(File::open_pinned(
                 rt,
                 fs,
@@ -524,8 +625,9 @@ impl StripedFile {
                 EngineCfg {
                     io_threads: 1,
                     prespawn: true,
+                    ..EngineCfg::default()
                 },
-                Some(i),
+                pin,
             )?);
         }
         let meters = files.iter().map(|f| f.meter_handle().cloned()).collect();
@@ -539,8 +641,7 @@ impl StripedFile {
             stats: Arc::new(Mutex::new(StripeStats {
                 blocks: vec![0; streams],
                 bytes: vec![0; streams],
-                migrated: 0,
-                requeued: 0,
+                ..StripeStats::default()
             })),
         })
     }
@@ -548,6 +649,13 @@ impl StripedFile {
     /// Number of streams.
     pub fn streams(&self) -> usize {
         self.files.len()
+    }
+
+    /// Per-stream goodput meters captured at open (`None` entries for
+    /// backends without telemetry). Distinct `Arc`s mean distinct
+    /// underlying transports — how tests verify stream placement.
+    pub fn stream_meters(&self) -> Vec<Option<Arc<IoMeter>>> {
+        self.meters.as_ref().clone()
     }
 
     /// Register a read fallback: a federated replica of this file reachable
@@ -680,7 +788,11 @@ impl StripedFile {
             issued_bytes: vec![0; n],
             inflight_count: vec![0; n],
             banned: vec![false; n],
+            completions: 0,
+            last_probe: vec![0; n],
             requeued: 0,
+            probes: 0,
+            unbans: 0,
             fatal: None,
             recorded: false,
             meters: self.meters.clone(),
@@ -747,7 +859,7 @@ impl StripedFile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adio::MemFs;
+    use crate::adio::{AdioFile, AdioFs, IoError, IoResult, MemFs};
     use proptest::prelude::*;
     use semplar_runtime::simulate;
 
@@ -900,6 +1012,110 @@ mod tests {
                 "8 write + 8 read blocks"
             );
             assert_eq!(stats.bytes.iter().sum::<u64>(), 2 * data.len() as u64);
+            f.close().unwrap();
+        });
+    }
+
+    /// MemFs wrapper whose pin-0 stream fails writes transiently while a
+    /// shared fuse holds, then heals — the minimal backend for exercising
+    /// the ban → probe → un-ban path deterministically.
+    struct FlakyFs {
+        inner: Arc<MemFs>,
+        failures_left: Arc<Mutex<u32>>,
+    }
+
+    struct FlakyFile {
+        inner: Box<dyn AdioFile>,
+        flaky: bool,
+        failures_left: Arc<Mutex<u32>>,
+    }
+
+    impl AdioFile for FlakyFile {
+        fn read_at(&mut self, offset: u64, len: u64) -> IoResult<Payload> {
+            self.inner.read_at(offset, len)
+        }
+        fn write_at(&mut self, offset: u64, data: &Payload) -> IoResult<u64> {
+            if self.flaky {
+                let mut left = self.failures_left.lock();
+                if *left > 0 {
+                    *left -= 1;
+                    return Err(IoError::Srb(semplar_srb::SrbError::Disconnected {
+                        acked: 0,
+                    }));
+                }
+            }
+            self.inner.write_at(offset, data)
+        }
+        fn size(&mut self) -> IoResult<u64> {
+            self.inner.size()
+        }
+        fn close(&mut self) -> IoResult<()> {
+            self.inner.close()
+        }
+    }
+
+    impl AdioFs for FlakyFs {
+        fn open(&self, path: &str, flags: OpenFlags) -> IoResult<Box<dyn AdioFile>> {
+            self.open_pinned(path, flags, None)
+        }
+        fn open_pinned(
+            &self,
+            path: &str,
+            flags: OpenFlags,
+            pin: Option<usize>,
+        ) -> IoResult<Box<dyn AdioFile>> {
+            Ok(Box::new(FlakyFile {
+                inner: self.inner.open_pinned(path, flags, pin)?,
+                flaky: pin == Some(0),
+                failures_left: self.failures_left.clone(),
+            }))
+        }
+        fn delete(&self, path: &str) -> IoResult<()> {
+            self.inner.delete(path)
+        }
+        fn name(&self) -> &'static str {
+            "flakyfs"
+        }
+    }
+
+    /// A stream banned after transient failures is probed with a single
+    /// block once the probe period elapses, and a successful probe readmits
+    /// it to the WFQ so it carries blocks again — the operation completes
+    /// with every byte intact instead of leaving the stream cut off.
+    #[test]
+    fn banned_stream_is_probed_and_readmitted() {
+        simulate(|rt| {
+            let fs = FlakyFs {
+                inner: MemFs::new(rt.clone()),
+                // Both of stream 0's first-window blocks fail; after that
+                // the stream is healthy and the probe can succeed.
+                failures_left: Arc::new(Mutex::new(2)),
+            };
+            let data: Vec<u8> = (0..16_384u32).map(|i| (i % 241) as u8).collect();
+            let f = StripedFile::open(
+                &rt,
+                &fs,
+                "/flaky",
+                OpenFlags::CreateRw,
+                2,
+                StripeUnit::Adaptive { block: 1024 },
+            )
+            .unwrap();
+            assert_eq!(
+                f.write_at(0, Payload::bytes(data.clone())).unwrap(),
+                data.len() as u64
+            );
+            let stats = f.stripe_stats();
+            assert_eq!(stats.requeued, 2, "both first-window blocks requeued");
+            assert!(stats.probes >= 1, "banned stream never probed");
+            assert_eq!(stats.unbans, 1, "successful probe must lift the ban");
+            assert!(
+                stats.blocks[0] >= 2,
+                "readmitted stream carried only {} blocks",
+                stats.blocks[0]
+            );
+            let back = f.read_at(0, data.len() as u64).unwrap();
+            assert_eq!(back.data().unwrap(), &data[..]);
             f.close().unwrap();
         });
     }

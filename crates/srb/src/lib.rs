@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod federation;
 pub mod mcat;
 pub mod pool;
 pub mod proto;
@@ -33,6 +34,7 @@ pub mod types;
 pub mod vault;
 
 pub use client::SrbConn;
+pub use federation::{ReplStats, Replicator, ShardMap, REPL_BLOCK};
 pub use mcat::Mcat;
 pub use pool::{ConnPool, PoolPolicy, SlotPolicy};
 pub use proto::SessionId;

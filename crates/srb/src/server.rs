@@ -132,6 +132,11 @@ struct Peer {
 /// Both directions of one live connection, as registered for fault injection.
 type ConnChannels = (Channel<ReqFrame>, Channel<RespFrame>);
 
+/// Observer invoked after every durable vault write, with `(path, offset,
+/// len)`. Federation hangs its replication queue off this; the default is
+/// `None` and costs nothing.
+pub type WriteHook = Arc<dyn Fn(&str, u64, u64) + Send + Sync>;
+
 /// Per-connection request trace, keyed by connection id so concurrent
 /// handlers produce a deterministic ordering.
 type RequestTrace = std::collections::BTreeMap<u64, Vec<String>>;
@@ -156,6 +161,8 @@ pub struct SrbServer {
     /// When enabled, every request is recorded (per connection, in arrival
     /// order) — the golden-trace tests pin the wire behaviour with this.
     trace: Mutex<Option<RequestTrace>>,
+    /// Called after each completed vault write (federation replication).
+    write_hook: Mutex<Option<WriteHook>>,
     connections: AtomicU64,
     requests: AtomicU64,
     bytes_written: AtomicU64,
@@ -187,6 +194,7 @@ impl SrbServer {
             live_conns: Mutex::new(Default::default()),
             crashed: AtomicBool::new(false),
             trace: Mutex::new(None),
+            write_hook: Mutex::new(None),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
@@ -324,6 +332,13 @@ impl SrbServer {
         conn.disconnect()?;
         self.mcat.add_replica(path)?;
         Ok(())
+    }
+
+    /// Register an observer called after every completed vault write with
+    /// `(path, offset, len)`. The hook runs on the connection-handler actor
+    /// and must not block; federation uses it to enqueue replication work.
+    pub fn set_write_hook(&self, hook: WriteHook) {
+        *self.write_hook.lock() = Some(hook);
     }
 
     /// Snapshot of the server counters.
@@ -579,6 +594,10 @@ impl SrbServer {
                 let new_size = self.vault.write(obj_id, offset, &payload);
                 self.mcat.update_size(&path, new_size)?;
                 self.bytes_written.fetch_add(n, Ordering::Relaxed);
+                let hook = self.write_hook.lock().clone();
+                if let Some(h) = hook {
+                    h(&path, offset, n);
+                }
                 Ok(Response::Written(n))
             }
             Request::Stat(p) => Ok(Response::Stat(self.mcat.stat(&p)?)),
