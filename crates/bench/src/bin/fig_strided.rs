@@ -1,0 +1,71 @@
+//! Noncontiguous remote access: the Thakur et al. gap at WAN latency.
+//!
+//! A strided fragment pattern over one 100 Mb/s / 91 ms-OWD stream, three
+//! ways: per-fragment requests (one RTT each), protocol-level list-I/O
+//! (whole extent table in one exchange), and data sieving (one covering
+//! extent, holes on the wire but never in the goodput meter). A second
+//! table runs the collective version on das2: naive per-cell writes vs the
+//! same pattern batched through list-I/O vs two-phase aggregation.
+//!
+//! Entirely in virtual time and seeded, so the output is bit-identical
+//! across invocations — CI diffs `--quick` against
+//! `results/fig_strided_quick.txt`.
+
+use semplar_bench::{fig_strided_arm, fig_strided_collective, Table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let frags: u64 = if quick { 32 } else { 128 };
+    let frag_bytes: u64 = 4 * 1024;
+    let stride: u64 = 16 * 1024; // hole fraction 0.75
+    let rows = if quick { 16 } else { 64 };
+
+    let arms: Vec<_> = (0..3)
+        .map(|a| fig_strided_arm(a, frags, frag_bytes, stride))
+        .collect();
+    let base = arms[0].write_secs + arms[0].read_secs;
+
+    let mut t = Table::new(
+        &format!(
+            "Strided access over the WAN (100 Mb/s, 91 ms OWD): {frags} x {} KiB fragments, \
+             {} KiB stride, write + read back",
+            frag_bytes >> 10,
+            stride >> 10
+        ),
+        &[
+            "strategy",
+            "write (s)",
+            "read (s)",
+            "requests",
+            "metered payload",
+            "speedup",
+        ],
+    );
+    for a in &arms {
+        t.row(vec![
+            a.name.into(),
+            format!("{:.3}", a.write_secs),
+            format!("{:.3}", a.read_secs),
+            a.requests.to_string(),
+            format!("{} KiB", a.metered_bytes >> 10),
+            format!("{:.1}x", base / (a.write_secs + a.read_secs)),
+        ]);
+    }
+    t.print();
+
+    let reports = fig_strided_collective(rows);
+    let naive_secs = reports[0].exec_secs;
+    let mut t = Table::new(
+        &format!("Collective strided write on das2: {rows} x 4 cells of 8 KiB, 4 ranks"),
+        &["strategy", "exec (s)", "remote ops", "speedup"],
+    );
+    for r in &reports {
+        t.row(vec![
+            format!("{:?}", r.mode),
+            format!("{:.3}", r.exec_secs),
+            r.remote_ops.to_string(),
+            format!("{:.1}x", naive_secs / r.exec_secs),
+        ]);
+    }
+    t.print();
+}

@@ -19,8 +19,8 @@
 use std::sync::{Arc, Mutex};
 
 use semplar::{
-    AdioFile, AdioFs, FedFs, FedShard, OpenFlags, Payload, ReconcileLedger, RecoveryStats, SrbFs,
-    SrbFsConfig, StripeStats, StripeUnit, StripedFile,
+    AdioFile, AdioFs, FedFs, FedShard, File, OpenFlags, Payload, ReconcileLedger, RecoveryStats,
+    SrbFs, SrbFsConfig, StripeStats, StripeUnit, StripedFile,
 };
 use semplar_clusters::{ClusterSpec, Testbed};
 use semplar_faults::{FaultPlan, FaultStats};
@@ -31,8 +31,9 @@ use semplar_srb::{
     ConnRoute, PoolPolicy, ReplStats, Replicator, RetryPolicy, SrbServer, SrbServerCfg,
 };
 use semplar_workloads::{
-    estgen, run_blast, run_compress, run_laplace, run_perf, BlastParams, CompressMode,
-    CompressParams, LaplaceMode, LaplaceParams, PerfParams,
+    estgen, run_blast, run_collective, run_compress, run_laplace, run_perf, BlastParams,
+    CollectiveMode, CollectiveParams, CollectiveReport, CompressMode, CompressParams, LaplaceMode,
+    LaplaceParams, PerfParams,
 };
 
 pub mod table;
@@ -1157,4 +1158,150 @@ pub fn fig_federation(
         outage_read_ok: faulted.outage_read_ok,
         faults: faulted.faults.expect("faulted arm has an injector"),
     }
+}
+
+/// One arm of the strided-access comparison (`fig_strided`).
+#[derive(Clone, Copy, Debug)]
+pub struct StridedArm {
+    /// Access strategy.
+    pub name: &'static str,
+    /// Strided write time, s.
+    pub write_secs: f64,
+    /// Strided read-back time, s.
+    pub read_secs: f64,
+    /// Server requests the timed phases consumed (the RTT-bound quantity).
+    pub requests: u64,
+    /// Payload bytes the client's stream meter credited across the run.
+    /// Goodput is payload-only: sieved holes and read-modify-write
+    /// overhead must not show up here, so every arm meters the same count.
+    pub metered_bytes: u64,
+}
+
+/// The Thakur et al. noncontiguous-access gap, reproduced over a WAN: a
+/// strided fragment pattern (`frags` fragments of `frag_bytes` every
+/// `stride` bytes) written and read back on one 100 Mb/s / 91 ms-OWD
+/// stream. `arm` 0 accesses each fragment with its own request (one RTT
+/// apiece); arm 1 ships the whole extent list in one list-I/O exchange;
+/// arm 2 turns on data sieving (threshold 1.0), trading hole bytes on the
+/// wire for a single covering extent in each direction.
+pub fn fig_strided_arm(arm: usize, frags: u64, frag_bytes: u64, stride: u64) -> StridedArm {
+    assert!(frag_bytes <= stride, "fragments must not overlap");
+    let sim = SimRuntime::new();
+    sim.run_root(move |rt| {
+        let net = Network::new(rt.clone());
+        let up = net.add_link("up", Bw::mbps(100.0), Dur::from_millis(91));
+        let down = net.add_link("down", Bw::mbps(100.0), Dur::from_millis(91));
+        let server = SrbServer::new(net, SrbServerCfg::default());
+        server.mcat().add_user("u", "p");
+        let fs = SrbFs::new(
+            server.clone(),
+            SrbFsConfig {
+                route: ConnRoute {
+                    fwd: vec![up],
+                    rev: vec![down],
+                    send_cap: None,
+                    recv_cap: None,
+                    bus: None,
+                },
+                user: "u".into(),
+                password: "p".into(),
+            },
+        );
+        let (name, threshold) = match arm {
+            0 => ("per-fragment", 0.0),
+            1 => ("list-I/O", 0.0),
+            _ => ("data sieving", 1.0),
+        };
+        fs.set_sieve_threshold(threshold);
+        let extents: Vec<(u64, u64)> = (0..frags).map(|i| (i * stride, frag_bytes)).collect();
+        let total = frags * frag_bytes;
+        let span = (frags - 1) * stride + frag_bytes;
+        let data: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+        let f = File::open(&rt, &fs, "/strided", OpenFlags::CreateRw).expect("open strided");
+        // Prepopulate the span so write-back sieving has real hole bytes to
+        // preserve, and every arm times the same starting file state.
+        f.write_at(
+            0,
+            &Payload::bytes((0..span).map(|i| (i % 13) as u8).collect()),
+        )
+        .expect("prepopulate");
+        let meter0 = f.meter().map_or(0, |m| m.payload_bytes);
+        let req0 = server.stats().requests;
+
+        let t0 = rt.now();
+        if arm == 0 {
+            let mut cursor = 0usize;
+            for &(off, len) in &extents {
+                let piece = data[cursor..cursor + len as usize].to_vec();
+                cursor += len as usize;
+                f.write_at(off, &Payload::bytes(piece))
+                    .expect("fragment write");
+            }
+        } else {
+            f.write_list(&extents, &Payload::bytes(data.clone()))
+                .expect("list write");
+        }
+        let t1 = rt.now();
+        let back: Vec<u8> = if arm == 0 {
+            let mut out = Vec::with_capacity(total as usize);
+            for &(off, len) in &extents {
+                out.extend_from_slice(
+                    f.read_at(off, len)
+                        .expect("fragment read")
+                        .data()
+                        .expect("real"),
+                );
+            }
+            out
+        } else {
+            f.read_list(&extents)
+                .expect("list read")
+                .data()
+                .expect("real")
+                .to_vec()
+        };
+        let t2 = rt.now();
+        assert_eq!(back, data, "strided read-back mismatch");
+
+        let requests = server.stats().requests - req0;
+        let metered_bytes = f.meter().map_or(0, |m| m.payload_bytes) - meter0;
+        f.close().expect("close strided");
+        StridedArm {
+            name,
+            write_secs: (t1 - t0).as_secs_f64(),
+            read_secs: (t2 - t1).as_secs_f64(),
+            requests,
+            metered_bytes,
+        }
+    })
+}
+
+/// The collective face of the same gap: the `rows x 4` column-distributed
+/// matrix write on das2, naive per-cell vs naive-with-list-I/O vs
+/// two-phase aggregation. Each arm runs in its own fresh simulation.
+pub fn fig_strided_collective(rows: usize) -> Vec<CollectiveReport> {
+    [
+        CollectiveMode::Naive,
+        CollectiveMode::NaiveList,
+        CollectiveMode::TwoPhaseSync,
+    ]
+    .into_iter()
+    .map(|mode| {
+        with_testbed(semplar_clusters::das2(), 4, move |tb| {
+            run_collective(
+                &tb,
+                4,
+                CollectiveParams {
+                    rows,
+                    cell_bytes: 8 * 1024,
+                    aggregators: 2,
+                    bands: 4,
+                    steps: 1,
+                    compute_per_step: 0.0,
+                    mode,
+                },
+            )
+        })
+    })
+    .collect()
 }

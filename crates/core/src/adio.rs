@@ -75,12 +75,134 @@ pub trait AdioFile: Send {
     /// Flush and release resources (terminates the connection on SRBFS,
     /// matching the paper's `MPI_File_close`).
     fn close(&mut self) -> IoResult<()>;
+    /// Read many `(offset, len)` extents, returning their data packed
+    /// back-to-back in list order (each extent truncated at EOF). The
+    /// default loops single reads — correct on any backend; SRBFS overrides
+    /// it with one wire exchange (list-I/O or data sieving).
+    fn read_list(&mut self, extents: &[(u64, u64)]) -> IoResult<Payload> {
+        let mut parts = Vec::with_capacity(extents.len());
+        for &(offset, len) in extents {
+            parts.push(self.read_at(offset, len)?);
+        }
+        Ok(pack_extents(&parts))
+    }
+
+    /// Write many `(offset, len)` extents from `data`, which packs their
+    /// bytes back-to-back in list order; returns total bytes written. The
+    /// default loops single writes; SRBFS overrides with one exchange.
+    fn write_list(&mut self, extents: &[(u64, u64)], data: &Payload) -> IoResult<u64> {
+        let mut cursor = 0u64;
+        let mut total = 0u64;
+        for &(offset, len) in extents {
+            total += self.write_at(offset, &data.slice(cursor, len))?;
+            cursor += len;
+        }
+        Ok(total)
+    }
+
+    /// [`AdioFile::write_list`] with an explicit sieving opt-out. Write-back
+    /// sieving read-modify-writes the covering span, which is only safe
+    /// when this writer owns every byte of it; a caller whose holes belong
+    /// to a concurrent writer (striped sub-lists) passes `sieve = false` to
+    /// force the pure list exchange. The default ignores the flag — the
+    /// single-op loop never sieves.
+    fn write_list_with(
+        &mut self,
+        extents: &[(u64, u64)],
+        data: &Payload,
+        sieve: bool,
+    ) -> IoResult<u64> {
+        let _ = sieve;
+        self.write_list(extents, data)
+    }
+
     /// Goodput telemetry for the stream this file rides, if the backend
     /// measures one ([`IoMeter`](semplar_srb::IoMeter) on SRBFS). Local
     /// backends return `None` and schedulers fall back to uniform weights.
     fn meter(&self) -> Option<Arc<semplar_srb::IoMeter>> {
         None
     }
+}
+
+/// Concatenate per-extent payloads into one packed payload: all-real parts
+/// pack to real bytes, anything size-only collapses to a size-only total.
+pub fn pack_extents(parts: &[Payload]) -> Payload {
+    if parts.iter().all(|p| p.data().is_some()) {
+        let mut packed = Vec::with_capacity(parts.iter().map(|p| p.len() as usize).sum());
+        for p in parts {
+            packed.extend_from_slice(p.data().expect("checked real"));
+        }
+        Payload::bytes(packed)
+    } else {
+        Payload::sized(parts.iter().map(|p| p.len()).sum())
+    }
+}
+
+/// The gap-merge pass: sort extents by offset and fuse overlapping or
+/// exactly-adjacent neighbours into maximal runs. The result is sorted and
+/// disjoint; zero-length extents are dropped. Coalescers run this before
+/// framing so a fragmented request never carries redundant extent-table
+/// entries for what is really one contiguous range.
+pub fn merge_extents(extents: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut sorted: Vec<(u64, u64)> = extents.iter().copied().filter(|&(_, l)| l > 0).collect();
+    sorted.sort();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(sorted.len());
+    for (off, len) in sorted {
+        match out.last_mut() {
+            Some(&mut (loff, ref mut llen)) if off <= loff + *llen => {
+                *llen = (*llen).max(off + len - loff);
+            }
+            _ => out.push((off, len)),
+        }
+    }
+    out
+}
+
+/// Split a packed list-read reply back into per-extent payloads.
+///
+/// The server truncates each extent at EOF before packing, so a short reply
+/// implies some tail of each extent fell past end-of-file. The file size `S`
+/// consistent with the reply satisfies `Σ min(len_i, max(0, S - off_i)) ==
+/// packed.len()`; that sum is monotone in `S`, and everywhere a plateau of
+/// candidate sizes yields the same sum it also yields identical per-extent
+/// lengths, so any solution reproduces the exact split.
+pub fn split_packed(extents: &[(u64, u64)], packed: &Payload) -> Vec<Payload> {
+    let total: u64 = extents.iter().map(|&(_, l)| l).sum();
+    let lens: Vec<u64> = if packed.len() >= total {
+        extents.iter().map(|&(_, l)| l).collect()
+    } else {
+        let served = |size: u64| -> u64 {
+            extents
+                .iter()
+                .map(|&(off, len)| size.saturating_sub(off).min(len))
+                .sum()
+        };
+        let mut lo = 0u64;
+        let mut hi = extents
+            .iter()
+            .map(|&(off, len)| off + len)
+            .max()
+            .unwrap_or(0);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if served(mid) < packed.len() {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        extents
+            .iter()
+            .map(|&(off, len)| lo.saturating_sub(off).min(len))
+            .collect()
+    };
+    let mut cursor = 0u64;
+    let mut out = Vec::with_capacity(extents.len());
+    for l in lens {
+        out.push(packed.slice(cursor, l));
+        cursor += l;
+    }
+    out
 }
 
 /// A mountable filesystem backend.
@@ -332,6 +454,51 @@ mod tests {
             rt.now() - t0
         });
         assert!((elapsed.as_secs_f64() - 1.005).abs() < 1e-6, "{elapsed}");
+    }
+
+    #[test]
+    fn split_packed_reconstructs_eof_truncation() {
+        // File is 20 bytes; extents reach past EOF from different offsets.
+        let extents = [(0u64, 8u64), (10, 8), (18, 8), (30, 4)];
+        let file: Vec<u8> = (0..20u8).collect();
+        let parts: Vec<Payload> = extents
+            .iter()
+            .map(|&(off, len)| {
+                let start = (off as usize).min(file.len());
+                let end = ((off + len) as usize).min(file.len());
+                Payload::bytes(file[start..end].to_vec())
+            })
+            .collect();
+        let packed = pack_extents(&parts);
+        let split = split_packed(&extents, &packed);
+        assert_eq!(split.len(), parts.len());
+        for (got, want) in split.iter().zip(&parts) {
+            assert_eq!(got.data(), want.data());
+        }
+        // Nothing truncated: fast path.
+        let full = [(0u64, 4u64), (8, 4)];
+        let split = split_packed(&full, &Payload::sized(8));
+        assert_eq!(split[0].len(), 4);
+        assert_eq!(split[1].len(), 4);
+    }
+
+    #[test]
+    fn default_list_ops_match_single_ops() {
+        simulate(|rt| {
+            let fs = MemFs::new(rt);
+            let mut f = fs.open("/l", OpenFlags::CreateRw).unwrap();
+            let extents = [(0u64, 3u64), (5, 3), (10, 3)];
+            let data = Payload::bytes((1..=9u8).collect());
+            assert_eq!(f.write_list(&extents, &data).unwrap(), 9);
+            let packed = f.read_list(&extents).unwrap();
+            assert_eq!(packed.data().unwrap(), &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+            // Holes between the extents stayed zero.
+            let whole = f.read_at(0, 13).unwrap();
+            assert_eq!(
+                whole.data().unwrap(),
+                &[1, 2, 3, 0, 0, 4, 5, 6, 0, 0, 7, 8, 9]
+            );
+        });
     }
 
     #[test]

@@ -71,8 +71,22 @@ impl Default for EngineCfg {
 }
 
 pub(crate) enum IoOp {
-    Read { offset: u64, len: u64 },
-    Write { offset: u64, data: Payload },
+    Read {
+        offset: u64,
+        len: u64,
+    },
+    Write {
+        offset: u64,
+        data: Payload,
+    },
+    ReadList {
+        extents: Vec<(u64, u64)>,
+    },
+    WriteList {
+        extents: Vec<(u64, u64)>,
+        data: Payload,
+        sieve: bool,
+    },
 }
 
 pub(crate) struct IoJob {
@@ -182,6 +196,18 @@ impl IoEngine {
                         bytes: n,
                         data: None,
                     }),
+                    IoOp::ReadList { extents } => f.read_list(&extents).map(|p| Status {
+                        bytes: p.len(),
+                        data: Some(p),
+                    }),
+                    IoOp::WriteList {
+                        extents,
+                        data,
+                        sieve,
+                    } => f.write_list_with(&extents, &data, sieve).map(|n| Status {
+                        bytes: n,
+                        data: None,
+                    }),
                 }
             };
             self.stats.lock().completed += 1;
@@ -217,6 +243,9 @@ impl IoEngine {
             let block = match &op {
                 IoOp::Read { len, .. } => *len,
                 IoOp::Write { data, .. } => data.len(),
+                // List jobs budget the window by their packed payload size.
+                IoOp::ReadList { extents } => extents.iter().map(|&(_, l)| l).sum(),
+                IoOp::WriteList { data, .. } => data.len(),
             };
             loop {
                 // Re-evaluated each wakeup: the window grows as the meter

@@ -130,6 +130,78 @@ impl File {
         req
     }
 
+    /// Synchronous list-I/O read: many `(offset, len)` extents in one
+    /// operation, returning their data packed back-to-back in list order
+    /// (each extent truncated at EOF). On SRBFS this is one wire exchange —
+    /// one WAN RTT for the whole list instead of one per fragment.
+    pub fn read_list(&self, extents: &[(u64, u64)]) -> IoResult<Payload> {
+        self.inner.lock().read_list(extents)
+    }
+
+    /// Synchronous list-I/O write: `data` packs the extents' bytes
+    /// back-to-back in list order. Returns total bytes written.
+    pub fn write_list(&self, extents: &[(u64, u64)], data: &Payload) -> IoResult<u64> {
+        self.inner.lock().write_list(extents, data)
+    }
+
+    /// Asynchronous list-I/O read: like [`File::read_list`] but queued to
+    /// the engine, pipelining like any other async op.
+    pub fn iread_list(&self, extents: Vec<(u64, u64)>) -> Request {
+        if extents.iter().map(|&(_, l)| l).sum::<u64>() == 0 {
+            return Request::ready(
+                &self.rt,
+                Ok(Status {
+                    bytes: 0,
+                    data: Some(Payload::sized(0)),
+                }),
+            );
+        }
+        let (req, done) = Request::new(&self.rt);
+        if let Err(e) = self.engine.submit(IoOp::ReadList { extents }, done.clone()) {
+            done.set(Err(e));
+        }
+        req
+    }
+
+    /// Asynchronous list-I/O write: like [`File::write_list`] but queued to
+    /// the engine. The packed payload moves into the request.
+    pub fn iwrite_list(&self, extents: Vec<(u64, u64)>, data: Payload) -> Request {
+        self.iwrite_list_with(extents, data, true)
+    }
+
+    /// [`File::iwrite_list`] with an explicit sieving opt-out (see
+    /// [`crate::adio::AdioFile::write_list_with`]): the striping layer
+    /// passes `sieve = false` because its sub-lists' holes belong to
+    /// sibling streams writing concurrently.
+    pub(crate) fn iwrite_list_with(
+        &self,
+        extents: Vec<(u64, u64)>,
+        data: Payload,
+        sieve: bool,
+    ) -> Request {
+        if data.is_empty() {
+            return Request::ready(
+                &self.rt,
+                Ok(Status {
+                    bytes: 0,
+                    data: None,
+                }),
+            );
+        }
+        let (req, done) = Request::new(&self.rt);
+        if let Err(e) = self.engine.submit(
+            IoOp::WriteList {
+                extents,
+                data,
+                sieve,
+            },
+            done.clone(),
+        ) {
+            done.set(Err(e));
+        }
+        req
+    }
+
     /// Current file size.
     pub fn size(&self) -> IoResult<u64> {
         self.inner.lock().size()

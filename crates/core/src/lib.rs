@@ -42,7 +42,9 @@ pub mod srbfs;
 pub mod staging;
 pub mod stripe;
 
-pub use adio::{AdioFile, AdioFs, IoError, IoResult, MemFs};
+pub use adio::{
+    merge_extents, pack_extents, split_packed, AdioFile, AdioFs, IoError, IoResult, MemFs,
+};
 pub use engine::{EngineCfg, EngineStats, QueueWindow};
 pub use fedfs::{FedFs, FedShard, ReconcileLedger};
 pub use file::{with_file, File};
@@ -610,6 +612,221 @@ mod tests {
             async_t.as_secs_f64() < sync_t.as_secs_f64() * 0.75,
             "pipelining gained too little: {async_t} vs {sync_t}"
         );
+    }
+
+    /// Goodput-weighted block *sizes*: on two streams of very different
+    /// bandwidth, `StripeUnit::AdaptiveSized` issues smaller blocks on the
+    /// slow stream once the meters warm up — not just fewer of them.
+    #[test]
+    fn adaptive_sized_shrinks_blocks_on_the_slow_stream() {
+        simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let mut routes = Vec::new();
+            for (i, cap) in [None, Some(Bw::mbps(4.0))].into_iter().enumerate() {
+                let up = net.add_link(&format!("up{i}"), Bw::mbps(100.0), Dur::from_millis(5));
+                let down = net.add_link(&format!("down{i}"), Bw::mbps(100.0), Dur::from_millis(5));
+                routes.push(ConnRoute {
+                    fwd: vec![up],
+                    rev: vec![down],
+                    send_cap: cap,
+                    recv_cap: cap,
+                    bus: None,
+                });
+            }
+            let server = SrbServer::new(net, SrbServerCfg::default());
+            server.mcat().add_user("u", "p");
+            let fs = SrbFs::with_stream_routes(
+                server,
+                SrbFsConfig {
+                    route: routes[0].clone(),
+                    user: "u".into(),
+                    password: "p".into(),
+                },
+                routes,
+                semplar_srb::PoolPolicy::PerOpen,
+                semplar_srb::RetryPolicy::default(),
+            );
+            let f = StripedFile::open(
+                &rt,
+                &fs,
+                "/sized",
+                OpenFlags::CreateRw,
+                2,
+                StripeUnit::AdaptiveSized {
+                    block: 64 * 1024,
+                    min_block: 4 * 1024,
+                },
+            )
+            .unwrap();
+            // Warm-up pass: with no telemetry yet both streams tile at the
+            // full block size, and the meters learn the 25x goodput gap.
+            f.write_at(0, Payload::sized(1 << 20)).unwrap();
+            let warm = f.stripe_stats();
+            // Measured pass: block sizes now follow the goodput weights.
+            f.write_at(1 << 20, Payload::sized(2 << 20)).unwrap();
+            let s = f.stripe_stats();
+            let avg = |i: usize| {
+                (s.bytes[i] - warm.bytes[i]) as f64 / (s.blocks[i] - warm.blocks[i]).max(1) as f64
+            };
+            let (fast, slow) = (avg(0), avg(1));
+            // WFQ migration mixes some full-size blocks onto the slow
+            // stream, so compare averages with a margin rather than the
+            // raw scaled sizes.
+            assert!(
+                slow < fast * 0.8,
+                "slow stream should get smaller blocks on average: fast avg {fast:.0} B, slow avg {slow:.0} B"
+            );
+            f.close().unwrap();
+        });
+    }
+
+    /// Build a server+fs pair (no stream caps) so tests can reach the
+    /// server for fault injection and server-side checksums.
+    fn srb_pair(rt: &Arc<dyn Runtime>) -> (Arc<semplar_srb::SrbServer>, Arc<SrbFs>) {
+        let net = Network::new(rt.clone());
+        let up = net.add_link("up", Bw::mbps(100.0), Dur::from_millis(5));
+        let down = net.add_link("down", Bw::mbps(100.0), Dur::from_millis(5));
+        let server = SrbServer::new(net, SrbServerCfg::default());
+        server.mcat().add_user("u", "p");
+        let fs = SrbFs::new(
+            server.clone(),
+            SrbFsConfig {
+                route: ConnRoute {
+                    fwd: vec![up],
+                    rev: vec![down],
+                    send_cap: None,
+                    recv_cap: None,
+                    bus: None,
+                },
+                user: "u".into(),
+                password: "p".into(),
+            },
+        );
+        (server, fs)
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The list path is semantically identical to the loop of
+        /// single-extent ops it replaces: same bytes on the server
+        /// (server-side checksums agree), same bytes read back —
+        /// across every sieve threshold, across stripe streams, and
+        /// across a mid-list transient connection reset.
+        #[test]
+        fn list_ops_match_single_op_sequence(
+            lens in proptest::collection::vec((1u64..3000, 0u64..3000), 1..8),
+            base in 0u64..4096,
+            threshold_sel in 0u8..3,
+            streams in 1usize..4,
+            fault in any::<bool>(),
+        ) {
+            simulate(move |rt| {
+                let (server, fs) = srb_pair(&rt);
+                fs.set_sieve_threshold([0.0, 0.5, 1.0][threshold_sel as usize]);
+                let mut extents = Vec::new();
+                let mut off = base;
+                for &(len, gap) in &lens {
+                    extents.push((off, len));
+                    off += len + gap;
+                }
+                let total: u64 = extents.iter().map(|&(_, l)| l).sum();
+                let packed: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+
+                // Reference: one synchronous write per extent.
+                let f = File::open(&rt, &fs, "/single", OpenFlags::CreateRw).unwrap();
+                let mut cursor = 0usize;
+                for &(eoff, elen) in &extents {
+                    let piece = packed[cursor..cursor + elen as usize].to_vec();
+                    cursor += elen as usize;
+                    prop_assert_eq!(f.write_at(eoff, &Payload::bytes(piece)).unwrap(), elen);
+                }
+                f.close().unwrap();
+
+                // List path, optionally striped, optionally hit by a
+                // transient fault right before the list op so the
+                // whole-list idempotent retry has to re-issue it.
+                let (n, back) = if streams == 1 {
+                    let f = File::open(&rt, &fs, "/list", OpenFlags::CreateRw).unwrap();
+                    if fault {
+                        server.reset_all_connections();
+                    }
+                    let n = f.write_list(&extents, &Payload::bytes(packed.clone())).unwrap();
+                    if fault {
+                        server.reset_all_connections();
+                    }
+                    let back = f.read_list(&extents).unwrap();
+                    f.close().unwrap();
+                    (n, back)
+                } else {
+                    let f = StripedFile::open(
+                        &rt, &fs, "/list", OpenFlags::CreateRw,
+                        streams, StripeUnit::Bytes(1024),
+                    ).unwrap();
+                    if fault {
+                        server.reset_all_connections();
+                    }
+                    let n = f.write_list(&extents, &Payload::bytes(packed.clone())).unwrap();
+                    if fault {
+                        server.reset_all_connections();
+                    }
+                    let back = f.read_list(&extents).unwrap();
+                    f.close().unwrap();
+                    (n, back)
+                };
+                prop_assert_eq!(n, total);
+                prop_assert_eq!(back.data().unwrap(), &packed[..]);
+
+                // Bit-identical files, per the server's own checksums.
+                let admin = fs.admin_conn().unwrap();
+                prop_assert_eq!(
+                    admin.checksum("/single").unwrap(),
+                    admin.checksum("/list").unwrap()
+                );
+            });
+        }
+
+        /// The hole mask: write-back sieving (threshold 1.0 forces the
+        /// read-modify-write path whenever the list has holes) must never
+        /// alter a byte the caller didn't write.
+        #[test]
+        fn write_back_sieving_preserves_unwritten_bytes(
+            lens in proptest::collection::vec((1u64..800, 1u64..800), 2..8),
+            base in 0u64..512,
+        ) {
+            simulate(move |rt| {
+                let (_server, fs) = srb_pair(&rt);
+                fs.set_sieve_threshold(1.0);
+                let mut extents = Vec::new();
+                let mut off = base;
+                for &(len, gap) in &lens {
+                    extents.push((off, len));
+                    off += len + gap;
+                }
+                let total: u64 = extents.iter().map(|&(_, l)| l).sum();
+                let size = off + 256; // slack past the last extent
+                let original: Vec<u8> = (0..size).map(|i| (i.wrapping_mul(7) % 253) as u8).collect();
+                let packed: Vec<u8> = (0..total).map(|i| (0xA0 ^ (i % 97)) as u8).collect();
+
+                let f = File::open(&rt, &fs, "/holes", OpenFlags::CreateRw).unwrap();
+                f.write_at(0, &Payload::bytes(original.clone())).unwrap();
+                prop_assert_eq!(f.write_list(&extents, &Payload::bytes(packed.clone())).unwrap(), total);
+
+                let mut expected = original;
+                let mut cursor = 0usize;
+                for &(eoff, elen) in &extents {
+                    expected[eoff as usize..(eoff + elen) as usize]
+                        .copy_from_slice(&packed[cursor..cursor + elen as usize]);
+                    cursor += elen as usize;
+                }
+                let back = f.read_at(0, size).unwrap();
+                prop_assert_eq!(back.data().unwrap(), &expected[..]);
+                prop_assert_eq!(f.size().unwrap(), size);
+                f.close().unwrap();
+            });
+        }
     }
 
     #[test]

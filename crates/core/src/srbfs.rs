@@ -26,7 +26,7 @@ use semplar_srb::{
     SrbConn, SrbError, SrbServer,
 };
 
-use crate::adio::{AdioFile, AdioFs, IoError, IoResult};
+use crate::adio::{merge_extents, pack_extents, split_packed, AdioFile, AdioFs, IoError, IoResult};
 
 /// Resume granularity after a reconnect: the remainder of an interrupted
 /// write is re-issued in blocks of this size, so a second cut loses at
@@ -80,6 +80,13 @@ pub struct SrbFs {
     /// single-link degrade hits one stream and not the others. Empty (the
     /// default) means every open uses `cfg.route`, exactly as before.
     stream_routes: Vec<ConnRoute>,
+    /// Data-sieving hole-fraction threshold in `[0, 1]`. A coalesced list
+    /// op whose merged extents leave a hole fraction at or below this is
+    /// served by one covering transfer (read: fetch and slice; write:
+    /// read-modify-write under the hole mask) instead of a wire list. The
+    /// default `0.0` sieves only fully contiguous runs — any real hole
+    /// routes to list-I/O.
+    sieve: Mutex<f64>,
     recovery: Mutex<RecoveryStats>,
     next_file: AtomicU64,
 }
@@ -164,9 +171,22 @@ impl SrbFs {
             cfg,
             pool,
             stream_routes,
+            sieve: Mutex::new(0.0),
             recovery: Mutex::new(RecoveryStats::default()),
             next_file: AtomicU64::new(0),
         })
+    }
+
+    /// Set the data-sieving hole-fraction threshold (clamped to `[0, 1]`).
+    /// `0.0` disables sieving across holes; `1.0` always fetches/writes one
+    /// covering extent no matter how sparse the list is.
+    pub fn set_sieve_threshold(&self, threshold: f64) {
+        *self.sieve.lock() = threshold.clamp(0.0, 1.0);
+    }
+
+    /// Current data-sieving threshold.
+    pub fn sieve_threshold(&self) -> f64 {
+        *self.sieve.lock()
     }
 
     /// The route an open with placement hint `pin` dials: the pin-indexed
@@ -197,6 +217,40 @@ impl SrbFs {
             .server
             .connect(self.cfg.route.clone(), &self.cfg.user, &self.cfg.password)?)
     }
+}
+
+/// Write-path coalescing: sort the extents and fuse exactly-adjacent runs,
+/// reordering the packed payload pieces to match. Returns `None` when the
+/// extents overlap — list order then determines the final bytes, so the
+/// caller must frame the list exactly as given.
+fn coalesce_write(extents: &[(u64, u64)], data: &Payload) -> Option<(Vec<(u64, u64)>, Payload)> {
+    // Cursor of each extent's bytes within the packed payload (list order).
+    let mut cursors = Vec::with_capacity(extents.len());
+    let mut c = 0u64;
+    for &(_, len) in extents {
+        cursors.push(c);
+        c += len;
+    }
+    let mut order: Vec<usize> = (0..extents.len()).filter(|&i| extents[i].1 > 0).collect();
+    order.sort_by_key(|&i| extents[i].0);
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(order.len());
+    let mut pieces: Vec<Payload> = Vec::with_capacity(order.len());
+    for &i in &order {
+        let (off, len) = extents[i];
+        pieces.push(data.slice(cursors[i], len));
+        if let Some(last) = merged.last_mut() {
+            let end = last.0 + last.1;
+            if off < end {
+                return None;
+            }
+            if off == end {
+                last.1 += len;
+                continue;
+            }
+        }
+        merged.push((off, len));
+    }
+    Some((merged, pack_extents(&pieces)))
 }
 
 struct SrbFile {
@@ -289,6 +343,33 @@ impl SrbFile {
     /// instead of offset zero. Blocks are idempotent (same bytes, same
     /// offsets), which keeps an unacknowledged-but-applied server write
     /// harmless.
+    /// Run an idempotent wire operation with the standard transient-failure
+    /// recovery: reconnect under the retry policy and re-issue the whole
+    /// operation. List exchanges are idempotent (same bytes at the same
+    /// offsets), so a mid-list cut safely replays the full exchange.
+    fn with_idempotent_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut SrbFile) -> Result<T, SrbError>,
+    ) -> IoResult<T> {
+        match op(self) {
+            Ok(v) => Ok(v),
+            Err(e) if !e.is_transient() => Err(e.into()),
+            Err(_) => {
+                let rt = self.conn.runtime().clone();
+                let t0 = rt.now();
+                self.fs.recovery.lock().disconnects += 1;
+                let policy = self.fs.pool.retry().clone();
+                let key = self.key;
+                let out = policy.run(&rt, key, |_| {
+                    self.reconnect()?;
+                    op(self)
+                })?;
+                self.note_recovered(t0);
+                Ok(out)
+            }
+        }
+    }
+
     fn resume_write(&mut self, offset: u64, data: &Payload, mut done: u64) -> IoResult<u64> {
         let rt = self.conn.runtime().clone();
         let t0 = rt.now();
@@ -357,6 +438,129 @@ impl AdioFile for SrbFile {
                 self.resume_write(offset, data, done)
             }
             Err(_) => self.resume_write(offset, data, 0),
+        }
+    }
+
+    fn read_list(&mut self, extents: &[(u64, u64)]) -> IoResult<Payload> {
+        if self.closed {
+            return Err(IoError::Closed);
+        }
+        let total: u64 = extents.iter().map(|&(_, l)| l).sum();
+        if total == 0 {
+            return Ok(Payload::sized(0));
+        }
+        if extents.len() == 1 {
+            return self.read_at(extents[0].0, extents[0].1);
+        }
+        let merged = merge_extents(extents);
+        let start = merged[0].0;
+        let end = merged.last().map(|&(o, l)| o + l).unwrap();
+        let span = end - start;
+        let useful: u64 = merged.iter().map(|&(_, l)| l).sum();
+        let hole_frac = 1.0 - useful as f64 / span as f64;
+        let pieces: Vec<Payload> = if hole_frac <= self.fs.sieve_threshold() {
+            // Data sieving: one covering fetch, then slice the runs out of
+            // it. The meter hint caps goodput at the requested bytes — the
+            // hole bytes ride the wire but are not application goodput.
+            let covering =
+                self.with_idempotent_retry(|me| me.conn.read_sieved(me.fd, start, span, useful))?;
+            merged
+                .iter()
+                .map(|&(off, len)| covering.slice(off - start, len))
+                .collect()
+        } else {
+            // List-I/O: the merged extent table in one exchange; the reply
+            // packs exactly the useful bytes, so no meter hint is needed.
+            let reply = self.with_idempotent_retry(|me| me.conn.read_list(me.fd, &merged, None))?;
+            split_packed(&merged, &reply)
+        };
+        // Map each caller extent back out of its containing merged run.
+        let mut out = Vec::with_capacity(extents.len());
+        for &(off, len) in extents {
+            if len == 0 {
+                out.push(Payload::sized(0));
+                continue;
+            }
+            let idx = merged.partition_point(|&(moff, _)| moff <= off) - 1;
+            out.push(pieces[idx].slice(off - merged[idx].0, len));
+        }
+        Ok(pack_extents(&out))
+    }
+
+    fn write_list(&mut self, extents: &[(u64, u64)], data: &Payload) -> IoResult<u64> {
+        self.write_list_with(extents, data, true)
+    }
+
+    fn write_list_with(
+        &mut self,
+        extents: &[(u64, u64)],
+        data: &Payload,
+        sieve: bool,
+    ) -> IoResult<u64> {
+        if self.closed {
+            return Err(IoError::Closed);
+        }
+        let total: u64 = extents.iter().map(|&(_, l)| l).sum();
+        debug_assert_eq!(
+            total,
+            data.len(),
+            "packed payload must match the extent table"
+        );
+        if total == 0 {
+            return Ok(0);
+        }
+        if extents.len() == 1 {
+            return self.write_at(extents[0].0, data);
+        }
+        let Some((merged, packed)) = coalesce_write(extents, data) else {
+            // Overlapping extents: list order decides the final bytes, so
+            // frame exactly what the caller gave us.
+            return self.with_idempotent_retry(|me| {
+                me.conn.write_list(me.fd, extents, data.clone(), None)
+            });
+        };
+        if merged.len() == 1 {
+            // The gap-merge fused everything into one contiguous run: a
+            // plain write, which also brings the resume-from-acked-byte
+            // recovery machinery.
+            return self.write_at(merged[0].0, &packed);
+        }
+        let start = merged[0].0;
+        let end = merged.last().map(|&(o, l)| o + l).unwrap();
+        let span = end - start;
+        let hole_frac = (span - total) as f64 / span as f64;
+        if sieve && hole_frac <= self.fs.sieve_threshold() && packed.data().is_some() {
+            // Write-back sieving under the hole mask: fetch the covering
+            // extent (pure overhead, metered at zero goodput), overlay the
+            // caller's runs on it, and write the whole span back — one
+            // exchange pair instead of an RTT per run. Bytes under the
+            // holes keep exactly what the read returned, so unwritten gaps
+            // are never clobbered.
+            self.with_idempotent_retry(|me| {
+                let covering = me.conn.read_sieved(me.fd, start, span, 0)?;
+                let Some(old) = covering.data() else {
+                    // A sparse object has no hole bytes to preserve; the
+                    // wire list applies the runs without inventing any.
+                    return me.conn.write_list(me.fd, &merged, packed.clone(), None);
+                };
+                let mut base = old.to_vec();
+                base.resize(span as usize, 0);
+                let bytes = packed.data().expect("checked real");
+                let mut cursor = 0usize;
+                for &(off, len) in &merged {
+                    let at = (off - start) as usize;
+                    base[at..at + len as usize]
+                        .copy_from_slice(&bytes[cursor..cursor + len as usize]);
+                    cursor += len as usize;
+                }
+                me.conn
+                    .write_sieved(me.fd, start, Payload::bytes(base), total)
+            })?;
+            Ok(total)
+        } else {
+            self.with_idempotent_retry(|me| {
+                me.conn.write_list(me.fd, &merged, packed.clone(), None)
+            })
         }
     }
 

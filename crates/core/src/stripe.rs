@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use semplar_runtime::Runtime;
 use semplar_srb::{IoMeter, OpenFlags, Payload};
 
-use crate::adio::{AdioFs, IoError, IoResult};
+use crate::adio::{pack_extents, split_packed, AdioFs, IoError, IoResult};
 use crate::engine::EngineCfg;
 use crate::file::File;
 use crate::request::{Request, Status};
@@ -90,6 +90,21 @@ pub enum StripeUnit {
     Adaptive {
         /// Block size in bytes (the scheduling granule).
         block: u64,
+    },
+    /// [`StripeUnit::Adaptive`] scheduling with goodput-weighted block
+    /// *sizes*: when an operation's layout is computed, each stream's block
+    /// is scaled by its EWMA goodput relative to the fastest sibling
+    /// (floored at `min_block`), so a slow stream receives smaller blocks —
+    /// not just fewer — and per-block service times stay balanced. With
+    /// uniform goodput, or before any telemetry exists, every weight is 1.0
+    /// and the tiling (and therefore the whole operation) is bit-identical
+    /// to `Adaptive { block }`.
+    AdaptiveSized {
+        /// Full block size, given to the fastest stream.
+        block: u64,
+        /// Floor for scaled-down blocks — a crawling stream still gets
+        /// blocks big enough to amortize per-exchange overhead.
+        min_block: u64,
     },
 }
 
@@ -606,6 +621,10 @@ impl StripedFile {
         if let StripeUnit::Bytes(u) | StripeUnit::Adaptive { block: u } = unit {
             assert!(u >= 1, "stripe unit must be positive");
         }
+        if let StripeUnit::AdaptiveSized { block, min_block } = unit {
+            assert!(block >= 1 && min_block >= 1, "stripe unit must be positive");
+            assert!(min_block <= block, "min_block must not exceed block");
+        }
         let mut files = Vec::with_capacity(streams);
         for i in 0..streams {
             // Pinned: stream `i` takes pool slot `i`, so under a shared
@@ -714,8 +733,64 @@ impl StripedFile {
                     stream += 1;
                 }
             }
+            StripeUnit::AdaptiveSized {
+                block: unit,
+                min_block,
+            } => {
+                // Goodput-weighted block sizes, from a weight snapshot
+                // taken when the layout is computed (meters persist across
+                // operations on one file, so a warmed-up meter steers the
+                // next op's tiling). Homes still advance round-robin.
+                let weights = self.size_weights();
+                let mut off = offset;
+                let end = offset + len;
+                let mut rr = (offset / unit) % n;
+                while off < end {
+                    let stream = rr as usize;
+                    let w = weights[stream];
+                    let scaled = if w >= 1.0 {
+                        unit
+                    } else {
+                        ((unit as f64 * w) as u64).max(min_block)
+                    };
+                    // Uniform case stays bit-identical to `Adaptive`: the
+                    // first block is shortened to the next unit boundary.
+                    let this = if off == offset && !off.is_multiple_of(unit) && scaled == unit {
+                        unit - off % unit
+                    } else {
+                        scaled
+                    };
+                    let blen = this.min(end - off);
+                    out.push((stream, off, blen));
+                    off += blen;
+                    rr = (rr + 1) % n;
+                }
+            }
         }
         out
+    }
+
+    /// Per-stream size weights for [`StripeUnit::AdaptiveSized`]: EWMA
+    /// goodput relative to the fastest sibling. Streams without telemetry
+    /// (or whose meter has not warmed up) weigh 1.0, matching the
+    /// scheduler's optimistic treatment of unmeasured streams — so with no
+    /// telemetry at all the weights are all 1.0 and the tiling degenerates
+    /// to exactly `Adaptive { block }`.
+    fn size_weights(&self) -> Vec<f64> {
+        let mut bps = vec![0.0f64; self.files.len()];
+        let mut max = 0.0f64;
+        for (i, m) in self.meters.iter().enumerate() {
+            if let Some(m) = m {
+                let g = m.snapshot().goodput_bps;
+                if g > 0.0 {
+                    bps[i] = g;
+                    max = max.max(g);
+                }
+            }
+        }
+        bps.into_iter()
+            .map(|b| if b > 0.0 && max > 0.0 { b / max } else { 1.0 })
+            .collect()
     }
 
     /// Asynchronous striped write: every block is queued on its stream's
@@ -725,7 +800,10 @@ impl StripedFile {
     /// completions land).
     pub fn iwrite_at(&self, offset: u64, data: Payload) -> MultiRequest {
         let layout = self.blocks(offset, data.len());
-        if matches!(self.unit, StripeUnit::Adaptive { .. }) {
+        if matches!(
+            self.unit,
+            StripeUnit::Adaptive { .. } | StripeUnit::AdaptiveSized { .. }
+        ) {
             return self.adaptive_request(layout, offset, Some(data));
         }
         let reqs = layout
@@ -750,7 +828,10 @@ impl StripedFile {
     /// Asynchronous striped read.
     pub fn iread_at(&self, offset: u64, len: u64) -> MultiRequest {
         let layout = self.blocks(offset, len);
-        if matches!(self.unit, StripeUnit::Adaptive { .. }) {
+        if matches!(
+            self.unit,
+            StripeUnit::Adaptive { .. } | StripeUnit::AdaptiveSized { .. }
+        ) {
             return self.adaptive_request(layout, offset, None);
         }
         let reqs = layout
@@ -814,6 +895,103 @@ impl StripedFile {
             mr.assign_blocks(&mut s);
         }
         mr
+    }
+
+    /// Striped list-I/O read: each caller extent is tiled by the stripe
+    /// layout, the per-stream sub-extents are issued as **one list op per
+    /// stream** (one exchange per stream instead of one per fragment), and
+    /// the pieces are reassembled in caller order, packed back-to-back.
+    ///
+    /// List ops keep the static home placement even under adaptive units:
+    /// a stream's sub-list is a single indivisible exchange, so there is no
+    /// block-level schedule left to adapt.
+    pub fn read_list(&self, extents: &[(u64, u64)]) -> IoResult<Payload> {
+        let n = self.files.len();
+        let mut per_stream: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+        // For reassembly: each caller extent's pieces as (stream, index
+        // within that stream's sub-list), in offset order.
+        let mut pieces_of: Vec<Vec<(usize, usize)>> = vec![Vec::new(); extents.len()];
+        for (ei, &(off, len)) in extents.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            for (stream, boff, blen) in self.blocks(off, len) {
+                pieces_of[ei].push((stream, per_stream[stream].len()));
+                per_stream[stream].push((boff, blen));
+            }
+        }
+        let reqs: Vec<Option<Request>> = per_stream
+            .iter()
+            .enumerate()
+            .map(|(s, exts)| (!exts.is_empty()).then(|| self.files[s].iread_list(exts.clone())))
+            .collect();
+        let mut stream_pieces: Vec<Vec<Payload>> = Vec::with_capacity(n);
+        for (s, r) in reqs.iter().enumerate() {
+            match r {
+                None => stream_pieces.push(Vec::new()),
+                Some(req) => {
+                    let st = req.wait()?;
+                    let packed = st.data.clone().unwrap_or(Payload::sized(st.bytes));
+                    stream_pieces.push(split_packed(&per_stream[s], &packed));
+                }
+            }
+        }
+        // Concatenate each extent's pieces in offset order: a short piece
+        // means EOF inside it, and every later piece of that extent is
+        // empty (it starts past EOF), so plain concatenation reproduces the
+        // per-extent POSIX truncation.
+        let mut out = Vec::with_capacity(extents.len());
+        for (ei, &(_, len)) in extents.iter().enumerate() {
+            if len == 0 {
+                out.push(Payload::sized(0));
+                continue;
+            }
+            let parts: Vec<Payload> = pieces_of[ei]
+                .iter()
+                .map(|&(s, i)| stream_pieces[s][i].clone())
+                .collect();
+            out.push(pack_extents(&parts));
+        }
+        Ok(pack_extents(&out))
+    }
+
+    /// Striped list-I/O write: `data` packs the extents' bytes back-to-back
+    /// in list order; each extent is tiled by the stripe layout and every
+    /// stream receives its sub-list as one list op. Extents must not
+    /// overlap — sibling streams transfer concurrently, so overlapping
+    /// extents have no defined order across streams.
+    pub fn write_list(&self, extents: &[(u64, u64)], data: &Payload) -> IoResult<u64> {
+        /// One stream's share of the list: its sub-extents and their data.
+        type SubList = (Vec<(u64, u64)>, Vec<Payload>);
+        let n = self.files.len();
+        let mut per_stream: Vec<SubList> = (0..n).map(|_| (Vec::new(), Vec::new())).collect();
+        let mut cursor = 0u64;
+        for &(off, len) in extents {
+            for (stream, boff, blen) in self.blocks(off, len) {
+                per_stream[stream].0.push((boff, blen));
+                per_stream[stream]
+                    .1
+                    .push(data.slice(cursor + (boff - off), blen));
+            }
+            cursor += len;
+        }
+        let reqs: Vec<Option<Request>> = per_stream
+            .iter()
+            .enumerate()
+            .map(|(s, (exts, pieces))| {
+                // sieve = false: this sub-list's holes are sibling streams'
+                // bytes in flight — a read-modify-write of the covering
+                // span would race them and resurrect stale data.
+                (!exts.is_empty()).then(|| {
+                    self.files[s].iwrite_list_with(exts.clone(), pack_extents(pieces), false)
+                })
+            })
+            .collect();
+        let mut total = 0u64;
+        for req in reqs.iter().flatten() {
+            total += req.wait()?.bytes;
+        }
+        Ok(total)
     }
 
     /// Blocking striped write (fan out + wait all).
@@ -886,7 +1064,7 @@ mod tests {
         #[test]
         fn blocks_tile_the_range_exactly(
             streams in 1usize..6,
-            unit_kind in 0u8..3,
+            unit_kind in 0u8..4,
             unit_bytes in 1u64..5000,
             offset in 0u64..100_000,
             len in 1u64..200_000,
@@ -894,7 +1072,11 @@ mod tests {
             let unit = match unit_kind {
                 0 => StripeUnit::Bytes(unit_bytes),
                 1 => StripeUnit::Even,
-                _ => StripeUnit::Adaptive { block: unit_bytes },
+                2 => StripeUnit::Adaptive { block: unit_bytes },
+                _ => StripeUnit::AdaptiveSized {
+                    block: unit_bytes,
+                    min_block: 1 + unit_bytes / 8,
+                },
             };
             let blocks = layout_for(streams, unit, offset, len);
             prop_assert!(!blocks.is_empty());
@@ -984,6 +1166,61 @@ mod tests {
             }
             prop_assert_eq!(&stats.blocks, &rr, "per-stream counts differ from RR");
             prop_assert_eq!(stats.bytes.iter().sum::<u64>(), len);
+        }
+
+        /// With uniform goodput the sized-adaptive tiling is pinned to be
+        /// bit-identical to `Adaptive { block }` — block sizes only shrink
+        /// when telemetry says a stream is slower than its siblings.
+        #[test]
+        fn adaptive_sized_uniform_matches_adaptive(
+            streams in 1usize..5,
+            block in 64u64..2048,
+            min_frac in 1u64..8,
+            offset in 0u64..10_000,
+            len in 1u64..50_000,
+        ) {
+            let sized = layout_for(
+                streams,
+                StripeUnit::AdaptiveSized { block, min_block: (block / min_frac).max(1) },
+                offset,
+                len,
+            );
+            let plain = layout_for(streams, StripeUnit::Adaptive { block }, offset, len);
+            prop_assert_eq!(sized, plain);
+        }
+
+        /// Striped list ops round-trip arbitrary disjoint extent lists and
+        /// leave the holes between extents untouched.
+        #[test]
+        fn striped_list_roundtrip_property(
+            streams in 1usize..4,
+            unit in prop_oneof![
+                (16u64..2048).prop_map(StripeUnit::Bytes),
+                (16u64..2048).prop_map(|b| StripeUnit::Adaptive { block: b })
+            ],
+            lens in proptest::collection::vec((1u64..2000, 0u64..2000), 1..8),
+            seed in any::<u64>(),
+        ) {
+            // Build sorted disjoint extents from (len, gap) pairs.
+            let mut extents = Vec::new();
+            let mut off = seed % 4096;
+            for &(len, gap) in &lens {
+                extents.push((off, len));
+                off += len + gap;
+            }
+            let total: u64 = extents.iter().map(|&(_, l)| l).sum();
+            let data: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+            let ok = simulate(move |rt| {
+                let fs = MemFs::new(rt.clone());
+                let f = StripedFile::open(&rt, &fs, "/sl", OpenFlags::CreateRw, streams, unit)
+                    .unwrap();
+                let n = f.write_list(&extents, &Payload::bytes(data.clone())).unwrap();
+                let back = f.read_list(&extents).unwrap();
+                let ok = n == total && back.data().unwrap() == &data[..];
+                f.close().unwrap();
+                ok
+            });
+            prop_assert!(ok);
         }
     }
 

@@ -70,12 +70,19 @@ impl SrbConn {
     /// transmission to the caller; the server handler charges processing,
     /// disk, and the response transmission before replying.
     fn call(&self, req: Request) -> SrbResult<Response> {
+        self.call_hinted(req, None)
+    }
+
+    /// Like [`SrbConn::call`] but caps the goodput meter's byte count at
+    /// `useful` — the sieving path transfers covering extents whose slack
+    /// must not count as application goodput.
+    fn call_hinted(&self, req: Request, useful: Option<u64>) -> SrbResult<Response> {
         let cut = |acked: &AtomicU64| SrbError::Disconnected {
             acked: acked.load(Ordering::Relaxed),
         };
         let resp = self
             .transport
-            .exchange(self.session, req)
+            .exchange_hinted(self.session, req, useful)
             .map_err(|_| cut(&self.acked))?;
         match &resp {
             Response::Written(n) => {
@@ -155,6 +162,88 @@ impl SrbConn {
             offset,
             payload,
         })? {
+            Response::Written(n) => Ok(n),
+            Response::Error(e) => Err(e),
+            other => Err(SrbError::InvalidArg(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Read many extents in one exchange (list-I/O). The reply packs the
+    /// extents' data back-to-back in list order, each truncated at EOF.
+    /// `useful`, when given, caps the goodput meter's byte count — the
+    /// data-sieving path reads one covering extent but only `useful` of it
+    /// is application data.
+    pub fn read_list(
+        &self,
+        fd: u32,
+        extents: &[(u64, u64)],
+        useful: Option<u64>,
+    ) -> SrbResult<Payload> {
+        match self.call_hinted(
+            Request::ReadList {
+                fd,
+                extents: extents.to_vec(),
+            },
+            useful,
+        )? {
+            Response::Data(p) => Ok(p),
+            Response::Error(e) => Err(e),
+            other => Err(SrbError::InvalidArg(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Write many extents in one exchange (list-I/O). `payload` packs the
+    /// extents' data back-to-back in list order; returns total bytes
+    /// written. `useful` caps the goodput meter as in
+    /// [`SrbConn::read_list`].
+    pub fn write_list(
+        &self,
+        fd: u32,
+        extents: &[(u64, u64)],
+        payload: Payload,
+        useful: Option<u64>,
+    ) -> SrbResult<u64> {
+        match self.call_hinted(
+            Request::WriteList {
+                fd,
+                extents: extents.to_vec(),
+                payload,
+            },
+            useful,
+        )? {
+            Response::Written(n) => Ok(n),
+            Response::Error(e) => Err(e),
+            other => Err(SrbError::InvalidArg(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// A single contiguous read whose goodput accounting is capped at
+    /// `useful` bytes — the data-sieving covering fetch.
+    pub fn read_sieved(&self, fd: u32, offset: u64, len: u64, useful: u64) -> SrbResult<Payload> {
+        match self.call_hinted(Request::Read { fd, offset, len }, Some(useful))? {
+            Response::Data(p) => Ok(p),
+            Response::Error(e) => Err(e),
+            other => Err(SrbError::InvalidArg(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// A single contiguous write whose goodput accounting is capped at
+    /// `useful` bytes — the write-back of a sieved covering extent.
+    pub fn write_sieved(
+        &self,
+        fd: u32,
+        offset: u64,
+        payload: Payload,
+        useful: u64,
+    ) -> SrbResult<u64> {
+        match self.call_hinted(
+            Request::Write {
+                fd,
+                offset,
+                payload,
+            },
+            Some(useful),
+        )? {
             Response::Written(n) => Ok(n),
             Response::Error(e) => Err(e),
             other => Err(SrbError::InvalidArg(format!("unexpected reply {other:?}"))),

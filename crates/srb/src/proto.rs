@@ -103,6 +103,29 @@ pub enum Request {
         /// Data to write.
         payload: Payload,
     },
+    /// Read many extents in one exchange (list-I/O). The response packs
+    /// the extents' data back-to-back in list order, each truncated at EOF
+    /// POSIX-style. The extent table travels in the payload region — 16
+    /// bytes per `(offset, len)` pair on the wire — while the header stays
+    /// the fixed [`WIRE_HDR`] bytes, so existing ops are framed unchanged.
+    ReadList {
+        /// Descriptor from [`Request::Open`].
+        fd: u32,
+        /// `(offset, len)` pairs, served in list order.
+        extents: Vec<(u64, u64)>,
+    },
+    /// Write many extents in one exchange (list-I/O). `payload` packs the
+    /// extents' data back-to-back in list order; its length must equal the
+    /// sum of the extent lengths — the wire carries only packed payload
+    /// bytes, never the holes between extents.
+    WriteList {
+        /// Descriptor from [`Request::Open`].
+        fd: u32,
+        /// `(offset, len)` pairs, applied in list order.
+        extents: Vec<(u64, u64)>,
+        /// The extents' data, packed back-to-back.
+        payload: Payload,
+    },
     /// Object metadata.
     Stat(String),
     /// Remove a data object.
@@ -130,9 +153,15 @@ pub enum Request {
 
 impl Request {
     /// Bytes this request occupies on the wire (header + inline payload).
+    /// List requests carry their extent table (16 bytes per pair) and, for
+    /// writes, the packed payload — holes between extents cost nothing.
     pub fn wire_size(&self) -> u64 {
         match self {
             Request::Write { payload, .. } => WIRE_HDR + payload.len(),
+            Request::ReadList { extents, .. } => WIRE_HDR + 16 * extents.len() as u64,
+            Request::WriteList {
+                extents, payload, ..
+            } => WIRE_HDR + 16 * extents.len() as u64 + payload.len(),
             _ => WIRE_HDR,
         }
     }
@@ -147,6 +176,8 @@ impl Request {
             Request::Close(_) => "close",
             Request::Read { .. } => "read",
             Request::Write { .. } => "write",
+            Request::ReadList { .. } => "readlist",
+            Request::WriteList { .. } => "writelist",
             Request::Stat(_) => "stat",
             Request::Unlink(_) => "unlink",
             Request::List(_) => "list",
@@ -206,6 +237,27 @@ mod tests {
             Request::Open("/x".into(), OpenFlags::Read).wire_size(),
             WIRE_HDR
         );
+    }
+
+    #[test]
+    fn list_requests_carry_extent_table_and_packed_payload() {
+        let extents = vec![(0u64, 4096u64), (16_384, 4096), (32_768, 4096)];
+        let r = Request::ReadList {
+            fd: 3,
+            extents: extents.clone(),
+        };
+        // Extent table only: 16 bytes per pair, no data yet.
+        assert_eq!(r.wire_size(), WIRE_HDR + 48);
+        assert_eq!(r.op_name(), "readlist");
+        let w = Request::WriteList {
+            fd: 3,
+            extents,
+            payload: Payload::sized(3 * 4096),
+        };
+        // Packed payload only — the 12 KiB of holes between the extents
+        // never touch the wire.
+        assert_eq!(w.wire_size(), WIRE_HDR + 48 + 3 * 4096);
+        assert_eq!(w.op_name(), "writelist");
     }
 
     #[test]

@@ -600,6 +600,52 @@ impl SrbServer {
                 }
                 Ok(Response::Written(n))
             }
+            Request::ReadList { fd, extents } => {
+                let obj_id = {
+                    let e = space.fds.get(&fd).ok_or(SrbError::BadFd(fd))?;
+                    if !e.flags.readable() {
+                        return Err(SrbError::InvalidArg("fd not open for read".into()));
+                    }
+                    e.obj_id
+                };
+                // One vault pass for the whole list: a single seek plus one
+                // packed transfer, instead of a disk pass per extent.
+                let data = self.vault.read_list(obj_id, &extents);
+                self.bytes_read.fetch_add(data.len(), Ordering::Relaxed);
+                Ok(Response::Data(data))
+            }
+            Request::WriteList {
+                fd,
+                extents,
+                payload,
+            } => {
+                let (obj_id, path) = {
+                    let e = space.fds.get(&fd).ok_or(SrbError::BadFd(fd))?;
+                    if !e.flags.writable() {
+                        return Err(SrbError::InvalidArg("fd not open for write".into()));
+                    }
+                    (e.obj_id, e.path.clone())
+                };
+                let total: u64 = extents.iter().map(|&(_, l)| l).sum();
+                if total != payload.len() {
+                    return Err(SrbError::InvalidArg(format!(
+                        "packed payload is {} bytes but extents sum to {total}",
+                        payload.len()
+                    )));
+                }
+                let new_size = self.vault.write_list(obj_id, &extents, &payload);
+                self.mcat.update_size(&path, new_size)?;
+                self.bytes_written.fetch_add(total, Ordering::Relaxed);
+                let hook = self.write_hook.lock().clone();
+                if let Some(h) = hook {
+                    // Fire per extent so replication ships exactly the
+                    // packed bytes — never the holes between extents.
+                    for &(off, len) in &extents {
+                        h(&path, off, len);
+                    }
+                }
+                Ok(Response::Written(total))
+            }
             Request::Stat(p) => Ok(Response::Stat(self.mcat.stat(&p)?)),
             Request::Unlink(p) => {
                 let id = self.mcat.unlink(&p)?;

@@ -271,6 +271,20 @@ impl Transport {
     /// processing, disk, and the response transfer before replying. Fails
     /// with [`Closed`] when the stream is severed.
     pub fn exchange(&self, session: SessionId, req: Request) -> Result<Response, Closed> {
+        self.exchange_hinted(session, req, None)
+    }
+
+    /// Like [`Transport::exchange`], but meters at most `useful` payload
+    /// bytes when the hint is given. Sieved transfers use this so the
+    /// covering extent's slack — bytes fetched or written only to bridge
+    /// holes — never inflates the goodput estimate: the meter sees the
+    /// application's bytes, the wire still carries the whole transfer.
+    pub(crate) fn exchange_hinted(
+        &self,
+        session: SessionId,
+        req: Request,
+        useful: Option<u64>,
+    ) -> Result<Response, Closed> {
         let t0 = self.rt.now();
         self.meter.begin();
         let r = match &self.mode {
@@ -304,11 +318,12 @@ impl Transport {
             Ok(resp) => {
                 // Payload bytes the exchange actually moved: data received
                 // for reads, bytes the server acknowledged for writes.
-                let bytes = match resp {
+                let actual = match resp {
                     Response::Data(p) => p.len(),
                     Response::Written(n) => *n,
                     _ => 0,
                 };
+                let bytes = useful.map_or(actual, |u| u.min(actual));
                 self.meter
                     .complete(bytes, (self.rt.now() - t0).as_secs_f64());
             }

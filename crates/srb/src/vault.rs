@@ -141,6 +141,68 @@ impl Vault {
         out
     }
 
+    /// Write a packed list of extents in one vault pass: one seek plus one
+    /// disk transfer for the packed bytes, instead of a seek per extent.
+    /// `payload` holds the extents' data back-to-back in list order; its
+    /// length must match the sum of the extent lengths. Returns the new
+    /// object size.
+    pub fn write_list(&self, obj_id: u64, extents: &[(u64, u64)], payload: &Payload) -> u64 {
+        self.charge_disk(payload.len());
+        let mut g = self.objects.lock();
+        let obj = g.entry(obj_id).or_insert(ObjData::Real(Vec::new()));
+        let mut cursor = 0u64;
+        for &(offset, len) in extents {
+            let piece = payload.slice(cursor, len);
+            cursor += len;
+            let end = offset + piece.len();
+            match (piece.data(), &mut *obj) {
+                (Some(data), ObjData::Real(v)) => {
+                    if (v.len() as u64) < end {
+                        v.resize(end as usize, 0);
+                    }
+                    v[offset as usize..end as usize].copy_from_slice(data);
+                }
+                // Same degradation rule as single writes: any size-only
+                // piece turns the object into a sparse extent.
+                _ => {
+                    let new_len = obj.len().max(end);
+                    *obj = ObjData::Sparse(new_len);
+                }
+            }
+        }
+        obj.len()
+    }
+
+    /// Read a list of extents in one vault pass, packing the results
+    /// back-to-back in list order (each extent truncated at EOF,
+    /// POSIX-style). One seek plus one disk transfer for the packed bytes.
+    pub fn read_list(&self, obj_id: u64, extents: &[(u64, u64)]) -> Payload {
+        let out = {
+            let g = self.objects.lock();
+            match g.get(&obj_id) {
+                None => Payload::sized(0),
+                Some(ObjData::Real(v)) => {
+                    let mut packed = Vec::new();
+                    for &(offset, len) in extents {
+                        let start = (offset as usize).min(v.len());
+                        let end = ((offset + len) as usize).min(v.len());
+                        packed.extend_from_slice(&v[start..end]);
+                    }
+                    Payload::bytes(packed)
+                }
+                Some(ObjData::Sparse(n)) => {
+                    let total: u64 = extents
+                        .iter()
+                        .map(|&(offset, len)| n.saturating_sub(offset).min(len))
+                        .sum();
+                    Payload::sized(total)
+                }
+            }
+        };
+        self.charge_disk(out.len());
+        out
+    }
+
     /// Adler-32 of a whole object, charging a full disk read. Errors on
     /// sparse (size-only) objects — there are no bytes to sum.
     pub fn checksum(&self, obj_id: u64) -> Result<u32, crate::types::SrbError> {

@@ -15,6 +15,10 @@ use semplar_runtime::{simulate, spawn, Dur, Runtime};
 use semplar_srb::{ConnRoute, OpenFlags, Payload, SrbServer, SrbServerCfg};
 
 fn workload(rt: &Arc<dyn Runtime>) -> Vec<String> {
+    workload_with_list(rt, false)
+}
+
+fn workload_with_list(rt: &Arc<dyn Runtime>, with_list: bool) -> Vec<String> {
     let net = Network::new(rt.clone());
     let up = net.add_link("up", Bw::mbps(100.0), Dur::from_millis(10));
     let down = net.add_link("down", Bw::mbps(100.0), Dur::from_millis(10));
@@ -33,7 +37,8 @@ fn workload(rt: &Arc<dyn Runtime>) -> Vec<String> {
     // two clients run concurrently: interleaving across connections is
     // irrelevant because the trace is grouped per connection.
     let c1 = server.connect(route.clone(), "alin", "pw").unwrap();
-    let c2 = server.connect(route, "alin", "pw").unwrap();
+    let c2 = server.connect(route.clone(), "alin", "pw").unwrap();
+    let c3 = with_list.then(|| server.connect(route, "alin", "pw").unwrap());
     c1.mk_coll("/g").unwrap();
 
     let h1 = spawn(rt, "client-a", move || {
@@ -58,8 +63,23 @@ fn workload(rt: &Arc<dyn Runtime>) -> Vec<String> {
         c2.unlink("/g/b").unwrap();
         c2.disconnect().unwrap();
     });
+    let h3 = c3.map(|c3| {
+        spawn(rt, "client-c", move || {
+            let fd = c3.open("/g/c", OpenFlags::CreateRw).unwrap();
+            let extents = [(0u64, 1000u64), (5000, 2000), (9000, 500)];
+            let packed: Vec<u8> = (0..3500u32).map(|i| (i % 251) as u8).collect();
+            c3.write_list(fd, &extents, Payload::bytes(packed), None)
+                .unwrap();
+            c3.read_list(fd, &extents, None).unwrap();
+            c3.close_fd(fd).unwrap();
+            c3.disconnect().unwrap();
+        })
+    });
     h1.join_unwrap();
     h2.join_unwrap();
+    if let Some(h3) = h3 {
+        h3.join_unwrap();
+    }
     server.take_request_trace()
 }
 
@@ -76,5 +96,35 @@ fn peropen_request_stream_matches_pre_refactor_golden() {
     assert_eq!(
         got, want,
         "PerOpen request stream drifted from the pre-refactor golden trace"
+    );
+}
+
+/// The list-I/O protocol extension is strictly additive: with a third
+/// client exercising `readlist`/`writelist` on the same server, the
+/// non-list clients' request streams stay byte-identical to the golden
+/// fixture, and only the list client's connection carries the new ops.
+#[test]
+fn list_io_leaves_non_list_request_streams_untouched() {
+    let trace = simulate(|rt| workload_with_list(&rt, true));
+    let non_list: Vec<&str> = trace
+        .iter()
+        .map(String::as_str)
+        .filter(|l| l.starts_with("conn=0 ") || l.starts_with("conn=1 "))
+        .collect();
+    let got = non_list.join("\n") + "\n";
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/peropen.trace");
+    let want = std::fs::read_to_string(path).expect("golden fixture present");
+    assert_eq!(
+        got, want,
+        "adding a list-I/O client changed the non-list request streams"
+    );
+    let list_lines: Vec<&String> = trace.iter().filter(|l| l.starts_with("conn=2 ")).collect();
+    assert!(
+        list_lines.iter().any(|l| l.contains("op=writelist")),
+        "list client never framed a writelist: {list_lines:?}"
+    );
+    assert!(
+        list_lines.iter().any(|l| l.contains("op=readlist")),
+        "list client never framed a readlist: {list_lines:?}"
     );
 }

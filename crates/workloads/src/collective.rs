@@ -33,6 +33,11 @@ const TAG_CELLS: u32 = 31;
 pub enum CollectiveMode {
     /// Independent strided writes from every rank.
     Naive,
+    /// Independent writes, but each rank batches its whole column into one
+    /// list-I/O request per step: the same access pattern as
+    /// [`CollectiveMode::Naive`] at one RTT per step instead of one per
+    /// cell, with no inter-rank exchange at all.
+    NaiveList,
     /// Two-phase I/O with synchronous aggregator writes.
     TwoPhaseSync,
     /// Two-phase I/O with asynchronous aggregator writes overlapping the
@@ -109,8 +114,9 @@ pub fn run_collective(tb: &Arc<Testbed>, n: usize, params: CollectiveParams) -> 
         let p = params;
         let n_agg = p.aggregators.clamp(1, r.size);
         let row_bytes = p.cell_bytes * r.size as u64;
-        let is_agg = r.rank < n_agg && p.mode != CollectiveMode::Naive;
-        let needs_file = p.mode == CollectiveMode::Naive || is_agg;
+        let independent = matches!(p.mode, CollectiveMode::Naive | CollectiveMode::NaiveList);
+        let is_agg = r.rank < n_agg && !independent;
+        let needs_file = independent || is_agg;
         let fs = tb2.srbfs(r.rank);
         let file = if needs_file {
             Some(File::open(&rt, &fs, "/collective", OpenFlags::CreateRw).expect("open"))
@@ -141,6 +147,23 @@ pub fn run_collective(tb: &Arc<Testbed>, n: usize, params: CollectiveParams) -> 
                             .expect("cell");
                         remote_ops += 1;
                     }
+                }
+                CollectiveMode::NaiveList => {
+                    let f = file.as_ref().expect("naive-list writer has a file");
+                    // Column r again, but the whole column rides one
+                    // list-I/O exchange: the extent table frames the strided
+                    // cells and the payload packs them back-to-back.
+                    let extents: Vec<(u64, u64)> = (0..p.rows)
+                        .map(|row| {
+                            (
+                                row as u64 * row_bytes + r.rank as u64 * p.cell_bytes,
+                                p.cell_bytes,
+                            )
+                        })
+                        .collect();
+                    let packed = Payload::sized(p.rows as u64 * p.cell_bytes);
+                    f.write_list(&extents, &packed).expect("column");
+                    remote_ops += 1;
                 }
                 CollectiveMode::TwoPhaseSync | CollectiveMode::TwoPhaseAsync => {
                     let asynchronous = p.mode == CollectiveMode::TwoPhaseAsync;
@@ -258,6 +281,27 @@ mod tests {
             two.exec_secs < naive.exec_secs * 0.6,
             "two-phase {:.1}s should crush naive {:.1}s",
             two.exec_secs,
+            naive.exec_secs
+        );
+    }
+
+    #[test]
+    fn list_io_collapses_naive_to_one_op_per_rank() {
+        let (naive, list) = simulate(|rt| {
+            let tb = Testbed::new(rt, das2(), 4);
+            (
+                run_collective(&tb, 4, params(CollectiveMode::Naive)),
+                run_collective(&tb, 4, params(CollectiveMode::NaiveList)),
+            )
+        });
+        // Same strided access pattern, but each rank's 64 cells ride one
+        // list exchange: 4 ops total instead of 256.
+        assert_eq!(naive.remote_ops, 256);
+        assert_eq!(list.remote_ops, 4);
+        assert!(
+            list.exec_secs < naive.exec_secs * 0.25,
+            "list-I/O {:.1}s should collapse naive {:.1}s",
+            list.exec_secs,
             naive.exec_secs
         );
     }
