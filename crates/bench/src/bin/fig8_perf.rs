@@ -29,7 +29,7 @@ fn main() {
         (tg_ncsa(), tg_procs, "paper: write +24%, read +75%"),
     ] {
         let name = spec.name;
-        let (rows, net_stats) = fig8_perf_with_stats(spec, procs, bytes);
+        let (rows, net_stats, sim_stats) = fig8_perf_with_stats(spec, procs, bytes);
         let mut t = Table::new(
             &format!("Fig. 8 ({name}): perf aggregate I/O bandwidth (Mb/s)"),
             &[
@@ -65,6 +65,15 @@ fn main() {
             net_stats.settles_skipped,
             net_stats.signals,
             net_stats.alloc_nanos as f64 / 1e6,
+        );
+        println!(
+            "{name}: scheduler — {} clock advances, {} timers, {} peak actors, \
+             {} choice points / {} alternatives (exploration hook inactive)",
+            sim_stats.clock_advances,
+            sim_stats.timers_armed,
+            sim_stats.max_actors,
+            sim_stats.choice_points,
+            sim_stats.choice_alternatives,
         );
     }
 }

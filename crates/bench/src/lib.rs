@@ -26,7 +26,7 @@ use semplar_clusters::{ClusterSpec, Testbed};
 use semplar_faults::{FaultPlan, FaultStats};
 use semplar_netsim::{Bw, NetStats, Network};
 use semplar_runtime::sync::Barrier;
-use semplar_runtime::{spawn, Dur, SimRuntime};
+use semplar_runtime::{spawn, Dur, SimRuntime, SimStats};
 use semplar_srb::{
     ConnRoute, PoolPolicy, ReplStats, Replicator, RetryPolicy, SrbServer, SrbServerCfg,
 };
@@ -51,6 +51,23 @@ where
         let tb = Testbed::new(rt, spec, nodes);
         f(tb)
     })
+}
+
+/// [`with_testbed`], also returning the simulation's [`SimStats`] so
+/// callers can report scheduler counters (clock advances, choice points)
+/// alongside their results.
+pub fn with_testbed_stats<T, F>(spec: ClusterSpec, nodes: usize, f: F) -> (T, SimStats)
+where
+    T: Send + 'static,
+    F: FnOnce(Arc<Testbed>) -> T + Send + 'static,
+{
+    let sim = SimRuntime::new();
+    let out = sim.run_root(move |rt| {
+        let tb = Testbed::new(rt, spec, nodes);
+        f(tb)
+    });
+    let stats = sim.stats();
+    (out, stats)
 }
 
 /// One row of the Fig. 6 table.
@@ -254,10 +271,10 @@ pub fn fig8_perf_with_stats(
     spec: ClusterSpec,
     procs: &[usize],
     bytes_per_proc: u64,
-) -> (Vec<PerfRow>, NetStats) {
+) -> (Vec<PerfRow>, NetStats, SimStats) {
     let max_procs = procs.iter().copied().max().unwrap_or(1);
     let procs = procs.to_vec();
-    with_testbed(spec, max_procs, move |tb| {
+    let ((rows, net), sim) = with_testbed_stats(spec, max_procs, move |tb| {
         let rows = procs
             .iter()
             .map(|&n| {
@@ -287,7 +304,8 @@ pub fn fig8_perf_with_stats(
             })
             .collect();
         (rows, tb.net.stats())
-    })
+    });
+    (rows, net, sim)
 }
 
 /// One row of the Fig. 9 table.
@@ -538,6 +556,119 @@ pub fn fig_availability(
             faulted_mbps,
             faults: inj.stats(),
             recovery,
+        }
+    })
+}
+
+/// One workload arm of [`fig_workload_faults`]: the same run fault-free
+/// and under a seeded availability plan, with the injector's ledger.
+#[derive(Clone, Debug)]
+pub struct WorkloadFaultsArm {
+    /// Fault-free execution time, s.
+    pub clean_secs: f64,
+    /// Execution time under the plan, s.
+    pub faulted_secs: f64,
+    /// Max per-rank compute time under the plan, s.
+    pub faulted_compute_secs: f64,
+    /// Max per-rank I/O-blocked time under the plan, s.
+    pub faulted_io_secs: f64,
+    /// What the injector did (virtual-time ledger + counters).
+    pub faults: FaultStats,
+}
+
+impl WorkloadFaultsArm {
+    /// Execution-time inflation caused by the plan.
+    pub fn slowdown(&self) -> f64 {
+        self.faulted_secs / self.clean_secs.max(1e-9)
+    }
+}
+
+/// Result of [`fig_workload_faults`]: BLAST and Laplace, each fault-free
+/// then faulted.
+#[derive(Clone, Debug)]
+pub struct WorkloadFaultsReport {
+    /// Processes used by both workloads.
+    pub procs: usize,
+    /// Fault-plan seed (Laplace uses `seed + 1`).
+    pub seed: u64,
+    /// MPI-BLAST with asynchronous writes.
+    pub blast: WorkloadFaultsArm,
+    /// 2D Laplace with asynchronous overlapped checkpoints.
+    pub laplace: WorkloadFaultsArm,
+}
+
+/// Carried-over ROADMAP item: the paper's application workloads under the
+/// availability fault plan, so recovery lands *inside* the compute/I-O
+/// overlap window instead of inside a dedicated I/O benchmark. Each
+/// workload runs fault-free, then again with a seeded plan (WAN link
+/// flaps, a vault stall, a connection reset, a server crash + restart)
+/// injected at its start. The asynchronous engine's retained requests and
+/// the client retry path must absorb every fault: the runs complete, and
+/// the faulted execution time reflects recovery overlapped with compute.
+/// Entirely virtual time + seeded ⇒ bit-identical output per seed.
+pub fn fig_workload_faults(
+    spec: ClusterSpec,
+    procs: usize,
+    queries: usize,
+    laplace: LaplaceParams,
+    seed: u64,
+) -> WorkloadFaultsReport {
+    with_testbed(spec, procs, move |tb| {
+        let (wan_up, _) = tb.wan_links();
+        let availability_plan = |seed: u64, scale: f64| {
+            // The same fault mix as `fig_availability`, with its timeline
+            // stretched by `scale` so every event lands mid-run.
+            let s = |secs: f64| Dur::from_secs_f64(secs * scale);
+            FaultPlan::new(seed)
+                .link_flap(wan_up, s(2.0), Dur::from_millis(300), 2)
+                .vault_stall_at(s(4.0), 4 << 20)
+                .conn_reset_at(s(6.0))
+                .server_crash_at(s(8.0), s(0.6))
+        };
+        let wait = |inj: &semplar_faults::FaultInjector| {
+            while !inj.done() {
+                tb.rt.sleep(Dur::from_millis(100));
+            }
+        };
+
+        // MPI-BLAST, asynchronous writes.
+        let bp = BlastParams::calibrated(&tb.spec, queries, 4.0).with_async(true);
+        let blast_clean = run_blast(&tb, procs, bp);
+        let inj = availability_plan(seed, blast_clean.exec_secs / 12.0)
+            .inject(&tb.rt, &tb.net, &tb.server);
+        let blast_faulted = run_blast(&tb, procs, bp);
+        wait(&inj);
+        let blast = WorkloadFaultsArm {
+            clean_secs: blast_clean.exec_secs,
+            faulted_secs: blast_faulted.exec_secs,
+            faulted_compute_secs: blast_faulted.compute_secs,
+            faulted_io_secs: blast_faulted.io_secs,
+            faults: inj.stats(),
+        };
+
+        // 2D Laplace, asynchronous overlapped checkpoints.
+        let lp = LaplaceParams {
+            mode: LaplaceMode::AsyncOverlap,
+            ..laplace
+        };
+        let lap_clean = run_laplace(&tb, procs, lp);
+        let inj = availability_plan(seed + 1, lap_clean.exec_secs / 12.0)
+            .inject(&tb.rt, &tb.net, &tb.server);
+        let lap_faulted = run_laplace(&tb, procs, lp);
+        wait(&inj);
+        let laplace = WorkloadFaultsArm {
+            clean_secs: lap_clean.exec_secs,
+            faulted_secs: lap_faulted.exec_secs,
+            faulted_compute_secs: lap_faulted.compute_secs,
+            faulted_io_secs: lap_faulted.io_secs,
+            faults: inj.stats(),
+        };
+
+        WorkloadFaultsReport {
+            procs,
+            seed,
+            blast,
+            laplace,
         }
     })
 }

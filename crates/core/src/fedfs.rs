@@ -293,6 +293,9 @@ impl FedFs {
                 break Ok(());
             }
             let blk = RESUME_BLOCK.min(len - done);
+            // Under a schedule hook, each resume-block replay is an
+            // explorable choice against concurrent ships and faults.
+            self.rt.schedule_point("reconcile/resume-block");
             let data = match src.read_at(offset + done, blk) {
                 Ok(d) => d,
                 Err(e) => break Err(e),

@@ -268,6 +268,19 @@ impl FaultPlan {
                     if due > now {
                         rt2.sleep(due - now);
                     }
+                    // Under a schedule hook, the injection instant itself is
+                    // an explorable choice: the model checker may defer the
+                    // fault past other events in its window.
+                    let tag = match &ev {
+                        FaultEvent::LinkDown { .. } => "fault/link-down",
+                        FaultEvent::LinkUp { .. } => "fault/link-up",
+                        FaultEvent::LinkDegrade { .. } => "fault/link-degrade",
+                        FaultEvent::ServerCrash { .. } => "fault/server-crash",
+                        FaultEvent::ServerRestart { .. } => "fault/server-restart",
+                        FaultEvent::ConnReset { .. } => "fault/conn-reset",
+                        FaultEvent::VaultStall { .. } => "fault/vault-stall",
+                    };
+                    rt2.schedule_point(tag);
                     let now = rt2.now();
                     let (entry, severed) = match &ev {
                         FaultEvent::LinkDown { link, .. } => {

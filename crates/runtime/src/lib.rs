@@ -33,6 +33,6 @@ pub mod trace;
 
 pub use real::RealRuntime;
 pub use runtime::{spawn, Event, EventApi, JoinHandle, JoinResult, Runtime, Wake};
-pub use sim::{simulate, SimRuntime, SimStats};
+pub use sim::{set_quiet_panics, simulate, Choice, ScheduleHook, SimRuntime, SimStats};
 pub use time::{Dur, Time};
 pub use trace::{Span, Trace};

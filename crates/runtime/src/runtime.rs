@@ -166,6 +166,16 @@ pub trait Runtime: Send + Sync {
     /// True when running under virtual time. Workload code uses this to
     /// decide whether to charge modelled compute time or burn real CPU.
     fn is_simulated(&self) -> bool;
+
+    /// Declare an explorable schedule point labelled `tag`. A no-op (zero
+    /// cost, no blocking) everywhere except under a virtual-time runtime
+    /// with a [schedule hook](crate::SimRuntime::set_schedule_hook)
+    /// installed, where the calling actor's continuation becomes an
+    /// eligible event the exploration strategy can order against every
+    /// other pending event in the window. Protocol code sprinkles these at
+    /// decision points a model checker should control: shipping a
+    /// replication block, replaying a reconcile extent, firing a fault.
+    fn schedule_point(&self, _tag: &str) {}
 }
 
 /// Convenience: spawn with a closure instead of a boxed closure.

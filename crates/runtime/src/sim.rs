@@ -28,7 +28,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, Ordering as AtOrd};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering as AtOrd};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -38,6 +38,19 @@ use crate::time::{Dur, Time};
 
 thread_local! {
     static CURRENT_ACTOR: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// When set, the process-wide panic hook suppresses *all* actor panic
+/// output. Used by the model checker, whose exploration deliberately
+/// drives simulations into panics (deadlocks, violated invariants) and
+/// reports them as counterexamples instead.
+static QUIET_PANICS: AtomicBool = AtomicBool::new(false);
+
+/// Suppress (or restore) printing of actor panics process-wide. The model
+/// checker sets this while exploring schedules: a panicking interleaving
+/// is a *result* there, not a bug to dump backtraces for.
+pub fn set_quiet_panics(quiet: bool) {
+    QUIET_PANICS.store(quiet, AtOrd::SeqCst);
 }
 
 const SLOT_PENDING: u8 = 0;
@@ -54,6 +67,8 @@ struct ShutdownSignal;
 struct WaitSlot {
     state: AtomicU8,
     actor: u64,
+    /// Explicit [`Runtime::schedule_point`] label, if this wait is one.
+    tag: Option<Arc<str>>,
 }
 
 impl WaitSlot {
@@ -61,6 +76,15 @@ impl WaitSlot {
         Arc::new(WaitSlot {
             state: AtomicU8::new(SLOT_PENDING),
             actor,
+            tag: None,
+        })
+    }
+
+    fn tagged(actor: u64, tag: &str) -> Arc<WaitSlot> {
+        Arc::new(WaitSlot {
+            state: AtomicU8::new(SLOT_PENDING),
+            actor,
+            tag: Some(Arc::from(tag)),
         })
     }
 
@@ -93,6 +117,56 @@ impl Ord for TimerEntry {
     }
 }
 
+/// One eligible wake at a schedule choice point: a pending timer (or
+/// [`Runtime::schedule_point`] yield) the engine could fire next.
+#[derive(Clone, Debug)]
+pub struct Choice {
+    /// Name of the actor that would wake.
+    pub actor: String,
+    /// What the actor is blocked on (`"sleep"`, `"event wait (timeout)"`,
+    /// `"schedule point"`).
+    pub blocked_on: &'static str,
+    /// The virtual time the wake would happen at (its due time, or the
+    /// current instant if the event was already deferred past it).
+    pub at: Time,
+    /// Explicit label, when the wait is a tagged
+    /// [`Runtime::schedule_point`].
+    pub tag: Option<Arc<str>>,
+}
+
+impl Choice {
+    /// A short human-readable label for traces and taxonomy: the explicit
+    /// tag when present, otherwise `actor/blocked_on`.
+    pub fn label(&self) -> String {
+        match &self.tag {
+            Some(t) => t.to_string(),
+            None => format!("{}/{}", self.actor, self.blocked_on),
+        }
+    }
+}
+
+/// A pluggable scheduler for systematic exploration.
+///
+/// When installed via [`SimRuntime::set_schedule_hook`], the engine stops
+/// waking same-window timers all at once in timestamp order. Instead, at
+/// every instant where the clock must advance it collects *every* pending
+/// event due within `window` of the earliest one and asks the hook which
+/// to fire next; the chosen actor runs until it blocks again, then the
+/// remaining (still-eligible) events plus any newly due ones form the next
+/// choice point. Choosing index 0 always reproduces the default schedule:
+/// eligible events are presented sorted by `(effective time, arm order)`.
+///
+/// `choose` is called with the engine lock held: it must not call back
+/// into the runtime (no sleeps, spawns, or event ops) and should be a pure
+/// function of its arguments plus the hook's own bookkeeping.
+pub trait ScheduleHook: Send + Sync {
+    /// Pick which of `eligible` (always ≥ 2 entries) fires next, by index.
+    /// `fingerprint` hashes the engine state at this point (virtual time,
+    /// every actor's name and block reason, the pending eligible set) for
+    /// visited-state dedup.
+    fn choose(&self, now: Time, fingerprint: u64, eligible: &[Choice]) -> usize;
+}
+
 struct ActorInfo {
     name: String,
     /// True while the actor counts toward `runnable`.
@@ -122,6 +196,19 @@ struct EngineState {
     clock_advances: u64,
     max_actors: usize,
     timers_armed: u64,
+    /// Systematic-exploration scheduler, if installed. `None` keeps the
+    /// engine on the plain wake-everything-at-the-instant path.
+    hook: Option<Arc<dyn ScheduleHook>>,
+    /// Eligibility window (ns): pending events within this much of the
+    /// earliest one are presented together as one choice point.
+    hook_window: u64,
+    /// Events pulled into an eligible set but not yet fired (the hook
+    /// deferred them past their due time).
+    deferred: Vec<TimerEntry>,
+    /// Choice points faced (≥ 2 eligible events with a hook installed).
+    choice_points: u64,
+    /// Total alternatives across all choice points.
+    choice_alternatives: u64,
 }
 
 struct Engine {
@@ -157,39 +244,29 @@ impl Engine {
     /// Advance the clock while no actor is runnable. Must be called with the
     /// lock held, immediately after decrementing `runnable`.
     fn advance_locked(&self, st: &mut EngineState) {
+        match st.hook.clone() {
+            None => self.advance_plain_locked(st),
+            Some(hook) => self.advance_hooked_locked(st, &hook),
+        }
+        if st.actors.is_empty() {
+            // Simulation finished; release anyone in wait_done().
+            self.cond.notify_all();
+        }
+    }
+
+    /// The default schedule: jump to the earliest pending timer and wake
+    /// every waiter due at exactly that instant at once.
+    fn advance_plain_locked(&self, st: &mut EngineState) {
         while st.runnable == 0 && !st.actors.is_empty() {
             // Drop timers whose waiters were already woken by a signal.
             while st.timers.peek().map(|e| e.slot.is_woken()).unwrap_or(false) {
                 st.timers.pop();
             }
-            let Some(first) = st.timers.peek() else {
-                if st.actors.values().all(|a| a.daemon) {
-                    // Quiescence: only parked daemons remain. Unwind them
-                    // cleanly; the simulation is complete.
-                    let slots: Vec<_> = st.blocked_slots.values().cloned().collect();
-                    for s in slots {
-                        self.wake_locked(st, &s, SLOT_SHUTDOWN);
-                    }
-                    return;
-                }
-                let mut table = String::new();
-                let mut actors: Vec<_> = st.actors.iter().collect();
-                actors.sort_by_key(|(id, _)| **id);
-                for (id, a) in actors {
-                    table.push_str(&format!(
-                        "\n  actor #{id} {:?}: blocked on {}",
-                        a.name,
-                        a.blocked_on.unwrap_or("(exiting)")
-                    ));
-                }
-                let msg = format!(
-                    "simulation deadlock at {}: every actor is blocked and no timer is pending{table}",
-                    Time(st.now)
-                );
-                self.poison_locked(st, &msg);
-                panic!("{msg}");
-            };
-            let t = first.at;
+            if st.timers.peek().is_none() {
+                self.quiesce_or_deadlock_locked(st);
+                return;
+            }
+            let t = st.timers.peek().expect("checked above").at;
             debug_assert!(t >= st.now, "timer in the past");
             st.now = t;
             st.clock_advances += 1;
@@ -202,10 +279,116 @@ impl Engine {
                 self.wake_locked(st, &slot, SLOT_TIMEOUT);
             }
         }
-        if st.actors.is_empty() {
-            // Simulation finished; release anyone in wait_done().
-            self.cond.notify_all();
+    }
+
+    /// The exploration schedule: collect every pending event due within
+    /// `hook_window` of the earliest, let the [`ScheduleHook`] pick one,
+    /// fire only that, and re-collect when the woken actor blocks again.
+    /// Events the hook passes over stay eligible (they fire late, at the
+    /// chosen event's time) — that is exactly the delivery-order freedom a
+    /// message-level model checker explores.
+    fn advance_hooked_locked(&self, st: &mut EngineState, hook: &Arc<dyn ScheduleHook>) {
+        while st.runnable == 0 && !st.actors.is_empty() {
+            st.deferred.retain(|e| !e.slot.is_woken());
+            while st.timers.peek().map(|e| e.slot.is_woken()).unwrap_or(false) {
+                st.timers.pop();
+            }
+            if st.deferred.is_empty() && st.timers.peek().is_none() {
+                self.quiesce_or_deadlock_locked(st);
+                return;
+            }
+            // Earliest effective wake time over every pending event; a
+            // deferred event's due time may be in the past, in which case
+            // it would fire "now".
+            let heap_min = st.timers.peek().map(|e| e.at);
+            let def_min = st.deferred.iter().map(|e| e.at.max(st.now)).min();
+            let base = match (heap_min, def_min) {
+                (Some(h), Some(d)) => h.min(d),
+                (Some(h), None) => h,
+                (None, Some(d)) => d,
+                (None, None) => unreachable!("pending set checked non-empty"),
+            };
+            let cutoff = base.saturating_add(st.hook_window);
+            while let Some(e) = st.timers.peek() {
+                if e.slot.is_woken() {
+                    st.timers.pop();
+                    continue;
+                }
+                if e.at > cutoff {
+                    break;
+                }
+                let e = st.timers.pop().expect("peeked");
+                st.deferred.push(e);
+            }
+            // Deterministic presentation order: index 0 is always what the
+            // default schedule would fire next.
+            let now = st.now;
+            st.deferred.sort_by_key(|e| (e.at.max(now), e.seq));
+            let idx = if st.deferred.len() == 1 {
+                0
+            } else {
+                let eligible: Vec<Choice> = st
+                    .deferred
+                    .iter()
+                    .map(|e| {
+                        let info = st.actors.get(&e.slot.actor);
+                        Choice {
+                            actor: info.map(|a| a.name.clone()).unwrap_or_default(),
+                            blocked_on: info.and_then(|a| a.blocked_on).unwrap_or("(exiting)"),
+                            at: Time(e.at.max(now)),
+                            tag: e.slot.tag.clone(),
+                        }
+                    })
+                    .collect();
+                st.choice_points += 1;
+                st.choice_alternatives += eligible.len() as u64;
+                let fp = fingerprint_locked(st);
+                let i = hook.choose(Time(now), fp, &eligible);
+                assert!(
+                    i < eligible.len(),
+                    "ScheduleHook chose {i} of {} eligible events",
+                    eligible.len()
+                );
+                i
+            };
+            let e = st.deferred.remove(idx);
+            let t = e.at.max(st.now);
+            if t > st.now {
+                st.now = t;
+                st.clock_advances += 1;
+            }
+            self.wake_locked(st, &e.slot, SLOT_TIMEOUT);
         }
+    }
+
+    /// No pending event and nobody runnable: unwind cleanly if only parked
+    /// daemons remain, otherwise report the deadlock and poison.
+    fn quiesce_or_deadlock_locked(&self, st: &mut EngineState) {
+        if st.actors.values().all(|a| a.daemon) {
+            // Quiescence: only parked daemons remain. Unwind them
+            // cleanly; the simulation is complete.
+            let slots: Vec<_> = st.blocked_slots.values().cloned().collect();
+            for s in slots {
+                self.wake_locked(st, &s, SLOT_SHUTDOWN);
+            }
+            return;
+        }
+        let mut table = String::new();
+        let mut actors: Vec<_> = st.actors.iter().collect();
+        actors.sort_by_key(|(id, _)| **id);
+        for (id, a) in actors {
+            table.push_str(&format!(
+                "\n  actor #{id} {:?}: blocked on {}",
+                a.name,
+                a.blocked_on.unwrap_or("(exiting)")
+            ));
+        }
+        let msg = format!(
+            "simulation deadlock at {}: every actor is blocked and no timer is pending{table}",
+            Time(st.now)
+        );
+        self.poison_locked(st, &msg);
+        panic!("{msg}");
     }
 
     fn poison_locked(&self, st: &mut EngineState, cause: &str) {
@@ -269,6 +452,19 @@ impl Engine {
         st.timers.push(TimerEntry { at, seq, slot });
     }
 
+    fn schedule_point(&self, tag: &str) {
+        let mut st = self.state.lock();
+        // Without a hook this is free: no timer, no serialization, the
+        // default path stays bit-identical.
+        if st.hook.is_none() {
+            return;
+        }
+        let slot = WaitSlot::tagged(self.current_actor(), tag);
+        let at = st.now;
+        self.push_timer_locked(&mut st, at, slot.clone());
+        self.block_locked(&mut st, &slot, "schedule point");
+    }
+
     fn actor_exit(&self, id: u64) {
         let mut st = self.state.lock();
         if let Some(info) = st.actors.remove(&id) {
@@ -293,6 +489,55 @@ pub struct SimStats {
     /// Timers armed over the run (sleeps plus timed waits); a proxy for how
     /// often actors re-armed completion timers after rate changes.
     pub timers_armed: u64,
+    /// Scheduler choice points faced: instants where an installed
+    /// [`ScheduleHook`] saw ≥ 2 eligible events. Always 0 on the default
+    /// schedule (no hook), where simultaneity is resolved in arm order.
+    pub choice_points: u64,
+    /// Total eligible alternatives summed over all choice points — the
+    /// exploration fan-out a model checker would face on this run.
+    pub choice_alternatives: u64,
+}
+
+/// Hash the schedulable state of the engine: the instant, every actor's
+/// name / runnability / block reason (as an order-independent multiset),
+/// and the pending eligible set. Two runs that reach the same fingerprint
+/// at a choice point are (to this abstraction) in the same state, so a
+/// model checker can prune the repeat subtree.
+fn fingerprint_locked(st: &EngineState) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut actors: Vec<(&str, bool, &str, bool)> = st
+        .actors
+        .values()
+        .map(|a| {
+            (
+                a.name.as_str(),
+                a.counted,
+                a.blocked_on.unwrap_or("(exiting)"),
+                a.daemon,
+            )
+        })
+        .collect();
+    actors.sort_unstable();
+    let mut pending: Vec<(u64, &str)> = st
+        .deferred
+        .iter()
+        .map(|e| {
+            let label: &str = match &e.slot.tag {
+                Some(t) => t,
+                None => "",
+            };
+            (e.at.max(st.now) - st.now, label)
+        })
+        .collect();
+    pending.sort_unstable();
+    // Unkeyed DefaultHasher: deterministic across runs and processes (the
+    // ShardMap / pool route-key idiom).
+    let mut h = DefaultHasher::new();
+    st.now.hash(&mut h);
+    actors.hash(&mut h);
+    pending.hash(&mut h);
+    h.finish()
 }
 
 /// The virtual-time [`Runtime`]. See the module docs for the model.
@@ -316,9 +561,13 @@ impl SimRuntime {
         QUIET_SHUTDOWN.call_once(|| {
             let prev = std::panic::take_hook();
             std::panic::set_hook(Box::new(move |info| {
-                if info.payload().downcast_ref::<ShutdownSignal>().is_none() {
-                    prev(info);
+                if info.payload().downcast_ref::<ShutdownSignal>().is_some() {
+                    return;
                 }
+                if QUIET_PANICS.load(AtOrd::SeqCst) {
+                    return; // the model checker treats panics as results
+                }
+                prev(info);
             }));
         });
         SimRuntime {
@@ -375,7 +624,21 @@ impl SimRuntime {
             clock_advances: st.clock_advances,
             max_actors: st.max_actors,
             timers_armed: st.timers_armed,
+            choice_points: st.choice_points,
+            choice_alternatives: st.choice_alternatives,
         }
+    }
+
+    /// Install a [`ScheduleHook`] for systematic exploration. `window` is
+    /// the eligibility window: pending events due within `window` of the
+    /// earliest one are presented together as one choice point, so the
+    /// hook can reorder (delay) nearby events against each other. Install
+    /// before spawning the workload; a window of zero still serializes
+    /// exactly-simultaneous wakes through the hook.
+    pub fn set_schedule_hook(&self, hook: Arc<dyn ScheduleHook>, window: Dur) {
+        let mut st = self.eng.state.lock();
+        st.hook = Some(hook);
+        st.hook_window = window.as_nanos();
     }
 }
 
@@ -423,6 +686,10 @@ impl Runtime for SimRuntime {
 
     fn is_simulated(&self) -> bool {
         true
+    }
+
+    fn schedule_point(&self, tag: &str) {
+        self.eng.schedule_point(tag);
     }
 }
 
@@ -830,5 +1097,142 @@ mod tests {
             rt.sleep(Dur::ZERO);
             assert_eq!(rt.now(), Time::ZERO);
         });
+    }
+
+    /// Always pick the default (earliest) eligible event.
+    struct PickFirst;
+    impl ScheduleHook for PickFirst {
+        fn choose(&self, _now: Time, _fp: u64, _eligible: &[Choice]) -> usize {
+            0
+        }
+    }
+
+    /// Always defer as long as possible: pick the last eligible event.
+    struct PickLast;
+    impl ScheduleHook for PickLast {
+        fn choose(&self, _now: Time, _fp: u64, eligible: &[Choice]) -> usize {
+            eligible.len() - 1
+        }
+    }
+
+    fn ordered_sleepers(
+        hook: Option<(Arc<dyn ScheduleHook>, Dur)>,
+        delays_us: Vec<u64>,
+    ) -> (Vec<(usize, u64)>, SimStats) {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o2 = order.clone();
+        let sim = SimRuntime::new();
+        if let Some((h, w)) = hook {
+            sim.set_schedule_hook(h, w);
+        }
+        sim.run_root(move |rt| {
+            let mut hs = Vec::new();
+            for (i, us) in delays_us.into_iter().enumerate() {
+                let rt2 = rt.clone();
+                let o = o2.clone();
+                hs.push(spawn(&rt, &format!("s{i}"), move || {
+                    rt2.sleep(Dur::from_micros(us));
+                    o.lock().push((i, rt2.now().as_nanos()));
+                }));
+            }
+            for h in hs {
+                h.join_unwrap();
+            }
+        });
+        let stats = sim.stats();
+        let got = order.lock().clone();
+        (got, stats)
+    }
+
+    #[test]
+    fn hook_default_choice_reproduces_plain_order() {
+        let (plain, pstats) = ordered_sleepers(None, vec![30, 10, 10, 20]);
+        let (hooked, hstats) =
+            ordered_sleepers(Some((Arc::new(PickFirst), Dur::ZERO)), vec![30, 10, 10, 20]);
+        assert_eq!(
+            plain, hooked,
+            "picking index 0 must be the default schedule"
+        );
+        assert_eq!(pstats.choice_points, 0, "no hook, no choice points");
+        // The two 10µs sleepers collide at one instant: one choice point
+        // with two alternatives.
+        assert_eq!(hstats.choice_points, 1);
+        assert_eq!(hstats.choice_alternatives, 2);
+    }
+
+    #[test]
+    fn hook_can_defer_events_within_the_window() {
+        // 10µs and 12µs sleeps, 5µs window: both eligible together, and
+        // PickLast fires the 12µs one first; the deferred 10µs event then
+        // fires late, at t=12µs.
+        let (got, stats) = ordered_sleepers(
+            Some((Arc::new(PickLast), Dur::from_micros(5))),
+            vec![10, 12],
+        );
+        assert_eq!(
+            got,
+            vec![
+                (1, Dur::from_micros(12).as_nanos()),
+                (0, Dur::from_micros(12).as_nanos()),
+            ],
+            "the passed-over event must fire late, not never"
+        );
+        assert!(stats.choice_points >= 1);
+    }
+
+    #[test]
+    fn hook_window_excludes_far_events() {
+        // 10µs and 200µs sleeps, 5µs window: never simultaneous, so even
+        // PickLast cannot reorder them.
+        let (got, stats) = ordered_sleepers(
+            Some((Arc::new(PickLast), Dur::from_micros(5))),
+            vec![10, 200],
+        );
+        assert_eq!(
+            got.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![0, 1],
+            "events outside the window keep their order"
+        );
+        assert_eq!(stats.choice_points, 0);
+    }
+
+    #[test]
+    fn schedule_point_is_free_without_hook() {
+        let sim = SimRuntime::new();
+        let end = sim.run_root(|rt| {
+            rt.schedule_point("noop");
+            rt.now()
+        });
+        assert_eq!(end, Time::ZERO);
+        assert_eq!(sim.stats().timers_armed, 0, "no hook, no timer");
+    }
+
+    #[test]
+    fn schedule_point_is_explorable_under_a_hook() {
+        // Two actors each pass a tagged schedule point "at the same time";
+        // PickLast reverses their continuation order.
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o2 = order.clone();
+        let sim = SimRuntime::new();
+        sim.set_schedule_hook(Arc::new(PickLast), Dur::from_micros(5));
+        sim.run_root(move |rt| {
+            let mut hs = Vec::new();
+            for i in 0..2 {
+                let rt2 = rt.clone();
+                let o = o2.clone();
+                hs.push(spawn(&rt, &format!("p{i}"), move || {
+                    rt2.sleep(Dur::from_micros(10));
+                    rt2.schedule_point(&format!("point-{i}"));
+                    o.lock().push(i);
+                }));
+            }
+            for h in hs {
+                h.join_unwrap();
+            }
+        });
+        // PickLast fires sleeper 1 first; its schedule point re-enters the
+        // eligible set against sleeper 0's wake, and PickLast keeps
+        // deferring the earliest — actor 1 finishes first.
+        assert_eq!(*order.lock(), vec![1, 0]);
     }
 }

@@ -233,6 +233,9 @@ impl Replicator {
         let mut off = job.offset;
         while off < end {
             let len = REPL_BLOCK.min(end - off);
+            // Under a schedule hook, when to ship each block (relative to
+            // faults and reconcile replay) is an explorable choice.
+            self.rt.schedule_point("replicator/ship-block");
             // Read once; the block is retained in memory until the replica
             // acks it, so a failed ship replays the exact same bytes.
             let data = self.primary.vault().read(rec.obj_id, off, len);

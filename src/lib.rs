@@ -14,7 +14,8 @@
 //! * [`semplar`] — the paper's library: MPI-IO-style API, async engine,
 //!   multi-stream striping, compression pipeline;
 //! * [`clusters`] — DAS-2 / OSC / TG-NCSA testbed models;
-//! * [`workloads`] — the paper's benchmarks.
+//! * [`workloads`] — the paper's benchmarks;
+//! * [`mc`] — the bounded model checker for recovery/replication.
 
 #![warn(missing_docs)]
 
@@ -22,6 +23,7 @@ pub use semplar;
 pub use semplar_clusters as clusters;
 pub use semplar_compress as compress;
 pub use semplar_faults as faults;
+pub use semplar_mc as mc;
 pub use semplar_mpi as mpi;
 pub use semplar_netsim as netsim;
 pub use semplar_runtime as runtime;
