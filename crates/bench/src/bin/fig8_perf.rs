@@ -75,5 +75,13 @@ fn main() {
             sim_stats.choice_points,
             sim_stats.choice_alternatives,
         );
+        println!(
+            "{name}: engine — {} thread actors spawned (peak {}), \
+             {} event-driven tasks spawned (peak {})",
+            sim_stats.actors_spawned,
+            sim_stats.peak_live_actors,
+            sim_stats.tasks_spawned,
+            sim_stats.peak_live_tasks,
+        );
     }
 }

@@ -30,6 +30,7 @@ fn main() {
         max_executions,
         prune_visited: true,
         stop_on_violation: false,
+        por: false,
     };
     let report = explore(&scenario, &cfg);
 

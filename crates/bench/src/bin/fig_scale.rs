@@ -2,17 +2,83 @@
 //! per-open connections (paper-faithful, one TCP stream per open) vs the
 //! shared multiplexed pool (`PoolPolicy::Shared`).
 //!
-//! The run is entirely in virtual time and fault-free, so the output is
-//! bit-identical across invocations — CI diffs the `--quick` variant
-//! against `results/fig_scale_quick.txt`.
+//! `--actors` switches to the event-driven client substrate: sessions are
+//! poll-style tasks on one executor instead of thread actors, which
+//! pushes the axis to 10⁵ clients (`results/fig_scale_actors*.txt`).
+//!
+//! Either way the run is entirely in virtual time and fault-free, so the
+//! output is bit-identical across invocations — CI diffs the `--quick`
+//! variants against `results/fig_scale_quick.txt` and
+//! `results/fig_scale_actors_quick.txt`.
 
-use semplar_bench::{fig_scale, Table};
+use semplar_bench::{fig_scale, fig_scale_actors, Table};
 use semplar_clusters::das2;
+use semplar_runtime::Dur;
 use semplar_srb::PoolPolicy;
+
+fn run_actors(quick: bool, nodes: usize) {
+    let bytes = 64 * 1024u64;
+    let scales: &[usize] = if quick { &[2_000] } else { &[10_000, 100_000] };
+    let mut t = Table::new(
+        &format!(
+            "Actor-mode scale-out (das2): {nodes} nodes, per-client {} KiB write, event-driven sessions",
+            bytes >> 10
+        ),
+        &[
+            "clients",
+            "policy",
+            "conns accepted",
+            "completed",
+            "span s",
+            "aggregate Mb/s",
+        ],
+    );
+    let mut engine_lines = Vec::new();
+    for &clients in scales {
+        let r = fig_scale_actors(
+            das2(),
+            nodes,
+            clients,
+            bytes,
+            8,
+            64,
+            Dur::from_micros(500),
+            42,
+        );
+        eprintln!(
+            "fig_scale --actors: {} clients: {} conns, {}/{} completed, {:.1} Mb/s",
+            r.clients, r.connections, r.completed, r.clients, r.mbps
+        );
+        engine_lines.push(format!(
+            "{} clients: engine — {} thread actors spawned (peak {}), {} tasks spawned (peak {}), {} clock advances",
+            r.clients,
+            r.sim.actors_spawned,
+            r.sim.peak_live_actors,
+            r.sim.tasks_spawned,
+            r.sim.peak_live_tasks,
+            r.sim.clock_advances,
+        ));
+        t.row(vec![
+            r.clients.to_string(),
+            r.policy.clone(),
+            r.connections.to_string(),
+            r.completed.to_string(),
+            format!("{:.3}", r.secs),
+            format!("{:.1}", r.mbps),
+        ]);
+    }
+    t.print();
+    for l in engine_lines {
+        println!("{l}");
+    }
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let nodes = 16;
+    if std::env::args().any(|a| a == "--actors") {
+        return run_actors(quick, nodes);
+    }
     let bytes = 256 * 1024u64;
     let shared = PoolPolicy::Shared {
         max_streams: 4,

@@ -28,12 +28,13 @@ use semplar_netsim::{Bw, NetStats, Network};
 use semplar_runtime::sync::Barrier;
 use semplar_runtime::{spawn, Dur, SimRuntime, SimStats};
 use semplar_srb::{
-    ConnRoute, PoolPolicy, ReplStats, Replicator, RetryPolicy, SrbServer, SrbServerCfg,
+    ConnRoute, PoolPolicy, ReplStats, Replicator, RetryPolicy, SrbServer, SrbServerCfg, TenantId,
+    TenantScheduler,
 };
 use semplar_workloads::{
-    estgen, run_blast, run_collective, run_compress, run_laplace, run_perf, BlastParams,
+    estgen, run_blast, run_collective, run_compress, run_laplace, run_perf, run_swarm, BlastParams,
     CollectiveMode, CollectiveParams, CollectiveReport, CompressMode, CompressParams, LaplaceMode,
-    LaplaceParams, PerfParams,
+    LaplaceParams, OpShape, PerfParams, SwarmMode, SwarmParams, TenantMix,
 };
 
 pub mod table;
@@ -853,6 +854,234 @@ pub fn fig_scale(
         secs,
         mbps: (clients as u64 * bytes) as f64 * 8.0 / 1e6 / secs,
     }
+}
+
+/// One row of the actor-mode scale experiment: the same many-clients /
+/// one-server shape as [`fig_scale`], but every client session is an
+/// event-driven [`Task`](semplar_runtime::Task) on one executor instead
+/// of a thread actor, which is what lets the axis reach 10⁵ clients.
+#[derive(Clone, Debug)]
+pub struct ActorScaleRow {
+    /// Client sessions driven as event-driven tasks.
+    pub clients: usize,
+    /// Pool policy label (`shared(SxI)`).
+    pub policy: String,
+    /// Cumulative TCP connections the server accepted over the run.
+    pub connections: u64,
+    /// Sessions that completed their full open → write → close sequence.
+    pub completed: usize,
+    /// Virtual seconds from first arrival to last completion.
+    pub secs: f64,
+    /// Aggregate client bandwidth over the run, Mb/s.
+    pub mbps: f64,
+    /// Engine counters: thread actors vs event-driven tasks, separately.
+    pub sim: SimStats,
+}
+
+/// Actor-mode scale-out: `clients` sessions arrive open-loop (heavy-tailed
+/// gaps around `mean_gap`, seeded), each opens its own object over the
+/// node's shared pool, writes `bytes`, closes, and retires its session —
+/// all as poll-style tasks on a single executor, so the OS-thread
+/// footprint is the node count plus the pool daemons, not the client
+/// count.
+#[allow(clippy::too_many_arguments)]
+pub fn fig_scale_actors(
+    spec: ClusterSpec,
+    nodes: usize,
+    clients: usize,
+    bytes: u64,
+    max_streams: usize,
+    max_inflight: usize,
+    mean_gap: Dur,
+    seed: u64,
+) -> ActorScaleRow {
+    let ((completed, connections, secs), sim) = with_testbed_stats(spec, nodes, move |tb| {
+        let params = SwarmParams {
+            clients,
+            streams_per_node: max_streams,
+            inflight_per_stream: max_inflight,
+            mix: TenantMix::single(TenantId(1)),
+            writes: 1,
+            reads: 0,
+            bytes_per_op: bytes,
+            mean_gap,
+            think: Dur::ZERO,
+            seed,
+            real_payload: false,
+            mode: SwarmMode::Tasks,
+            coll: "/scale".into(),
+            abuse: None,
+            per_tenant_streams: false,
+        };
+        let report = run_swarm(&tb, &params);
+        (
+            report.completed(),
+            tb.server.stats().connections,
+            report.secs,
+        )
+    });
+    ActorScaleRow {
+        clients,
+        policy: format!("shared({max_streams}x{max_inflight})"),
+        connections,
+        completed,
+        secs,
+        mbps: (clients as u64 * bytes) as f64 * 8.0 / 1e6 / secs,
+        sim,
+    }
+}
+
+/// One arm of the multi-tenant fairness experiment.
+#[derive(Clone, Debug)]
+pub struct TenantArm {
+    /// Arm label (`fair/drr`, `abusive/fifo`, `abusive/drr`).
+    pub label: String,
+    /// Virtual seconds from first arrival to last completion.
+    pub secs: f64,
+    /// Per tenant: id, session count, p99 session goodput in Mb/s (the
+    /// slowest-1 % boundary of per-session application goodput).
+    pub tenants: Vec<(u32, usize, f64)>,
+    /// Engine counters for the arm's simulation.
+    pub sim: SimStats,
+}
+
+impl TenantArm {
+    /// p99 goodput of tenant `id`, Mb/s.
+    pub fn p99(&self, id: u32) -> f64 {
+        self.tenants
+            .iter()
+            .find(|&&(t, _, _)| t == id)
+            .map(|&(_, _, g)| g)
+            .expect("tenant present")
+    }
+}
+
+/// The tenant the abusive arms hand the oversized shape to.
+pub const ABUSIVE_TENANT: u32 = 9;
+
+/// DRR quantum for the tenant arms: bytes of service credit per
+/// round-robin visit. At 64 KiB a well-behaved 16 KiB op glides through
+/// in one visit while an abusive 256 KiB op must accumulate four.
+const TENANT_QUANTUM: u64 = 64 << 10;
+/// Concurrent service slots the DRR gate grants. Sized so the gate is not
+/// the bottleneck at the fair arrival rate (a slot is held across the
+/// response's WAN delivery, ~1 RTT/2 on das2) and only bites when a
+/// backlogged tenant tries to monopolise the stage.
+const TENANT_WIDTH: usize = 48;
+
+/// One arm of `fig_tenants` in a fresh simulation: four well-behaved
+/// tenants (2 × 16 KiB writes + 1 read per session) plus tenant
+/// [`ABUSIVE_TENANT`], which in the abusive arms blasts 8 × 256 KiB
+/// writes per session instead.
+///
+/// `tenant_aware = false` is the legacy deployment: every tenant's
+/// sessions multiplex over one shared pool per node, FIFO service — an
+/// abusive request parks every session behind it on its stream (§HoL).
+/// `tenant_aware = true` is the refactored stack: each tenant dials its
+/// own pooled streams (separate user communities) and the server installs
+/// the per-tenant DRR gate, so abuse is confined to the abuser's own
+/// streams and byte share.
+pub fn fig_tenants_arm(
+    spec: ClusterSpec,
+    nodes: usize,
+    clients: usize,
+    mean_gap: Dur,
+    seed: u64,
+    abusive: bool,
+    tenant_aware: bool,
+) -> TenantArm {
+    let label = format!(
+        "{}/{}",
+        if abusive { "abusive" } else { "fair" },
+        if tenant_aware { "drr" } else { "fifo" }
+    );
+    let ((tenants, secs), sim) = with_testbed_stats(spec, nodes, move |tb| {
+        if tenant_aware {
+            tb.server.set_tenant_scheduler(TenantScheduler::new(
+                &tb.rt,
+                TENANT_QUANTUM,
+                TENANT_WIDTH,
+            ));
+        }
+        let params = SwarmParams {
+            clients,
+            // Comparable aggregate stream budget per node either way: seven
+            // shared streams, or two per tenant across the five tenants.
+            // Seven is deliberate: clients sharing a pooled connection are
+            // `i, i + nodes*streams, ...`, so the legacy arms only mix
+            // tenants on a stream when `nodes * streams` is not a multiple
+            // of the tenant cycle (8 × 7 = 56 ≡ 1 mod 5). A multiple (say
+            // ten streams) would silently partition the "shared" pool by
+            // tenant and hide the head-of-line damage this arm measures.
+            streams_per_node: if tenant_aware { 2 } else { 7 },
+            inflight_per_stream: 8,
+            mix: TenantMix::new(&[
+                (TenantId(1), 1),
+                (TenantId(2), 1),
+                (TenantId(3), 1),
+                (TenantId(4), 1),
+                (TenantId(ABUSIVE_TENANT), 1),
+            ]),
+            writes: 2,
+            reads: 1,
+            bytes_per_op: 16 << 10,
+            mean_gap,
+            think: Dur::ZERO,
+            seed,
+            real_payload: false,
+            mode: SwarmMode::Tasks,
+            coll: "/tenants".into(),
+            abuse: abusive.then_some((
+                TenantId(ABUSIVE_TENANT),
+                OpShape {
+                    writes: 8,
+                    reads: 0,
+                    bytes_per_op: 256 << 10,
+                },
+            )),
+            per_tenant_streams: tenant_aware,
+        };
+        let report = run_swarm(&tb, &params);
+        assert_eq!(report.completed(), clients, "incomplete tenant swarm");
+        let mut sessions: std::collections::BTreeMap<u32, usize> = Default::default();
+        for o in &report.outcomes {
+            *sessions.entry(o.tenant.0).or_insert(0) += 1;
+        }
+        let tenants: Vec<(u32, usize, f64)> = report
+            .p99_goodput_by_tenant()
+            .into_iter()
+            .map(|(t, bps)| (t.0, sessions[&t.0], bps / 1e6))
+            .collect();
+        (tenants, report.secs)
+    });
+    TenantArm {
+        label,
+        secs,
+        tenants,
+        sim,
+    }
+}
+
+/// The multi-tenant fairness experiment, four arms over identical seeded
+/// arrivals: fair and abusive on the legacy shared-stream FIFO server,
+/// fair and abusive on the tenant-aware stack (per-tenant streams + DRR
+/// gate). The figure's claim is that with one abusive tenant the legacy
+/// deployment collapses every tenant's p99 goodput, while on the
+/// tenant-aware stack every non-abusive tenant stays within 10 % of its
+/// all-fair baseline.
+pub fn fig_tenants(
+    spec: ClusterSpec,
+    nodes: usize,
+    clients: usize,
+    mean_gap: Dur,
+    seed: u64,
+) -> Vec<TenantArm> {
+    vec![
+        fig_tenants_arm(spec.clone(), nodes, clients, mean_gap, seed, false, false),
+        fig_tenants_arm(spec.clone(), nodes, clients, mean_gap, seed, true, false),
+        fig_tenants_arm(spec.clone(), nodes, clients, mean_gap, seed, false, true),
+        fig_tenants_arm(spec, nodes, clients, mean_gap, seed, true, true),
+    ]
 }
 
 /// Result of the degraded-link striping experiment: one striped write with

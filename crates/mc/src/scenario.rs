@@ -46,6 +46,21 @@ pub trait Scenario: Send + Sync {
     /// Execute one schedule from scratch. `Ok(())` means every invariant
     /// held; `Err` carries the violation message.
     fn run(&self, hook: Arc<ScriptHook>) -> Result<(), String>;
+
+    /// The partial-order-reduction oracle: do the events labelled `a` and
+    /// `b` **commute** — read and write fully disjoint state, so that
+    /// firing them in either order reaches the same state?
+    ///
+    /// When [`ExploreCfg::por`](crate::ExploreCfg) is set, the explorer
+    /// skips expanding an alternative that commutes with the event the
+    /// default schedule took at the same point: the swapped interleaving
+    /// is a transposition of one already in the explored subtree. The
+    /// default says nothing commutes, which disables the reduction —
+    /// override it only for label pairs where disjointness is a protocol
+    /// guarantee, because a wrong `true` here silently unsouds the search.
+    fn commutes(&self, _a: &str, _b: &str) -> bool {
+        false
+    }
 }
 
 /// A deliberately broken invariant, used to prove the counterexample
@@ -101,6 +116,12 @@ pub struct FederationScenario {
     /// Eligibility window handed to the schedule hook: pending events
     /// within this span of the earliest one become one choice point.
     pub window: Dur,
+    /// When set, a **second** fault plan crashes the *other* shard's
+    /// primary at the given (start, down-for) — overlapping the first
+    /// outage, so for a stretch every shard is serving from its replica
+    /// at once. The invariants are unchanged: acked bytes survive, both
+    /// pairs reconverge.
+    pub second_crash: Option<(Dur, Dur)>,
     /// Optional deliberately broken invariant.
     pub broken: Option<BrokenInvariant>,
 }
@@ -120,7 +141,19 @@ impl FederationScenario {
             crash_at: Dur::from_millis(100),
             crash_down_for: Dur::from_millis(150),
             window: Dur::from_millis(5),
+            second_crash: None,
             broken: None,
+        }
+    }
+
+    /// [`FederationScenario::quick`] plus an overlapping crash of the
+    /// *second* shard's primary: shard 0 is down 100–250 ms, shard 1 is
+    /// down 140–290 ms, so from 140 ms to 250 ms **no** primary is up and
+    /// every operation in the namespace is running on replicas.
+    pub fn double_crash(seed: u64) -> FederationScenario {
+        FederationScenario {
+            second_crash: Some((Dur::from_millis(140), Dur::from_millis(150))),
+            ..FederationScenario::quick(seed)
         }
     }
 
@@ -218,9 +251,20 @@ impl FederationScenario {
         fed.mk_coll_all("/fed")
             .map_err(|e| format!("mk /fed: {e:?}"))?;
         let paths: Vec<String> = (0..self.files).map(|i| format!("/fed/data{i}")).collect();
-        let inj = FaultPlan::new(self.seed)
+        let first_shard = fed.shard_of(&paths[0]);
+        let mut injectors = vec![FaultPlan::new(self.seed)
             .server_crash_at(self.crash_at, self.crash_down_for)
-            .inject(&rt, &net, &primaries[fed.shard_of(&paths[0])]);
+            .inject(&rt, &net, &primaries[first_shard])];
+        if let Some((at, down_for)) = self.second_crash {
+            // The overlapping outage lands on the *other* pair's primary.
+            let other = (first_shard + 1) % self.shards;
+            injectors.push(
+                FaultPlan::new(self.seed ^ 0xd0b1e)
+                    .server_crash_at(at, down_for)
+                    .inject(&rt, &net, &primaries[other]),
+            );
+        }
+        let inj = &injectors[0];
 
         let mut handles: Vec<Box<dyn AdioFile>> = Vec::with_capacity(paths.len());
         for p in &paths {
@@ -272,9 +316,9 @@ impl FederationScenario {
         for mut h in handles {
             h.close().map_err(|e| format!("close: {e:?}"))?;
         }
-        // The injector must finish (crash + restart) in bounded time.
+        // Every injector must finish (crash + restart) in bounded time.
         let mut waited = 0;
-        while !inj.done() {
+        while injectors.iter().any(|i| !i.done()) {
             waited += 1;
             if waited > 600 {
                 return Err("fault injector stalled".to_string());
@@ -353,11 +397,26 @@ impl FederationScenario {
 
 impl Scenario for FederationScenario {
     fn name(&self) -> &str {
-        "federation-crash"
+        if self.second_crash.is_some() {
+            "federation-double-crash"
+        } else {
+            "federation-crash"
+        }
     }
 
     fn run(&self, hook: Arc<ScriptHook>) -> Result<(), String> {
         self.observe(Some(hook)).map(|_| ())
+    }
+
+    /// Two `replicator/ship-block` events eligible at the same point are
+    /// necessarily **different shards'** replicator daemons (one actor
+    /// blocks at most once), and each ships a block into its own
+    /// replica's vault and its own divergence ledger — fully disjoint
+    /// state, so the pair commutes. Everything else (crash injection,
+    /// reconcile resumption, workload timers) shares state with its
+    /// neighbours and stays ordered.
+    fn commutes(&self, a: &str, b: &str) -> bool {
+        a == "replicator/ship-block" && b == "replicator/ship-block"
     }
 }
 
@@ -391,6 +450,34 @@ mod tests {
             plain, hooked,
             "the default-schedule strategy must reproduce the stock engine"
         );
+    }
+
+    #[test]
+    fn double_crash_upholds_every_invariant() {
+        let sc = FederationScenario::double_crash(7);
+        let obs = sc
+            .observe(Some(ScriptHook::default_schedule()))
+            .expect("double-crash run");
+        assert!(obs.failovers > 0, "neither outage forced a failover");
+        assert!(obs.reconciled_bytes > 0, "nothing was reconciled");
+        // Both pairs reconverged: the checksum loop inside the run already
+        // proved every sum matches the written pattern.
+        assert_eq!(obs.primary_sums, obs.replica_sums);
+    }
+
+    #[test]
+    fn double_crash_exploration_finds_no_violations() {
+        let report = explore(
+            &FederationScenario::double_crash(7),
+            &ExploreCfg {
+                depth: 3,
+                max_executions: 10,
+                por: true,
+                ..ExploreCfg::default()
+            },
+        );
+        assert!(report.executions >= 4, "scenario exposed too few schedules");
+        assert_eq!(report.violations, 0, "{:?}", report.counterexample);
     }
 
     #[test]

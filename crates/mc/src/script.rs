@@ -25,6 +25,11 @@ pub struct ChoiceRecord {
     /// Human-readable label of the chosen event (schedule-point tag, or
     /// `actor/reason` for plain timers).
     pub label: String,
+    /// Labels of **every** eligible event at this point, in engine order
+    /// (`eligible[chosen] == label`). The explorer's partial-order
+    /// reduction consults these to decide whether an unexplored
+    /// alternative commutes with the event the default schedule took.
+    pub eligible: Vec<String>,
 }
 
 /// A [`ScheduleHook`] that follows a scripted prefix of choice indices,
@@ -68,6 +73,7 @@ impl ScheduleHook for ScriptHook {
             chosen,
             fingerprint,
             label: eligible[chosen].label(),
+            eligible: eligible.iter().map(Choice::label).collect(),
         });
         chosen
     }
@@ -104,6 +110,7 @@ mod tests {
         assert_eq!(recs[0].alternatives, 3);
         assert_eq!(recs[0].fingerprint, 11);
         assert_eq!(recs[0].label, "b/sleep");
+        assert_eq!(recs[0].eligible, ["a/sleep", "b/sleep", "c/sleep"]);
         assert_eq!(recs[1].chosen, 2);
         assert_eq!(recs[2].chosen, 0);
     }

@@ -28,11 +28,13 @@ mod real;
 mod runtime;
 mod sim;
 pub mod sync;
+pub mod task;
 mod time;
 pub mod trace;
 
 pub use real::RealRuntime;
 pub use runtime::{spawn, Event, EventApi, JoinHandle, JoinResult, Runtime, Wake};
 pub use sim::{set_quiet_panics, simulate, Choice, ScheduleHook, SimRuntime, SimStats};
+pub use task::{Gate, Task, TaskCtx, TaskExecutor, TaskHandle, TaskStats, TaskStep, Waker};
 pub use time::{Dur, Time};
 pub use trace::{Span, Trace};

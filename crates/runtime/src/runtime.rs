@@ -176,6 +176,15 @@ pub trait Runtime: Send + Sync {
     /// decision points a model checker should control: shipping a
     /// replication block, replaying a reconcile extent, firing a fault.
     fn schedule_point(&self, _tag: &str) {}
+
+    /// Bookkeeping hook: an event-driven [`Task`](crate::task::Task) was
+    /// spawned on an executor bound to this runtime. Default no-op; the
+    /// virtual-time runtime counts tasks separately from thread actors in
+    /// [`SimStats`](crate::SimStats).
+    fn task_spawned(&self) {}
+
+    /// Bookkeeping hook: an event-driven task completed. Default no-op.
+    fn task_finished(&self) {}
 }
 
 /// Convenience: spawn with a closure instead of a boxed closure.

@@ -196,6 +196,14 @@ struct EngineState {
     clock_advances: u64,
     max_actors: usize,
     timers_armed: u64,
+    /// Thread actors ever spawned (root + spawn + spawn_daemon).
+    actors_spawned: u64,
+    /// Event-driven tasks ever reported via [`Runtime::task_spawned`].
+    tasks_spawned: u64,
+    /// Currently live event-driven tasks.
+    live_tasks: usize,
+    /// Largest number of simultaneously live event-driven tasks.
+    peak_live_tasks: usize,
     /// Systematic-exploration scheduler, if installed. `None` keeps the
     /// engine on the plain wake-everything-at-the-instant path.
     hook: Option<Arc<dyn ScheduleHook>>,
@@ -486,6 +494,18 @@ pub struct SimStats {
     pub clock_advances: u64,
     /// The largest number of concurrently registered actors.
     pub max_actors: usize,
+    /// Thread actors ever spawned over the run — every one of these cost
+    /// a real OS thread.
+    pub actors_spawned: u64,
+    /// The largest number of simultaneously live thread actors (alias of
+    /// `max_actors`, named for symmetry with `peak_live_tasks`).
+    pub peak_live_actors: usize,
+    /// Event-driven tasks ever spawned on
+    /// [`TaskExecutor`](crate::task::TaskExecutor)s bound to this runtime —
+    /// these cost a state machine, not a thread.
+    pub tasks_spawned: u64,
+    /// The largest number of simultaneously live event-driven tasks.
+    pub peak_live_tasks: usize,
     /// Timers armed over the run (sleeps plus timed waits); a proxy for how
     /// often actors re-armed completion timers after rate changes.
     pub timers_armed: u64,
@@ -623,6 +643,10 @@ impl SimRuntime {
         SimStats {
             clock_advances: st.clock_advances,
             max_actors: st.max_actors,
+            actors_spawned: st.actors_spawned,
+            peak_live_actors: st.max_actors,
+            tasks_spawned: st.tasks_spawned,
+            peak_live_tasks: st.peak_live_tasks,
             timers_armed: st.timers_armed,
             choice_points: st.choice_points,
             choice_alternatives: st.choice_alternatives,
@@ -691,6 +715,18 @@ impl Runtime for SimRuntime {
     fn schedule_point(&self, tag: &str) {
         self.eng.schedule_point(tag);
     }
+
+    fn task_spawned(&self) {
+        let mut st = self.eng.state.lock();
+        st.tasks_spawned += 1;
+        st.live_tasks += 1;
+        st.peak_live_tasks = st.peak_live_tasks.max(st.live_tasks);
+    }
+
+    fn task_finished(&self) {
+        let mut st = self.eng.state.lock();
+        st.live_tasks = st.live_tasks.saturating_sub(1);
+    }
 }
 
 impl SimRuntime {
@@ -719,6 +755,7 @@ impl SimRuntime {
                 },
             );
             st.runnable += 1;
+            st.actors_spawned += 1;
             st.max_actors = st.max_actors.max(st.actors.len());
             id
         };
@@ -1146,9 +1183,14 @@ mod tests {
 
     #[test]
     fn hook_default_choice_reproduces_plain_order() {
-        let (plain, pstats) = ordered_sleepers(None, vec![30, 10, 10, 20]);
-        let (hooked, hstats) =
+        let (mut plain, pstats) = ordered_sleepers(None, vec![30, 10, 10, 20]);
+        let (mut hooked, hstats) =
             ordered_sleepers(Some((Arc::new(PickFirst), Dur::ZERO)), vec![30, 10, 10, 20]);
+        // The plain schedule wakes same-instant sleepers together and lets
+        // their OS threads race to the log; normalize simultaneous entries
+        // so the comparison pins the schedule, not the thread lottery.
+        plain.sort_by_key(|&(i, t)| (t, i));
+        hooked.sort_by_key(|&(i, t)| (t, i));
         assert_eq!(
             plain, hooked,
             "picking index 0 must be the default schedule"

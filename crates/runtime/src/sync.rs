@@ -140,6 +140,7 @@ impl<T> Channel<T> {
 }
 
 /// A counting semaphore.
+#[derive(Clone)]
 pub struct Semaphore {
     ev: Event,
 }

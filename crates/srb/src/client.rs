@@ -9,13 +9,13 @@
 //! one-stream-per-open behaviour) or shared with other sessions through a
 //! [`ConnPool`](crate::pool::ConnPool).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use semplar_runtime::Runtime;
 
 use crate::pool::SlotTicket;
-use crate::proto::{Request, Response, SessionId};
+use crate::proto::{Request, Response, SessionId, TenantId};
 use crate::transport::Transport;
 use crate::types::{ObjStat, OpenFlags, Payload, SrbError, SrbResult};
 
@@ -34,7 +34,12 @@ pub struct SrbConn {
     /// Cumulative payload bytes the server has acknowledged on this
     /// session (successful reads + writes). Reported inside
     /// [`SrbError::Disconnected`] so recovery can resume rather than replay.
-    acked: AtomicU64,
+    /// `Arc` so asynchronous completions ([`SrbConn::submit`]) can credit
+    /// it after the issuing call has returned.
+    acked: Arc<AtomicU64>,
+    /// Tenant tag stamped on every request this session issues (0 =
+    /// untagged). Rides the fixed wire header, so it changes no wire size.
+    tenant: AtomicU32,
 }
 
 impl SrbConn {
@@ -46,7 +51,8 @@ impl SrbConn {
             session,
             exclusive: true,
             origin: None,
-            acked: AtomicU64::new(0),
+            acked: Arc::new(AtomicU64::new(0)),
+            tenant: AtomicU32::new(0),
         }
     }
 
@@ -58,8 +64,21 @@ impl SrbConn {
             session,
             exclusive: false,
             origin: Some(origin),
-            acked: AtomicU64::new(0),
+            acked: Arc::new(AtomicU64::new(0)),
+            tenant: AtomicU32::new(0),
         }
+    }
+
+    /// Tag every subsequent request from this session with `tenant`, the
+    /// accounting principal the server's per-tenant fair queueing bills
+    /// work to. Sessions default to tenant 0 (untagged).
+    pub fn set_tenant(&self, tenant: TenantId) {
+        self.tenant.store(tenant.0, Ordering::Relaxed);
+    }
+
+    /// The tenant tag this session currently stamps on requests.
+    pub fn tenant(&self) -> TenantId {
+        TenantId(self.tenant.load(Ordering::Relaxed))
     }
 
     pub(crate) fn origin(&self) -> Option<&SlotTicket> {
@@ -82,7 +101,7 @@ impl SrbConn {
         };
         let resp = self
             .transport
-            .exchange_hinted(self.session, req, useful)
+            .exchange_hinted(self.session, self.tenant(), req, useful)
             .map_err(|_| cut(&self.acked))?;
         match &resp {
             Response::Written(n) => {
@@ -94,6 +113,50 @@ impl SrbConn {
             _ => {}
         }
         Ok(resp)
+    }
+
+    /// Issue a request asynchronously: the call returns as soon as the
+    /// request is queued for transmission, and `complete` fires from the
+    /// transport's demultiplexer when the response (or the stream's death,
+    /// as `Err(Disconnected)`) arrives. This is the event-driven client
+    /// path — a task-mode actor submits here and its waker runs inside
+    /// `complete`, so ten-thousand idle sessions hold no blocked thread.
+    ///
+    /// Only valid on multiplexed (pooled) transports; exclusive streams
+    /// are strictly synchronous and panic here.
+    pub fn submit(
+        &self,
+        req: Request,
+        complete: Box<dyn FnOnce(SrbResult<Response>) + Send>,
+    ) -> SrbResult<()> {
+        let acked = Arc::clone(&self.acked);
+        self.transport.submit_hinted(
+            self.session,
+            self.tenant(),
+            req,
+            None,
+            Box::new(move |resp| {
+                let out = match resp {
+                    Some(resp) => {
+                        match &resp {
+                            Response::Written(n) => {
+                                acked.fetch_add(*n, Ordering::Relaxed);
+                            }
+                            Response::Data(p) => {
+                                acked.fetch_add(p.len(), Ordering::Relaxed);
+                            }
+                            _ => {}
+                        }
+                        Ok(resp)
+                    }
+                    None => Err(SrbError::Disconnected {
+                        acked: acked.load(Ordering::Relaxed),
+                    }),
+                };
+                complete(out);
+            }),
+        );
+        Ok(())
     }
 
     /// Cumulative payload bytes acknowledged by the server on this

@@ -27,6 +27,7 @@ pub mod federation;
 pub mod mcat;
 pub mod pool;
 pub mod proto;
+pub mod qos;
 pub mod retry;
 pub mod server;
 pub mod transport;
@@ -37,7 +38,8 @@ pub use client::SrbConn;
 pub use federation::{ReplStats, Replicator, ShardMap, REPL_BLOCK};
 pub use mcat::Mcat;
 pub use pool::{ConnPool, PoolPolicy, SlotPolicy};
-pub use proto::SessionId;
+pub use proto::{SessionId, TenantId};
+pub use qos::TenantScheduler;
 pub use retry::RetryPolicy;
 pub use server::{ConnRoute, ServerStats, SrbServer, SrbServerCfg};
 pub use transport::{IoMeter, MeterSnapshot, Transport};

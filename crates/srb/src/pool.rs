@@ -238,6 +238,56 @@ impl ConnPool {
         Ok(SrbConn::session_on(transport, ticket))
     }
 
+    /// Pre-dial every slot for `route` in index order, paying all the
+    /// handshakes up front on the calling actor. Benchmarks use this so
+    /// that pinned sessions find their transports already established —
+    /// slot `i` is always connection `i` at the server no matter how the
+    /// clients themselves get scheduled. No-op under [`PoolPolicy::PerOpen`]
+    /// (exclusive streams are not pool state). Returns streams dialed.
+    pub fn warm(&self, route: &ConnRoute) -> SrbResult<usize> {
+        let PoolPolicy::Shared {
+            max_streams,
+            max_inflight,
+        } = self.policy
+        else {
+            return Ok(0);
+        };
+        let max_streams = max_streams.max(1);
+        let key = route_key(route);
+        let mut g = self.groups.lock();
+        let group = g.entry(key).or_insert_with(|| RouteGroup {
+            route: route.clone(),
+            slots: (0..max_streams)
+                .map(|_| Slot {
+                    transport: None,
+                    assigned: 0,
+                    hist_exchanges: 0,
+                    hist_bytes: 0,
+                })
+                .collect(),
+        });
+        let mut dialed = 0;
+        for idx in 0..max_streams {
+            let slot = &mut group.slots[idx];
+            if !slot.transport.as_ref().is_some_and(|t| t.is_alive()) {
+                if let Some(old) = slot.transport.take() {
+                    let s = old.meter().snapshot();
+                    slot.hist_exchanges += s.exchanges;
+                    slot.hist_bytes += s.payload_bytes;
+                }
+                let t = self.server.connect_transport(
+                    group.route.clone(),
+                    &self.user,
+                    &self.password,
+                    max_inflight,
+                )?;
+                slot.transport = Some(t);
+                dialed += 1;
+            }
+        }
+        Ok(dialed)
+    }
+
     /// The congestion-policy slot choice: cold slots first (index order),
     /// then the warm slot with the best observed goodput per outstanding
     /// exchange. See [`SlotPolicy::Congestion`].

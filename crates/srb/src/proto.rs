@@ -31,6 +31,24 @@ impl std::fmt::Display for SessionId {
     }
 }
 
+/// A tenant (accounting principal) tag carried by every request.
+///
+/// The SRB authenticates a user per connection; a *tenant* is the coarser
+/// billing/QoS domain a session belongs to — one project or user community
+/// sharing a server. The tag rides in the fixed [`WIRE_HDR`] header (like
+/// `seq`/`session`, there is room in the real SRB's 256-byte header), so
+/// tagging changes no wire size, and the server's per-tenant fair queueing
+/// can classify work without any out-of-band state. Tenant 0 is the
+/// default for untagged traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 /// A tagged request as it travels on a transport stream.
 ///
 /// `seq` is unique per stream and echoed verbatim by the server so that a
@@ -42,6 +60,8 @@ pub struct ReqFrame {
     pub seq: u64,
     /// Session whose fd namespace the request operates in.
     pub session: SessionId,
+    /// Tenant the issuing session belongs to (0 = untagged).
+    pub tenant: TenantId,
     /// The operation itself.
     pub req: Request,
 }

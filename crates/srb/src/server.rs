@@ -22,6 +22,7 @@ use semplar_runtime::{Dur, Runtime};
 use crate::client::SrbConn;
 use crate::mcat::Mcat;
 use crate::proto::{ReqFrame, Request, RespFrame, Response, SessionId, WIRE_HDR};
+use crate::qos::TenantScheduler;
 use crate::transport::Transport;
 use crate::types::{OpenFlags, SrbError, SrbResult};
 use crate::vault::{DiskSpec, Vault};
@@ -163,6 +164,10 @@ pub struct SrbServer {
     trace: Mutex<Option<RequestTrace>>,
     /// Called after each completed vault write (federation replication).
     write_hook: Mutex<Option<WriteHook>>,
+    /// Optional per-tenant fair queueing across the vault + NIC stage.
+    /// `None` (the default) skips admission entirely and leaves request
+    /// service bit-identical to the pre-QoS server.
+    qos: Mutex<Option<Arc<TenantScheduler>>>,
     connections: AtomicU64,
     requests: AtomicU64,
     bytes_written: AtomicU64,
@@ -195,6 +200,7 @@ impl SrbServer {
             crashed: AtomicBool::new(false),
             trace: Mutex::new(None),
             write_hook: Mutex::new(None),
+            qos: Mutex::new(None),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
@@ -339,6 +345,16 @@ impl SrbServer {
     /// and must not block; federation uses it to enqueue replication work.
     pub fn set_write_hook(&self, hook: WriteHook) {
         *self.write_hook.lock() = Some(hook);
+    }
+
+    /// Install per-tenant deficit-round-robin fair queueing. Every request
+    /// is then admitted under its frame's [`TenantId`](crate::proto::TenantId)
+    /// before the handler charges vault and NIC time, so tenants share the
+    /// server's bottlenecks in proportion to the scheduler's quanta rather
+    /// than their offered load. Keep the `TenantScheduler` handle to read
+    /// the per-tenant byte ledgers afterwards.
+    pub fn set_tenant_scheduler(&self, sched: Arc<TenantScheduler>) {
+        *self.qos.lock() = Some(sched);
     }
 
     /// Snapshot of the server counters.
@@ -496,7 +512,30 @@ impl SrbServer {
             self.requests.fetch_add(1, Ordering::Relaxed);
             self.trace_request(conn_id, &frame);
             self.rt.sleep(self.cfg.op_overhead);
-            let ReqFrame { seq, session, req } = frame;
+            let req_wire = frame.wire_size();
+            let ReqFrame {
+                seq,
+                session,
+                tenant,
+                req,
+            } = frame;
+            // Per-tenant fair queueing (when installed) gates the vault +
+            // response-NIC stage: the handler parks here until DRR grants
+            // this tenant a service slot. The DRR cost is the bytes the
+            // request moves through the gated stage — its own wire size
+            // plus, for reads, the response payload it pulls — so megabyte
+            // writes *and* megabyte reads drain a tenant's credit while
+            // header-sized ops glide through.
+            let qos = self.qos.lock().clone();
+            if let Some(q) = &qos {
+                let cost = req_wire
+                    + match &req {
+                        Request::Read { len, .. } => *len,
+                        Request::ReadList { extents, .. } => extents.iter().map(|&(_, l)| l).sum(),
+                        _ => 0,
+                    };
+                q.admit(tenant, cost);
+            }
             let last = matches!(req, Request::Disconnect);
             let resp = if matches!(req, Request::EndSession) {
                 sessions.remove(&session);
@@ -508,6 +547,9 @@ impl SrbServer {
             let frame = RespFrame { seq, session, resp };
             self.net
                 .send_message_opts(&rev, frame.wire_size(), &rev_opts);
+            if let Some(q) = &qos {
+                q.done(tenant, req_wire + frame.wire_size());
+            }
             if resp_ch.send(frame).is_err() {
                 break;
             }

@@ -31,9 +31,22 @@ use semplar_netsim::{LinkId, Network};
 use semplar_runtime::sync::{Channel, Closed, OnceCellBlocking, RtMutex, Semaphore};
 use semplar_runtime::Runtime;
 
-use crate::proto::{ReqFrame, Request, RespFrame, Response, SessionId};
+use crate::proto::{ReqFrame, Request, RespFrame, Response, SessionId, TenantId};
 
 type RespCell = Arc<OnceCellBlocking<Option<Response>>>;
+
+/// Completion to run when an async submit's tagged response arrives (or the
+/// stream dies, delivering `None`). Runs on the demux daemon: it must not
+/// block through the runtime — store the result and wake a task.
+pub type SubmitCallback = Box<dyn FnOnce(Option<Response>) + Send>;
+
+/// One in-flight exchange awaiting its tagged response: a parked thread's
+/// cell (synchronous [`Transport::exchange`]) or an event-driven submit's
+/// completion callback.
+enum Pending {
+    Cell(RespCell),
+    Callback(SubmitCallback),
+}
 
 /// EWMA smoothing factor for the per-stream goodput/latency estimates. A
 /// fixed constant (not wall-clock dependent) keeps the meter deterministic
@@ -145,7 +158,7 @@ enum Mode {
     /// Tagged exchanges share the stream; a demux daemon routes responses.
     Multiplexed {
         /// In-flight exchanges awaiting their tagged response.
-        pending: Arc<Mutex<HashMap<u64, RespCell>>>,
+        pending: Arc<Mutex<HashMap<u64, Pending>>>,
         /// Bounds outstanding exchanges on this stream.
         inflight: Semaphore,
         /// Serializes frames onto the wire — one TCP stream sends bytes in
@@ -153,6 +166,11 @@ enum Mode {
         send_lock: RtMutex<()>,
         /// Set by the demux daemon when the stream dies.
         dead: Arc<AtomicBool>,
+        /// Queue feeding the lazily spawned sender daemon that charges
+        /// forward transfers on behalf of async submits. `None` until the
+        /// first [`Transport::submit_hinted`]; purely synchronous
+        /// transports never pay for the extra daemon.
+        sender: Mutex<Option<Channel<ReqFrame>>>,
     },
 }
 
@@ -169,6 +187,8 @@ pub struct Transport {
     next_session: AtomicU64,
     mode: Mode,
     meter: Arc<IoMeter>,
+    /// Diagnostic label (the demux daemon's name); names the sender daemon.
+    label: String,
 }
 
 impl Transport {
@@ -193,6 +213,7 @@ impl Transport {
             next_session: AtomicU64::new(0),
             mode: Mode::Exclusive { lock },
             meter: IoMeter::new(),
+            label: String::new(),
         })
     }
 
@@ -208,7 +229,7 @@ impl Transport {
         max_inflight: usize,
     ) -> Arc<Transport> {
         let (req_ch, resp_ch) = chans;
-        let pending: Arc<Mutex<HashMap<u64, RespCell>>> = Arc::new(Mutex::new(Default::default()));
+        let pending: Arc<Mutex<HashMap<u64, Pending>>> = Arc::new(Mutex::new(Default::default()));
         let dead = Arc::new(AtomicBool::new(false));
         let inflight = Semaphore::new(&rt, max_inflight.max(1));
         let send_lock = RtMutex::new(&rt, ());
@@ -221,22 +242,36 @@ impl Transport {
         let demux_pending = pending.clone();
         let demux_dead = dead.clone();
         let demux_resp = resp_ch.clone();
+        let demux_inflight = inflight.clone();
         rt.spawn_daemon(
             label,
             Box::new(move || {
                 while let Ok(frame) = demux_resp.recv() {
-                    let cell = demux_pending.lock().remove(&frame.seq);
-                    if let Some(cell) = cell {
-                        cell.set(Some(frame.resp));
+                    let entry = demux_pending.lock().remove(&frame.seq);
+                    match entry {
+                        Some(Pending::Cell(cell)) => cell.set(Some(frame.resp)),
+                        Some(Pending::Callback(cb)) => {
+                            // Async submits hold their inflight permit from
+                            // the sender daemon's send to this completion.
+                            demux_inflight.release();
+                            cb(Some(frame.resp));
+                        }
+                        None => {}
                     }
                 }
-                let orphans: Vec<RespCell> = {
+                let orphans: Vec<Pending> = {
                     let mut g = demux_pending.lock();
                     demux_dead.store(true, Ordering::SeqCst);
                     g.drain().map(|(_, c)| c).collect()
                 };
-                for cell in orphans {
-                    cell.set(None);
+                for entry in orphans {
+                    match entry {
+                        Pending::Cell(cell) => cell.set(None),
+                        Pending::Callback(cb) => {
+                            demux_inflight.release();
+                            cb(None);
+                        }
+                    }
                 }
             }),
         );
@@ -255,8 +290,10 @@ impl Transport {
                 inflight,
                 send_lock,
                 dead,
+                sender: Mutex::new(None),
             },
             meter: IoMeter::new(),
+            label: label.to_string(),
         })
     }
 
@@ -271,7 +308,7 @@ impl Transport {
     /// processing, disk, and the response transfer before replying. Fails
     /// with [`Closed`] when the stream is severed.
     pub fn exchange(&self, session: SessionId, req: Request) -> Result<Response, Closed> {
-        self.exchange_hinted(session, req, None)
+        self.exchange_hinted(session, TenantId::default(), req, None)
     }
 
     /// Like [`Transport::exchange`], but meters at most `useful` payload
@@ -282,6 +319,7 @@ impl Transport {
     pub(crate) fn exchange_hinted(
         &self,
         session: SessionId,
+        tenant: TenantId,
         req: Request,
         useful: Option<u64>,
     ) -> Result<Response, Closed> {
@@ -291,7 +329,12 @@ impl Transport {
             Mode::Exclusive { lock } => {
                 let _g = lock.lock();
                 let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-                let frame = ReqFrame { seq, session, req };
+                let frame = ReqFrame {
+                    seq,
+                    session,
+                    tenant,
+                    req,
+                };
                 let send = || -> Result<Response, Closed> {
                     self.net
                         .send_message_opts(&self.fwd, frame.wire_size(), &self.fwd_opts);
@@ -307,9 +350,10 @@ impl Transport {
                 inflight,
                 send_lock,
                 dead,
+                ..
             } => {
                 inflight.acquire();
-                let r = self.exchange_mux(pending, send_lock, dead, session, req);
+                let r = self.exchange_mux(pending, send_lock, dead, session, tenant, req);
                 inflight.release();
                 r
             }
@@ -334,10 +378,11 @@ impl Transport {
 
     fn exchange_mux(
         &self,
-        pending: &Mutex<HashMap<u64, RespCell>>,
+        pending: &Mutex<HashMap<u64, Pending>>,
         send_lock: &RtMutex<()>,
         dead: &AtomicBool,
         session: SessionId,
+        tenant: TenantId,
         req: Request,
     ) -> Result<Response, Closed> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
@@ -350,9 +395,14 @@ impl Transport {
             if dead.load(Ordering::SeqCst) {
                 return Err(Closed);
             }
-            g.insert(seq, cell.clone());
+            g.insert(seq, Pending::Cell(cell.clone()));
         }
-        let frame = ReqFrame { seq, session, req };
+        let frame = ReqFrame {
+            seq,
+            session,
+            tenant,
+            req,
+        };
         {
             let _g = send_lock.lock();
             self.net
@@ -366,6 +416,131 @@ impl Transport {
             Some(resp) => Ok(resp),
             None => Err(Closed),
         }
+    }
+
+    /// Submit one exchange **without blocking the caller**: the request is
+    /// handed to this stream's sender daemon (which queues for the inflight
+    /// budget and charges the forward transfer on the caller's behalf) and
+    /// `cb` runs when the tagged response arrives — or with `None` if the
+    /// stream dies first. Only multiplexed transports support this; the
+    /// exclusive mode's whole point is its serialized blocking timing.
+    ///
+    /// This is the client half of the paper's asynchronous primitives at
+    /// transport granularity: an event-driven session issues `submit` and
+    /// parks its state machine, and the completion wakes it — no thread
+    /// pinned per outstanding operation.
+    pub(crate) fn submit_hinted(
+        self: &Arc<Self>,
+        session: SessionId,
+        tenant: TenantId,
+        req: Request,
+        useful: Option<u64>,
+        cb: SubmitCallback,
+    ) {
+        let Mode::Multiplexed {
+            pending,
+            dead,
+            sender,
+            ..
+        } = &self.mode
+        else {
+            panic!("async submit requires a multiplexed transport");
+        };
+        let t0 = self.rt.now();
+        self.meter.begin();
+        // Wrap the completion with meter accounting, mirroring
+        // `exchange_hinted`'s bookkeeping (payload bytes capped by the
+        // `useful` hint; elapsed time spans submit → response).
+        let meter = self.meter.clone();
+        let rt = self.rt.clone();
+        let cb: SubmitCallback = Box::new(move |resp: Option<Response>| {
+            match &resp {
+                Some(r) => {
+                    let actual = match r {
+                        Response::Data(p) => p.len(),
+                        Response::Written(n) => *n,
+                        _ => 0,
+                    };
+                    let bytes = useful.map_or(actual, |u| u.min(actual));
+                    meter.complete(bytes, (rt.now() - t0).as_secs_f64());
+                }
+                None => meter.abort(),
+            }
+            cb(resp);
+        });
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut g = pending.lock();
+            if dead.load(Ordering::SeqCst) {
+                drop(g);
+                cb(None);
+                return;
+            }
+            g.insert(seq, Pending::Callback(cb));
+        }
+        let frame = ReqFrame {
+            seq,
+            session,
+            tenant,
+            req,
+        };
+        let jobs = {
+            let mut g = sender.lock();
+            match &*g {
+                Some(ch) => ch.clone(),
+                None => {
+                    let ch: Channel<ReqFrame> = Channel::new(&self.rt);
+                    *g = Some(ch.clone());
+                    self.spawn_sender(ch.clone());
+                    ch
+                }
+            }
+        };
+        if jobs.send(frame).is_err() {
+            // Sender shut down (stream severed): fail through the pending
+            // map so the demux drain / this path never double-fires.
+            if let Some(Pending::Callback(cb)) = pending.lock().remove(&seq) {
+                cb(None);
+            }
+        }
+    }
+
+    /// The sender daemon: serializes async submits onto the wire in
+    /// submission order, charging each forward transfer and holding an
+    /// inflight permit from send until the demux daemon sees the response.
+    fn spawn_sender(self: &Arc<Self>, jobs: Channel<ReqFrame>) {
+        let me = self.clone();
+        let name = format!("{}/sender", self.label);
+        self.rt.spawn_daemon(
+            &name,
+            Box::new(move || {
+                let Mode::Multiplexed {
+                    inflight,
+                    send_lock,
+                    pending,
+                    ..
+                } = &me.mode
+                else {
+                    unreachable!("sender daemon on a non-multiplexed transport");
+                };
+                while let Ok(frame) = jobs.recv() {
+                    inflight.acquire();
+                    let seq = frame.seq;
+                    let sent = {
+                        let _g = send_lock.lock();
+                        me.net
+                            .send_message_opts(&me.fwd, frame.wire_size(), &me.fwd_opts);
+                        me.req_ch.send(frame).is_ok()
+                    };
+                    if !sent {
+                        inflight.release();
+                        if let Some(Pending::Callback(cb)) = pending.lock().remove(&seq) {
+                            cb(None);
+                        }
+                    }
+                }
+            }),
+        );
     }
 
     /// This stream's goodput telemetry. The meter is owned by the transport

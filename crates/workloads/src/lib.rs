@@ -9,10 +9,13 @@
 //! * [`blast`] — the Ohio State MPI-BLAST master/worker search (Fig. 6);
 //! * [`compressbench`] — the on-the-fly compression workload (Fig. 9);
 //! * [`estgen`] — synthetic GenBank-EST-like nucleotide text with
-//!   calibrated LZ compressibility.
+//!   calibrated LZ compressibility;
+//! * [`actors`] — event-driven client swarms (10⁵ sessions as poll-style
+//!   tasks) with heavy-tailed open-loop arrivals over a tenant mix.
 
 #![warn(missing_docs)]
 
+pub mod actors;
 pub mod blast;
 pub mod collective;
 pub mod compressbench;
@@ -20,6 +23,10 @@ pub mod estgen;
 pub mod laplace;
 pub mod perf;
 
+pub use actors::{
+    heavy_tailed_arrivals, run_swarm, OpShape, SessionOutcome, SwarmMode, SwarmParams, SwarmReport,
+    TenantMix,
+};
 pub use blast::{run_blast, BlastParams, BlastReport};
 pub use collective::{run_collective, CollectiveMode, CollectiveParams, CollectiveReport};
 pub use compressbench::{run_compress, CompressMode, CompressParams, CompressReport};
