@@ -29,7 +29,7 @@ fn main() {
         (tg_ncsa(), tg_procs, "paper: write +24%, read +75%"),
     ] {
         let name = spec.name;
-        let (rows, net_stats, sim_stats) = fig8_perf_with_stats(spec, procs, bytes);
+        let (rows, net_stats, sim_stats, cache) = fig8_perf_with_stats(spec, procs, bytes);
         let mut t = Table::new(
             &format!("Fig. 8 ({name}): perf aggregate I/O bandwidth (Mb/s)"),
             &[
@@ -82,6 +82,11 @@ fn main() {
             sim_stats.peak_live_actors,
             sim_stats.tasks_spawned,
             sim_stats.peak_live_tasks,
+        );
+        println!(
+            "{name}: server block cache — {} hits, {} misses, {} evictions, \
+             {} bytes saved (cache disabled in this figure; see fig_cache)",
+            cache.hits, cache.misses, cache.evictions, cache.bytes_saved,
         );
     }
 }

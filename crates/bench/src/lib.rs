@@ -27,9 +27,10 @@ use semplar_faults::{FaultPlan, FaultStats};
 use semplar_netsim::{Bw, NetStats, Network};
 use semplar_runtime::sync::Barrier;
 use semplar_runtime::{spawn, Dur, SimRuntime, SimStats};
+use semplar_srb::vault::DiskSpec;
 use semplar_srb::{
-    ConnRoute, PoolPolicy, ReplStats, Replicator, RetryPolicy, SrbServer, SrbServerCfg, TenantId,
-    TenantScheduler,
+    CacheSpec, ConnRoute, Eviction, PoolPolicy, ReplStats, Replicator, RetryPolicy, SrbServer,
+    SrbServerCfg, TenantId, TenantScheduler,
 };
 use semplar_workloads::{
     estgen, run_blast, run_collective, run_compress, run_laplace, run_perf, run_swarm, BlastParams,
@@ -267,15 +268,17 @@ pub fn fig8_perf(spec: ClusterSpec, procs: &[usize], bytes_per_proc: u64) -> Vec
 }
 
 /// [`fig8_perf`] plus the network's allocation-engine counters for the
-/// whole sweep (how much work the incremental engine did and skipped).
+/// whole sweep (how much work the incremental engine did and skipped) and
+/// the server block-cache counters (all zeros in the stock, cache-off
+/// configuration — the line pins that the baseline runs uncached).
 pub fn fig8_perf_with_stats(
     spec: ClusterSpec,
     procs: &[usize],
     bytes_per_proc: u64,
-) -> (Vec<PerfRow>, NetStats, SimStats) {
+) -> (Vec<PerfRow>, NetStats, SimStats, semplar_srb::CacheStats) {
     let max_procs = procs.iter().copied().max().unwrap_or(1);
     let procs = procs.to_vec();
-    let ((rows, net), sim) = with_testbed_stats(spec, max_procs, move |tb| {
+    let ((rows, net, cache), sim) = with_testbed_stats(spec, max_procs, move |tb| {
         let rows = procs
             .iter()
             .map(|&n| {
@@ -304,9 +307,9 @@ pub fn fig8_perf_with_stats(
                 }
             })
             .collect();
-        (rows, tb.net.stats())
+        (rows, tb.net.stats(), tb.server.cache_stats())
     });
-    (rows, net, sim)
+    (rows, net, sim, cache)
 }
 
 /// One row of the Fig. 9 table.
@@ -912,6 +915,7 @@ pub fn fig_scale_actors(
             coll: "/scale".into(),
             abuse: None,
             per_tenant_streams: false,
+            skew: None,
         };
         let report = run_swarm(&tb, &params);
         (
@@ -1040,6 +1044,7 @@ pub fn fig_tenants_arm(
                 },
             )),
             per_tenant_streams: tenant_aware,
+            skew: None,
         };
         let report = run_swarm(&tb, &params);
         assert_eq!(report.completed(), clients, "incomplete tenant swarm");
@@ -1664,4 +1669,178 @@ pub fn fig_strided_collective(rows: usize) -> Vec<CollectiveReport> {
         })
     })
     .collect()
+}
+
+/// One row of the `fig_cache` pass table: a cold sequential pass over a
+/// working set, then a second ("warm") pass over the same bytes, on a
+/// deliberately disk-bound testbed.
+#[derive(Clone, Debug)]
+pub struct CachePassRow {
+    /// Arm label.
+    pub name: String,
+    /// First-pass (cold) wall time, virtual seconds.
+    pub cold_secs: f64,
+    /// Second-pass (warm) wall time, virtual seconds.
+    pub warm_secs: f64,
+    /// Bytes the application read per pass.
+    pub pass_bytes: u64,
+    /// Server block-cache counters after both passes.
+    pub cache: semplar_srb::CacheStats,
+    /// Client lease-cache counters after both passes (zeros unless the
+    /// arm enables leases).
+    pub lease: semplar::LeaseStats,
+}
+
+impl CachePassRow {
+    /// Application goodput of the cold pass, Mb/s.
+    pub fn cold_mbps(&self) -> f64 {
+        self.pass_bytes as f64 * 8.0 / self.cold_secs / 1e6
+    }
+
+    /// Warm-over-cold speedup; `None` when the warm pass took zero
+    /// virtual time (pure client-cache hits — no wire, no disk).
+    pub fn speedup(&self) -> Option<f64> {
+        (self.warm_secs > 0.0).then(|| self.cold_secs / self.warm_secs)
+    }
+}
+
+/// The cluster for the cache experiment: TG-NCSA geometry with WAN-tuned
+/// TCP windows, so a single stream is limited by the 220 Mb/s WAN share
+/// rather than the window — which leaves the (slowed) vault as the cold
+/// bottleneck.
+fn cache_cluster() -> ClusterSpec {
+    ClusterSpec {
+        send_window: 4 << 20,
+        recv_window: 4 << 20,
+        ..semplar_clusters::tg_ncsa()
+    }
+}
+
+/// The slowed server disk: 1 MB/s + 2 ms seek, with dslab-style
+/// concurrency degradation (0.3) so concurrent misses also contend.
+fn cache_disk() -> DiskSpec {
+    DiskSpec {
+        bandwidth: Bw::mbyte_per_s(1.0),
+        seek: Dur::from_millis(2),
+        degradation: 0.3,
+    }
+}
+
+/// One `fig_cache` arm: write `objects` objects of `obj_bytes` each, then
+/// read them all twice (cold, warm). `cache_bytes > 0` installs a server
+/// block cache of that capacity with the given eviction policy; `leases`
+/// additionally turns on client read leases (same capacity).
+pub fn fig_cache_arm(
+    name: &str,
+    objects: usize,
+    obj_bytes: u64,
+    cache_bytes: u64,
+    eviction: Eviction,
+    leases: bool,
+) -> CachePassRow {
+    let name = name.to_string();
+    let sim = SimRuntime::new();
+    sim.run_root(move |rt| {
+        let tb = Testbed::with_server_disk(rt.clone(), cache_cluster(), 1, cache_disk());
+        if cache_bytes > 0 {
+            tb.server.set_block_cache(CacheSpec {
+                block: 256 << 10,
+                capacity: cache_bytes,
+                eviction,
+            });
+        }
+        let fs = tb.srbfs(0);
+        if leases {
+            fs.enable_read_leases(cache_bytes.max(1));
+        }
+        let admin = fs.admin_conn().unwrap();
+        admin.mk_coll("/cache").unwrap();
+        admin.disconnect().unwrap();
+        for i in 0..objects {
+            let f = File::open(&rt, &fs, &format!("/cache/o{i}"), OpenFlags::CreateRw).unwrap();
+            f.write_at(0, &Payload::sized(obj_bytes)).unwrap();
+            f.close().unwrap();
+        }
+        // Open once, read twice: the passes time the *reads*, not the
+        // per-object open/close round-trips.
+        let files: Vec<File> = (0..objects)
+            .map(|i| File::open(&rt, &fs, &format!("/cache/o{i}"), OpenFlags::Read).unwrap())
+            .collect();
+        let pass = || {
+            let t0 = rt.now();
+            for f in &files {
+                let got = f.read_at(0, obj_bytes).unwrap();
+                assert_eq!(got.len(), obj_bytes);
+            }
+            (rt.now() - t0).as_secs_f64()
+        };
+        let cold_secs = pass();
+        let warm_secs = pass();
+        for f in files {
+            f.close().unwrap();
+        }
+        CachePassRow {
+            name,
+            cold_secs,
+            warm_secs,
+            pass_bytes: objects as u64 * obj_bytes,
+            cache: tb.server.cache_stats(),
+            lease: fs.lease_stats(),
+        }
+    })
+}
+
+/// One row of the `fig_cache` swarm table: a Zipf-skewed client swarm on
+/// the disk-bound testbed, with and without the server block cache.
+#[derive(Clone, Debug)]
+pub struct CacheSwarmRow {
+    /// Arm label.
+    pub name: String,
+    /// First arrival to last completion, virtual seconds.
+    pub secs: f64,
+    /// Sessions that completed fully.
+    pub completed: usize,
+    /// Server block-cache counters after the run.
+    pub cache: semplar_srb::CacheStats,
+}
+
+/// The swarm arm: `clients` sessions, 1 write + 4 reads of 64 KiB each,
+/// Zipf(0.99) over `hot_objects` shared objects.
+pub fn fig_cache_swarm(
+    name: &str,
+    clients: usize,
+    hot_objects: usize,
+    cache_bytes: u64,
+) -> CacheSwarmRow {
+    let name = name.to_string();
+    let sim = SimRuntime::new();
+    sim.run_root(move |rt| {
+        let tb = Testbed::with_server_disk(rt.clone(), cache_cluster(), 2, cache_disk());
+        if cache_bytes > 0 {
+            tb.server.set_block_cache(CacheSpec {
+                block: 64 << 10,
+                capacity: cache_bytes,
+                eviction: Eviction::Lru,
+            });
+        }
+        let params = SwarmParams {
+            clients,
+            writes: 1,
+            reads: 4,
+            bytes_per_op: 64 << 10,
+            skew: Some(semplar_workloads::AccessSkew {
+                theta: 0.99,
+                hot_objects,
+            }),
+            coll: "/zipf".into(),
+            ..SwarmParams::quick()
+        };
+        let report = run_swarm(&tb, &params);
+        CacheSwarmRow {
+            name,
+            secs: report.secs,
+            completed: report.completed(),
+            cache: tb.server.cache_stats(),
+        }
+    })
 }

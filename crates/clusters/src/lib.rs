@@ -104,6 +104,7 @@ pub fn das2() -> ClusterSpec {
         local_disk: DiskSpec {
             bandwidth: Bw::mbyte_per_s(30.0),
             seek: Dur::from_millis(1),
+            ..DiskSpec::default()
         },
     }
 }
@@ -132,6 +133,7 @@ pub fn osc() -> ClusterSpec {
         local_disk: DiskSpec {
             bandwidth: Bw::mbyte_per_s(40.0),
             seek: Dur::from_millis(1),
+            ..DiskSpec::default()
         },
     }
 }
@@ -160,6 +162,7 @@ pub fn tg_ncsa() -> ClusterSpec {
         local_disk: DiskSpec {
             bandwidth: Bw::mbyte_per_s(60.0),
             seek: Dur::from_millis(1),
+            ..DiskSpec::default()
         },
     }
 }
@@ -179,6 +182,7 @@ pub fn orion_cfg() -> SrbServerCfg {
         disk: DiskSpec {
             bandwidth: Bw::mbyte_per_s(400.0),
             seek: Dur::from_micros(500),
+            ..DiskSpec::default()
         },
         op_overhead: Dur::from_micros(300),
         resource: "sdsc-vault".into(),
@@ -208,6 +212,11 @@ pub struct Testbed {
     cpus: Vec<Arc<Cpu>>,
     disk_net: Arc<Network>,
     disks: Vec<LinkId>,
+    /// Per-node local-disk models (defaults to `spec.local_disk` clones).
+    local_disks: Vec<DiskSpec>,
+    /// Per-node count of in-flight local-disk ops, for the concurrency
+    /// degradation model (mirrors the vault's `shared_disk` idiom).
+    disk_inflight: Vec<Arc<std::sync::atomic::AtomicUsize>>,
 }
 
 /// Default SRB account used by the testbed.
@@ -216,8 +225,69 @@ pub const USER: &str = "semplar";
 pub const PASSWORD: &str = "hpdc06";
 
 impl Testbed {
-    /// Build a testbed with `nodes` client nodes.
+    /// Build a testbed with `nodes` client nodes and the stock
+    /// [`orion_cfg`] server.
     pub fn new(rt: Arc<dyn Runtime>, spec: ClusterSpec, nodes: usize) -> Arc<Testbed> {
+        Testbed::with_server_cfg(rt, spec, nodes, orion_cfg())
+    }
+
+    /// Build a testbed whose server runs over a custom [`DiskSpec`] —
+    /// bandwidth, seek, and concurrency degradation — keeping every other
+    /// orion parameter. The knob for disk-bound experiments (`fig_cache`).
+    pub fn with_server_disk(
+        rt: Arc<dyn Runtime>,
+        spec: ClusterSpec,
+        nodes: usize,
+        disk: DiskSpec,
+    ) -> Arc<Testbed> {
+        Testbed::with_server_cfg(
+            rt,
+            spec,
+            nodes,
+            SrbServerCfg {
+                disk,
+                ..orion_cfg()
+            },
+        )
+    }
+
+    /// Build a testbed with per-node local-disk models: node `i` gets
+    /// `node_disks[i]` (the node count is the vector length). Degradation
+    /// in a node's spec makes concurrent [`Testbed::local_read`]s on that
+    /// node share the spindle dslab-style.
+    pub fn with_node_disks(
+        rt: Arc<dyn Runtime>,
+        spec: ClusterSpec,
+        node_disks: Vec<DiskSpec>,
+        cfg: SrbServerCfg,
+    ) -> Arc<Testbed> {
+        assert!(!node_disks.is_empty(), "need at least one node");
+        let nodes = node_disks.len();
+        let tb = Testbed::with_server_cfg(rt, spec, nodes, cfg);
+        let mut tb = Arc::into_inner(tb).expect("freshly built testbed is unshared");
+        // Re-issue the disk links at each node's own bandwidth.
+        let disk_net = Network::new(tb.rt.clone());
+        tb.disks = node_disks
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                disk_net.add_link(&format!("{}/disk{i}", tb.spec.name), d.bandwidth, Dur::ZERO)
+            })
+            .collect();
+        tb.disk_net = disk_net;
+        tb.local_disks = node_disks;
+        Arc::new(tb)
+    }
+
+    /// Build a testbed with an explicit server configuration (name, NICs,
+    /// disk model, per-op overhead). [`Testbed::new`] is this with
+    /// [`orion_cfg`].
+    pub fn with_server_cfg(
+        rt: Arc<dyn Runtime>,
+        spec: ClusterSpec,
+        nodes: usize,
+        cfg: SrbServerCfg,
+    ) -> Arc<Testbed> {
         let net = Network::new(rt.clone());
 
         let eth_out: Vec<LinkId> = (0..nodes)
@@ -282,9 +352,13 @@ impl Testbed {
             })
             .collect();
 
-        let server = SrbServer::new(net.clone(), orion_cfg());
+        let server = SrbServer::new(net.clone(), cfg);
         server.mcat().add_user(USER, PASSWORD);
 
+        let local_disks = vec![spec.local_disk; nodes];
+        let disk_inflight = (0..nodes)
+            .map(|_| Arc::new(std::sync::atomic::AtomicUsize::new(0)))
+            .collect();
         Arc::new(Testbed {
             rt,
             net,
@@ -302,6 +376,8 @@ impl Testbed {
             cpus,
             disk_net,
             disks,
+            local_disks,
+            disk_inflight,
         })
     }
 
@@ -373,10 +449,29 @@ impl Testbed {
         self.cpus[node].compute(work);
     }
 
-    /// Charge a local-disk read of `bytes` on `node`.
+    /// The local-disk model of `node`.
+    pub fn node_disk(&self, node: usize) -> &DiskSpec {
+        &self.local_disks[node]
+    }
+
+    /// Charge a local-disk read of `bytes` on `node`. With a nonzero
+    /// `degradation` in the node's [`DiskSpec`], `k` concurrent ops share
+    /// an aggregate of `bandwidth / (1 + degradation·(k−1))` — the dslab
+    /// `shared_disk` idiom, matching the server vault. The default
+    /// `degradation: 0.0` leaves the charge exactly as before.
     pub fn local_read(&self, node: usize, bytes: u64) {
-        self.rt.sleep(self.spec.local_disk.seek);
-        self.disk_net.transfer(&[self.disks[node]], bytes, None);
+        use std::sync::atomic::Ordering;
+        let spec = &self.local_disks[node];
+        let k = self.disk_inflight[node].fetch_add(1, Ordering::SeqCst) + 1;
+        let cap = if spec.degradation > 0.0 && k > 1 {
+            let aggregate = spec.bandwidth.as_bps() / (1.0 + spec.degradation * (k as f64 - 1.0));
+            Some(Bw::bps(aggregate / k as f64))
+        } else {
+            None
+        };
+        self.rt.sleep(spec.seek);
+        self.disk_net.transfer(&[self.disks[node]], bytes, cap);
+        self.disk_inflight[node].fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -488,6 +583,76 @@ mod tests {
             gain < 1.25,
             "NAT should cap the two-stream gain, got {gain:.2}x ({agg_one:.0} → {agg_two:.0})"
         );
+    }
+
+    /// The server-disk override plumbs through: a testbed built over a
+    /// 1 MB/s vault takes ~10x longer to absorb a write than the stock
+    /// 400 MB/s orion (the WAN is fast here, so the disk dominates).
+    #[test]
+    fn with_server_disk_makes_the_vault_the_bottleneck() {
+        let (stock, slow) = simulate(|rt| {
+            let run = |disk: Option<DiskSpec>| {
+                let tb = match disk {
+                    Some(d) => Testbed::with_server_disk(rt.clone(), tg_ncsa(), 1, d),
+                    None => Testbed::new(rt.clone(), tg_ncsa(), 1),
+                };
+                let fs = tb.srbfs(0);
+                let f = File::open(&rt, &fs, "/d", OpenFlags::CreateRw).unwrap();
+                let t0 = rt.now();
+                f.write_at(0, &Payload::sized(4 << 20)).unwrap();
+                let dt = rt.now() - t0;
+                f.close().unwrap();
+                dt
+            };
+            (
+                run(None),
+                run(Some(DiskSpec {
+                    bandwidth: Bw::mbyte_per_s(1.0),
+                    seek: Dur::from_millis(5),
+                    ..DiskSpec::default()
+                })),
+            )
+        });
+        assert!(
+            slow.as_secs_f64() > stock.as_secs_f64() * 2.0,
+            "slow vault should dominate: {slow} vs {stock}"
+        );
+    }
+
+    /// Per-node disks + degradation: two concurrent readers on a fully
+    /// degrading node disk (`degradation: 1.0` halves the aggregate) take
+    /// about twice as long per op as two on independent clean disks.
+    #[test]
+    fn node_disk_degradation_slows_concurrent_local_reads() {
+        let (clean, degraded) = simulate(|rt| {
+            let run = |degradation: f64| {
+                let d = DiskSpec {
+                    bandwidth: Bw::mbyte_per_s(10.0),
+                    seek: Dur::ZERO,
+                    degradation,
+                };
+                let tb = Testbed::with_node_disks(rt.clone(), das2(), vec![d, d], orion_cfg());
+                let t0 = rt.now();
+                let hs: Vec<_> = (0..2)
+                    .map(|_| {
+                        let tb = tb.clone();
+                        spawn(&rt, "rd", move || {
+                            // Both ops on node 0: they contend (or not).
+                            tb.local_read(0, 10_000_000);
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    h.join_unwrap();
+                }
+                rt.now() - t0
+            };
+            (run(0.0), run(1.0))
+        });
+        // Clean: two 1 s ops share the 10 MB/s link fairly → ~2 s total.
+        // Degraded (1.0): aggregate halves to 5 MB/s while both run → ~4 s.
+        assert!((clean.as_secs_f64() - 2.0).abs() < 0.1, "clean {clean}");
+        assert!(degraded.as_secs_f64() > 3.5, "degraded {degraded}");
     }
 
     #[test]

@@ -446,6 +446,7 @@ mod tests {
                 DiskSpec {
                     bandwidth: semplar_netsim::Bw::mbyte_per_s(50.0),
                     seek: semplar_runtime::Dur::from_millis(5),
+                    ..DiskSpec::default()
                 },
             );
             let mut f = fs.open("/big", OpenFlags::CreateRw).unwrap();

@@ -260,6 +260,13 @@ impl FedFs {
             }
         }
         if !replayed.is_empty() {
+            // A round moved bytes between copies outside any one server's
+            // write-hook view of the world (replays fire the primary's
+            // hooks, but the shard is changing roles under live readers).
+            // Revoke all leases on both mounts — coherence over warmth
+            // across the transition.
+            self.shards[shard].primary.invalidate_lease_all();
+            self.shards[shard].replica.invalidate_lease_all();
             let mut ledger = self.ledger.lock();
             ledger.bytes += replayed_bytes;
             ledger.entries.extend(replayed);
@@ -422,6 +429,14 @@ impl FedFile {
             .divergence
             .lock()
             .push_back((self.path.clone(), offset, n));
+        // The write landed on the replica, so the *primary* mount's
+        // write-hook broadcast never fired — revoke its cached lease bytes
+        // for the range explicitly, or a lease-holding reader could keep
+        // serving pre-failover bytes after the shard reconciles. (The
+        // replica mount's own hook fired on the write above.)
+        self.fed.shards[self.shard]
+            .primary
+            .invalidate_lease_range(&self.path, offset, n);
         Ok(n)
     }
 

@@ -33,6 +33,7 @@ pub mod adio;
 pub mod engine;
 pub mod fedfs;
 pub mod file;
+pub mod lease;
 pub mod pipeline;
 pub mod pointer;
 pub mod prefetch;
@@ -48,6 +49,7 @@ pub use adio::{
 pub use engine::{EngineCfg, EngineStats, QueueWindow};
 pub use fedfs::{FedFs, FedShard, ReconcileLedger};
 pub use file::{with_file, File};
+pub use lease::{LeaseCache, LeaseStats};
 pub use pipeline::{
     CompressCheckpoint, CompressedReader, CompressedWriter, ComputeModel, DEFAULT_BLOCK,
 };
@@ -77,6 +79,7 @@ mod tests {
             DiskSpec {
                 bandwidth: Bw::mbyte_per_s(10.0),
                 seek: Dur::ZERO,
+                ..DiskSpec::default()
             },
         )
     }
@@ -703,6 +706,58 @@ mod tests {
             },
         );
         (server, fs)
+    }
+
+    /// Read leases end to end: the second read of a leased range touches
+    /// neither the wire nor the disk — it completes in zero virtual time.
+    #[test]
+    fn leased_reads_are_served_locally_after_first_fetch() {
+        simulate(|rt| {
+            let (_server, fs) = srb_pair(&rt);
+            fs.enable_read_leases(1 << 20);
+            let data: Vec<u8> = (0..20_000u32).map(|i| (i % 241) as u8).collect();
+            let f = File::open(&rt, &fs, "/hot", OpenFlags::CreateRw).unwrap();
+            f.write_at(0, &Payload::bytes(data.clone())).unwrap();
+            let first = f.read_at(0, 20_000).unwrap();
+            assert_eq!(first.data().unwrap(), &data[..]);
+            let t0 = rt.now();
+            let second = f.read_at(4_000, 8_000).unwrap();
+            assert_eq!(
+                rt.now() - t0,
+                Dur::ZERO,
+                "warm read should not hit the wire"
+            );
+            assert_eq!(second.data().unwrap(), &data[4_000..12_000]);
+            let s = fs.lease_stats();
+            assert_eq!(s.hits, 1);
+            assert!(s.bytes_saved >= 8_000);
+            f.close().unwrap();
+        });
+    }
+
+    /// Coherence: an acked overlapping write — through a *different* open —
+    /// revokes the lease, so the next read returns the new bytes.
+    #[test]
+    fn overlapping_write_revokes_the_lease() {
+        simulate(|rt| {
+            let (_server, fs) = srb_pair(&rt);
+            fs.enable_read_leases(1 << 20);
+            let f = File::open(&rt, &fs, "/coh", OpenFlags::CreateRw).unwrap();
+            f.write_at(0, &Payload::bytes(vec![1u8; 1000])).unwrap();
+            assert_eq!(
+                f.read_at(0, 1000).unwrap().data().unwrap(),
+                &[1u8; 1000][..]
+            );
+            let g = File::open(&rt, &fs, "/coh", OpenFlags::CreateRw).unwrap();
+            g.write_at(500, &Payload::bytes(vec![2u8; 100])).unwrap();
+            g.close().unwrap();
+            let back = f.read_at(0, 1000).unwrap();
+            let bytes = back.data().unwrap();
+            assert_eq!(&bytes[..500], &[1u8; 500][..]);
+            assert_eq!(&bytes[500..600], &[2u8; 100][..]);
+            assert!(fs.lease_stats().invalidations >= 1);
+            f.close().unwrap();
+        });
     }
 
     use proptest::prelude::*;

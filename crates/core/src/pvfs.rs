@@ -207,6 +207,7 @@ mod tests {
         DiskSpec {
             bandwidth: Bw::mbyte_per_s(mbyte_s),
             seek: Dur::ZERO,
+            ..DiskSpec::default()
         }
     }
 

@@ -27,6 +27,8 @@ use semplar_srb::{
 };
 
 use crate::adio::{merge_extents, pack_extents, split_packed, AdioFile, AdioFs, IoError, IoResult};
+use crate::lease::{LeaseCache, LeaseStats};
+use semplar_srb::LeaseBreak;
 
 /// Resume granularity after a reconnect: the remainder of an interrupted
 /// write is re-issued in blocks of this size, so a second cut loses at
@@ -87,6 +89,9 @@ pub struct SrbFs {
     /// default `0.0` sieves only fully contiguous runs — any real hole
     /// routes to list-I/O.
     sieve: Mutex<f64>,
+    /// Client-side read-lease cache. `None` (the default) disables leases
+    /// entirely: reads go to the wire exactly as before, bit-identically.
+    lease: Mutex<Option<Arc<LeaseCache>>>,
     recovery: Mutex<RecoveryStats>,
     next_file: AtomicU64,
 }
@@ -172,6 +177,7 @@ impl SrbFs {
             pool,
             stream_routes,
             sieve: Mutex::new(0.0),
+            lease: Mutex::new(None),
             recovery: Mutex::new(RecoveryStats::default()),
             next_file: AtomicU64::new(0),
         })
@@ -209,6 +215,61 @@ impl SrbFs {
     /// this mount.
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.recovery.lock().clone()
+    }
+
+    /// Turn on client-side read leases with a cache of `capacity` payload
+    /// bytes. Lease-granted full reads are kept locally and served with
+    /// zero wire round-trips until revoked; revocation arrives through the
+    /// server's write-hook broadcast (overlapping writes), its lease-break
+    /// hooks (unlink, server crash), and federation failover/reconcile
+    /// transitions. Returns the cache for stats inspection.
+    pub fn enable_read_leases(&self, capacity: u64) -> Arc<LeaseCache> {
+        let cache = Arc::new(LeaseCache::new(capacity));
+        *self.lease.lock() = Some(cache.clone());
+        let c = cache.clone();
+        self.server
+            .set_write_hook(Arc::new(move |path, offset, len| {
+                c.invalidate_range(path, offset, offset + len);
+            }));
+        let c = cache.clone();
+        self.server
+            .add_lease_break_hook(Arc::new(move |brk| match brk {
+                LeaseBreak::Unlink { path } => c.invalidate_path(path),
+                LeaseBreak::ServerLost => c.invalidate_all(),
+            }));
+        cache
+    }
+
+    /// The read-lease cache, when [`Self::enable_read_leases`] was called.
+    pub fn lease_cache(&self) -> Option<Arc<LeaseCache>> {
+        self.lease.lock().clone()
+    }
+
+    /// Snapshot of the lease-cache counters (zeros when leases are off).
+    pub fn lease_stats(&self) -> LeaseStats {
+        self.lease
+            .lock()
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default()
+    }
+
+    /// Revoke cached lease bytes overlapping `[offset, offset+len)` of
+    /// `path`. Federation calls this when a write lands on a *replica*
+    /// (failover) — the primary's write-hook broadcast never fires for it.
+    pub fn invalidate_lease_range(&self, path: &str, offset: u64, len: u64) {
+        if let Some(c) = self.lease.lock().as_ref() {
+            c.invalidate_range(path, offset, offset + len);
+        }
+    }
+
+    /// Revoke every cached lease byte. Federation calls this on reconcile
+    /// rounds and shard role transitions, where per-range accounting is not
+    /// worth the complexity.
+    pub fn invalidate_lease_all(&self) {
+        if let Some(c) = self.lease.lock().as_ref() {
+            c.invalidate_all();
+        }
     }
 
     /// One-off administrative connection (collection setup, cleanup).
@@ -370,6 +431,32 @@ impl SrbFile {
         }
     }
 
+    /// Wire read that also returns the server's lease grant, with the same
+    /// transient-failure recovery as the plain read path. A server crash
+    /// during recovery fires `LeaseBreak::ServerLost`, which bumps the
+    /// cache's revocation counter — so the caller's pre-read snapshot goes
+    /// stale and the re-issued payload is never cached against a lapsed
+    /// lease.
+    fn leased_wire_read(&mut self, offset: u64, len: u64) -> IoResult<(Payload, Option<u64>)> {
+        match self.conn.read_leased(self.fd, offset, len) {
+            Ok(out) => Ok(out),
+            Err(e) if !e.is_transient() => Err(e.into()),
+            Err(_) => {
+                let rt = self.conn.runtime().clone();
+                let t0 = rt.now();
+                self.fs.recovery.lock().disconnects += 1;
+                let policy = self.fs.pool.retry().clone();
+                let key = self.key;
+                let out = policy.run(&rt, key, |_| {
+                    self.reconnect()?;
+                    self.conn.read_leased(self.fd, offset, len)
+                })?;
+                self.note_recovered(t0);
+                Ok(out)
+            }
+        }
+    }
+
     fn resume_write(&mut self, offset: u64, data: &Payload, mut done: u64) -> IoResult<u64> {
         let rt = self.conn.runtime().clone();
         let t0 = rt.now();
@@ -396,6 +483,27 @@ impl AdioFile for SrbFile {
     fn read_at(&mut self, offset: u64, len: u64) -> IoResult<Payload> {
         if self.closed {
             return Err(IoError::Closed);
+        }
+        // Lease fast path: a cached lease-protected entry covering the
+        // range is served locally — zero wire round-trips. On a miss, the
+        // revocation counter is snapshotted *before* the wire read so a
+        // racing write can never leave stale bytes in the cache (the
+        // payload is still returned — the server produced it, so it is a
+        // legal linearization — it just isn't kept).
+        let lease = self.fs.lease.lock().clone();
+        if let Some(cache) = lease {
+            if let Some(p) = cache.lookup(&self.path, offset, len) {
+                return Ok(p);
+            }
+            let snap = cache.revocation();
+            let (p, grant) = self.leased_wire_read(offset, len)?;
+            // Only full-length reads are cached: a short read means the
+            // range crossed EOF, and such an entry could serve bytes a
+            // later extending write would not invalidate.
+            if grant.is_some() && p.len() == len {
+                cache.insert_if(snap, &self.path, offset, &p);
+            }
+            return Ok(p);
         }
         match self.conn.read(self.fd, offset, len) {
             Ok(p) => Ok(p),

@@ -30,11 +30,13 @@
 #![warn(missing_docs)]
 
 mod explore;
+mod lease;
 mod scenario;
 mod script;
 mod trace;
 
 pub use explore::{explore, ExploreCfg, ExploreReport, Strategy};
+pub use lease::{LeaseBroken, LeaseObservation, LeaseScenario};
 pub use scenario::{BrokenInvariant, FederationScenario, RunObservation, Scenario};
 pub use script::{ChoiceRecord, ScriptHook};
 pub use trace::McTrace;

@@ -218,6 +218,34 @@ impl SrbConn {
         }
     }
 
+    /// Read up to `len` bytes at `offset`, also returning the server's
+    /// lease grant from the response header — the object's write epoch
+    /// sampled before the read. A caller holding the grant may cache the
+    /// bytes until the lease is revoked (write-hook broadcast) or broken
+    /// (unlink, server loss, shard failover).
+    pub fn read_leased(&self, fd: u32, offset: u64, len: u64) -> SrbResult<(Payload, Option<u64>)> {
+        let cut = |acked: &std::sync::atomic::AtomicU64| SrbError::Disconnected {
+            acked: acked.load(Ordering::Relaxed),
+        };
+        let (resp, grant) = self
+            .transport
+            .exchange_granted(
+                self.session,
+                self.tenant(),
+                Request::Read { fd, offset, len },
+                None,
+            )
+            .map_err(|_| cut(&self.acked))?;
+        match resp {
+            Response::Data(p) => {
+                self.acked.fetch_add(p.len(), Ordering::Relaxed);
+                Ok((p, grant))
+            }
+            Response::Error(e) => Err(e),
+            other => Err(SrbError::InvalidArg(format!("unexpected reply {other:?}"))),
+        }
+    }
+
     /// Write `payload` at `offset`, returning bytes written.
     pub fn write(&self, fd: u32, offset: u64, payload: Payload) -> SrbResult<u64> {
         match self.call(Request::Write {

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod client;
 pub mod federation;
 pub mod mcat;
@@ -34,6 +35,7 @@ pub mod transport;
 pub mod types;
 pub mod vault;
 
+pub use cache::{BlockCache, CacheSpec, CacheStats, Eviction};
 pub use client::SrbConn;
 pub use federation::{ReplStats, Replicator, ShardMap, REPL_BLOCK};
 pub use mcat::Mcat;
@@ -41,7 +43,9 @@ pub use pool::{ConnPool, PoolPolicy, SlotPolicy};
 pub use proto::{SessionId, TenantId};
 pub use qos::TenantScheduler;
 pub use retry::RetryPolicy;
-pub use server::{ConnRoute, ServerStats, SrbServer, SrbServerCfg};
+pub use server::{
+    ConnRoute, LeaseBreak, LeaseBreakHook, ServerStats, SrbServer, SrbServerCfg, WriteHook,
+};
 pub use transport::{IoMeter, MeterSnapshot, Transport};
 pub use types::{adler32, ObjStat, OpenFlags, Payload, SrbError, SrbResult};
 pub use vault::{DiskSpec, Vault};

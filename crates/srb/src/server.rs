@@ -19,6 +19,7 @@ use semplar_netsim::{Bw, LinkId, Network};
 use semplar_runtime::sync::Channel;
 use semplar_runtime::{Dur, Runtime};
 
+use crate::cache::{BlockCache, CacheSpec, CacheStats};
 use crate::client::SrbConn;
 use crate::mcat::Mcat;
 use crate::proto::{ReqFrame, Request, RespFrame, Response, SessionId, WIRE_HDR};
@@ -134,9 +135,30 @@ struct Peer {
 type ConnChannels = (Channel<ReqFrame>, Channel<RespFrame>);
 
 /// Observer invoked after every durable vault write, with `(path, offset,
-/// len)`. Federation hangs its replication queue off this; the default is
-/// `None` and costs nothing.
+/// len)`. Federation hangs its replication queue off this and client-side
+/// read-lease caches hang their revocation off it; hooks broadcast — every
+/// registered hook fires for every write. The default is no hooks, which
+/// costs nothing.
 pub type WriteHook = Arc<dyn Fn(&str, u64, u64) + Send + Sync>;
+
+/// An out-of-band lease-break event: something other than an ordinary
+/// overlapping write invalidated whatever read leases clients may hold.
+#[derive(Clone, Debug)]
+pub enum LeaseBreak {
+    /// The object was unlinked; any cached bytes for it are void.
+    Unlink {
+        /// Logical path of the removed object.
+        path: String,
+    },
+    /// The server crashed. All leases it ever granted lapse: writes may
+    /// land elsewhere (a shard replica) while this server is down, and its
+    /// write-hook broadcast is silent for those.
+    ServerLost,
+}
+
+/// Observer for [`LeaseBreak`] events; registered alongside write hooks by
+/// clients that cache lease-granted reads.
+pub type LeaseBreakHook = Arc<dyn Fn(&LeaseBreak) + Send + Sync>;
 
 /// Per-connection request trace, keyed by connection id so concurrent
 /// handlers produce a deterministic ordering.
@@ -162,8 +184,17 @@ pub struct SrbServer {
     /// When enabled, every request is recorded (per connection, in arrival
     /// order) — the golden-trace tests pin the wire behaviour with this.
     trace: Mutex<Option<RequestTrace>>,
-    /// Called after each completed vault write (federation replication).
-    write_hook: Mutex<Option<WriteHook>>,
+    /// Broadcast after each completed vault write (federation replication,
+    /// client lease revocation).
+    write_hooks: Mutex<Vec<WriteHook>>,
+    /// Broadcast on unlink and crash (client lease revocation).
+    lease_breaks: Mutex<Vec<LeaseBreakHook>>,
+    /// Per-object write epoch, bumped by every mutation; reads sample it
+    /// *before* touching the vault and return it as their lease grant.
+    lease_epochs: Mutex<std::collections::HashMap<u64, u64>>,
+    /// Optional block cache in front of the vault. `None` (the default)
+    /// leaves the read path bit-identical to the uncached server.
+    cache: Mutex<Option<Arc<BlockCache>>>,
     /// Optional per-tenant fair queueing across the vault + NIC stage.
     /// `None` (the default) skips admission entirely and leaves request
     /// service bit-identical to the pre-QoS server.
@@ -199,7 +230,10 @@ impl SrbServer {
             live_conns: Mutex::new(Default::default()),
             crashed: AtomicBool::new(false),
             trace: Mutex::new(None),
-            write_hook: Mutex::new(None),
+            write_hooks: Mutex::new(Vec::new()),
+            lease_breaks: Mutex::new(Vec::new()),
+            lease_epochs: Mutex::new(Default::default()),
+            cache: Mutex::new(None),
             qos: Mutex::new(None),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
@@ -235,6 +269,19 @@ impl SrbServer {
         for (_, (req_ch, resp_ch)) in &conns {
             req_ch.close();
             resp_ch.close();
+        }
+        // The block cache is volatile server memory: a crash loses it, and
+        // the restarted server warms up from a cold cache.
+        if let Some(c) = self.cache.lock().as_ref() {
+            c.clear();
+        }
+        // Every lease this server granted lapses with it: while it is down,
+        // writes can land on a failover replica without this server's
+        // write-hook broadcast ever firing, so clients must drop their
+        // cached reads now.
+        let breaks = self.lease_breaks.lock().clone();
+        for h in &breaks {
+            h(&LeaseBreak::ServerLost);
         }
         conns.len()
     }
@@ -341,10 +388,60 @@ impl SrbServer {
     }
 
     /// Register an observer called after every completed vault write with
-    /// `(path, offset, len)`. The hook runs on the connection-handler actor
-    /// and must not block; federation uses it to enqueue replication work.
+    /// `(path, offset, len)`. Hooks accumulate — federation's replication
+    /// queue and client lease revocation each register one and all of them
+    /// fire per write, in registration order. A hook runs on the
+    /// connection-handler actor and must not block.
     pub fn set_write_hook(&self, hook: WriteHook) {
-        *self.write_hook.lock() = Some(hook);
+        self.write_hooks.lock().push(hook);
+    }
+
+    /// Register an observer for out-of-band [`LeaseBreak`] events (unlink,
+    /// server crash). Hooks accumulate, like write hooks.
+    pub fn add_lease_break_hook(&self, hook: LeaseBreakHook) {
+        self.lease_breaks.lock().push(hook);
+    }
+
+    /// Put a block cache with the given geometry in front of the vault.
+    /// Reads served entirely from cache skip the disk; writes go through
+    /// to the vault and invalidate overlapping blocks. Off by default.
+    pub fn set_block_cache(&self, spec: CacheSpec) -> Arc<BlockCache> {
+        let cache = Arc::new(BlockCache::new(spec));
+        *self.cache.lock() = Some(cache.clone());
+        cache
+    }
+
+    /// The installed block cache, if any.
+    pub fn block_cache(&self) -> Option<Arc<BlockCache>> {
+        self.cache.lock().clone()
+    }
+
+    /// Snapshot of the block cache counters (zeros when no cache is
+    /// installed).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .lock()
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default()
+    }
+
+    /// The object's current write epoch (0 if never mutated).
+    fn lease_epoch(&self, obj_id: u64) -> u64 {
+        *self.lease_epochs.lock().get(&obj_id).unwrap_or(&0)
+    }
+
+    /// Bump the object's write epoch; every outstanding lease granted at an
+    /// older epoch is now void.
+    fn bump_lease_epoch(&self, obj_id: u64) {
+        *self.lease_epochs.lock().entry(obj_id).or_insert(0) += 1;
+    }
+
+    fn fire_write_hooks(&self, path: &str, offset: u64, len: u64) {
+        let hooks = self.write_hooks.lock().clone();
+        for h in &hooks {
+            h(path, offset, len);
+        }
     }
 
     /// Install per-tenant deficit-round-robin fair queueing. Every request
@@ -537,14 +634,19 @@ impl SrbServer {
                 q.admit(tenant, cost);
             }
             let last = matches!(req, Request::Disconnect);
-            let resp = if matches!(req, Request::EndSession) {
+            let (resp, lease) = if matches!(req, Request::EndSession) {
                 sessions.remove(&session);
-                Response::Ok
+                (Response::Ok, None)
             } else {
                 let space = sessions.entry(session).or_default();
                 self.handle(req, space)
             };
-            let frame = RespFrame { seq, session, resp };
+            let frame = RespFrame {
+                seq,
+                session,
+                lease,
+                resp,
+            };
             self.net
                 .send_message_opts(&rev, frame.wire_size(), &rev_opts);
             if let Some(q) = &qos {
@@ -560,27 +662,33 @@ impl SrbServer {
         self.live_conns.lock().remove(&conn_id);
     }
 
-    fn handle(&self, req: Request, space: &mut SessionSpace) -> Response {
+    fn handle(&self, req: Request, space: &mut SessionSpace) -> (Response, Option<u64>) {
         match self.handle_inner(req, space) {
             Ok(r) => r,
-            Err(e) => Response::Error(e),
+            Err(e) => (Response::Error(e), None),
         }
     }
 
-    fn handle_inner(&self, req: Request, space: &mut SessionSpace) -> SrbResult<Response> {
+    /// Serve one request; returns the response plus, for reads, the lease
+    /// grant (the object's write epoch sampled before the read).
+    fn handle_inner(
+        &self,
+        req: Request,
+        space: &mut SessionSpace,
+    ) -> SrbResult<(Response, Option<u64>)> {
         match req {
             Request::MkColl(p) => {
                 self.mcat.mk_coll(&p)?;
-                Ok(Response::Ok)
+                Ok((Response::Ok, None))
             }
             Request::RmColl(p) => {
                 self.mcat.rm_coll(&p)?;
-                Ok(Response::Ok)
+                Ok((Response::Ok, None))
             }
             Request::Create(p) => {
                 let id = self.mcat.create_obj(&p, &self.cfg.resource)?;
                 self.vault.create(id);
-                Ok(Response::Ok)
+                Ok((Response::Ok, None))
             }
             Request::Open(p, flags) => {
                 let rec = match self.mcat.lookup(&p) {
@@ -602,11 +710,11 @@ impl SrbServer {
                         flags,
                     },
                 );
-                Ok(Response::Fd(fd))
+                Ok((Response::Fd(fd), None))
             }
             Request::Close(fd) => {
                 space.fds.remove(&fd).ok_or(SrbError::BadFd(fd))?;
-                Ok(Response::Ok)
+                Ok((Response::Ok, None))
             }
             Request::Read { fd, offset, len } => {
                 let obj_id = {
@@ -616,9 +724,18 @@ impl SrbServer {
                     }
                     e.obj_id
                 };
-                let data = self.vault.read(obj_id, offset, len);
+                // Lease grant: sample the write epoch BEFORE the read. If a
+                // write slips in during the disk access the grant is already
+                // stale — the conservative direction. (Sampling after could
+                // stamp a fresh epoch onto pre-write bytes.)
+                let grant = self.lease_epoch(obj_id);
+                let cache = self.cache.lock().clone();
+                let data = match &cache {
+                    Some(c) => c.serve_read(&self.vault, obj_id, offset, len),
+                    None => self.vault.read(obj_id, offset, len),
+                };
                 self.bytes_read.fetch_add(data.len(), Ordering::Relaxed);
-                Ok(Response::Data(data))
+                Ok((Response::Data(data), Some(grant)))
             }
             Request::Write {
                 fd,
@@ -633,14 +750,20 @@ impl SrbServer {
                     (e.obj_id, e.path.clone())
                 };
                 let n = payload.len();
+                // For cache invalidation the dirty range starts at the
+                // write offset or the old EOF, whichever is lower: a write
+                // past EOF zero-fills the gap, so cached EOF-short blocks
+                // in `[old_size, offset)` are stale too.
+                let old_size = self.vault.size(obj_id);
                 let new_size = self.vault.write(obj_id, offset, &payload);
+                if let Some(c) = self.cache.lock().clone() {
+                    c.invalidate_range(obj_id, old_size.min(offset), offset + n);
+                }
+                self.bump_lease_epoch(obj_id);
                 self.mcat.update_size(&path, new_size)?;
                 self.bytes_written.fetch_add(n, Ordering::Relaxed);
-                let hook = self.write_hook.lock().clone();
-                if let Some(h) = hook {
-                    h(&path, offset, n);
-                }
-                Ok(Response::Written(n))
+                self.fire_write_hooks(&path, offset, n);
+                Ok((Response::Written(n), None))
             }
             Request::ReadList { fd, extents } => {
                 let obj_id = {
@@ -654,7 +777,7 @@ impl SrbServer {
                 // packed transfer, instead of a disk pass per extent.
                 let data = self.vault.read_list(obj_id, &extents);
                 self.bytes_read.fetch_add(data.len(), Ordering::Relaxed);
-                Ok(Response::Data(data))
+                Ok((Response::Data(data), None))
             }
             Request::WriteList {
                 fd,
@@ -675,38 +798,52 @@ impl SrbServer {
                         payload.len()
                     )));
                 }
+                let old_size = self.vault.size(obj_id);
                 let new_size = self.vault.write_list(obj_id, &extents, &payload);
+                if let Some(c) = self.cache.lock().clone() {
+                    // One conservative sweep over the whole dirtied span
+                    // (including any zero-filled gap past the old EOF).
+                    let lo = extents.iter().map(|&(o, _)| o).min().unwrap_or(0);
+                    let hi = extents.iter().map(|&(o, l)| o + l).max().unwrap_or(0);
+                    c.invalidate_range(obj_id, old_size.min(lo), hi);
+                }
+                self.bump_lease_epoch(obj_id);
                 self.mcat.update_size(&path, new_size)?;
                 self.bytes_written.fetch_add(total, Ordering::Relaxed);
-                let hook = self.write_hook.lock().clone();
-                if let Some(h) = hook {
-                    // Fire per extent so replication ships exactly the
-                    // packed bytes — never the holes between extents.
-                    for &(off, len) in &extents {
-                        h(&path, off, len);
-                    }
+                // Fire per extent so replication ships exactly the packed
+                // bytes — never the holes between extents.
+                for &(off, len) in &extents {
+                    self.fire_write_hooks(&path, off, len);
                 }
-                Ok(Response::Written(total))
+                Ok((Response::Written(total), None))
             }
-            Request::Stat(p) => Ok(Response::Stat(self.mcat.stat(&p)?)),
+            Request::Stat(p) => Ok((Response::Stat(self.mcat.stat(&p)?), None)),
             Request::Unlink(p) => {
                 let id = self.mcat.unlink(&p)?;
                 self.vault.remove(id);
-                Ok(Response::Ok)
+                if let Some(c) = self.cache.lock().clone() {
+                    c.invalidate_obj(id);
+                }
+                self.bump_lease_epoch(id);
+                let breaks = self.lease_breaks.lock().clone();
+                for h in &breaks {
+                    h(&LeaseBreak::Unlink { path: p.clone() });
+                }
+                Ok((Response::Ok, None))
             }
-            Request::List(p) => Ok(Response::Names(self.mcat.list(&p)?)),
+            Request::List(p) => Ok((Response::Names(self.mcat.list(&p)?), None)),
             Request::Checksum(p) => {
                 let rec = self.mcat.lookup(&p)?;
-                Ok(Response::Checksum(self.vault.checksum(rec.obj_id)?))
+                Ok((Response::Checksum(self.vault.checksum(rec.obj_id)?), None))
             }
             Request::Replicate { path, peer } => {
                 self.replicate(&path, &peer)?;
-                Ok(Response::Ok)
+                Ok((Response::Ok, None))
             }
             // EndSession is resolved in `serve_connection` (it retires the
             // whole session space); reaching here means a stray frame.
-            Request::EndSession => Ok(Response::Ok),
-            Request::Disconnect => Ok(Response::Ok),
+            Request::EndSession => Ok((Response::Ok, None)),
+            Request::Disconnect => Ok((Response::Ok, None)),
         }
     }
 }

@@ -33,7 +33,7 @@ use semplar_runtime::Runtime;
 
 use crate::proto::{ReqFrame, Request, RespFrame, Response, SessionId, TenantId};
 
-type RespCell = Arc<OnceCellBlocking<Option<Response>>>;
+type RespCell = Arc<OnceCellBlocking<Option<RespFrame>>>;
 
 /// Completion to run when an async submit's tagged response arrives (or the
 /// stream dies, delivering `None`). Runs on the demux daemon: it must not
@@ -249,7 +249,7 @@ impl Transport {
                 while let Ok(frame) = demux_resp.recv() {
                     let entry = demux_pending.lock().remove(&frame.seq);
                     match entry {
-                        Some(Pending::Cell(cell)) => cell.set(Some(frame.resp)),
+                        Some(Pending::Cell(cell)) => cell.set(Some(frame)),
                         Some(Pending::Callback(cb)) => {
                             // Async submits hold their inflight permit from
                             // the sender daemon's send to this completion.
@@ -323,6 +323,21 @@ impl Transport {
         req: Request,
         useful: Option<u64>,
     ) -> Result<Response, Closed> {
+        self.exchange_granted(session, tenant, req, useful)
+            .map(|(resp, _)| resp)
+    }
+
+    /// Like [`Transport::exchange_hinted`], but also surfaces the response
+    /// frame's lease grant (the header field the server stamps on reads).
+    /// Clients that cache lease-granted reads call this; everything else
+    /// goes through [`Transport::exchange_hinted`] and drops the grant.
+    pub(crate) fn exchange_granted(
+        &self,
+        session: SessionId,
+        tenant: TenantId,
+        req: Request,
+        useful: Option<u64>,
+    ) -> Result<(Response, Option<u64>), Closed> {
         let t0 = self.rt.now();
         self.meter.begin();
         let r = match &self.mode {
@@ -335,13 +350,13 @@ impl Transport {
                     tenant,
                     req,
                 };
-                let send = || -> Result<Response, Closed> {
+                let send = || -> Result<(Response, Option<u64>), Closed> {
                     self.net
                         .send_message_opts(&self.fwd, frame.wire_size(), &self.fwd_opts);
                     self.req_ch.send(frame).map_err(|_| Closed)?;
                     let resp = self.resp_ch.recv().map_err(|_| Closed)?;
                     debug_assert_eq!(resp.seq, seq, "exclusive stream reordered a response");
-                    Ok(resp.resp)
+                    Ok((resp.resp, resp.lease))
                 };
                 send()
             }
@@ -355,11 +370,11 @@ impl Transport {
                 inflight.acquire();
                 let r = self.exchange_mux(pending, send_lock, dead, session, tenant, req);
                 inflight.release();
-                r
+                r.map(|frame| (frame.resp, frame.lease))
             }
         };
         match &r {
-            Ok(resp) => {
+            Ok((resp, _)) => {
                 // Payload bytes the exchange actually moved: data received
                 // for reads, bytes the server acknowledged for writes.
                 let actual = match resp {
@@ -384,7 +399,7 @@ impl Transport {
         session: SessionId,
         tenant: TenantId,
         req: Request,
-    ) -> Result<Response, Closed> {
+    ) -> Result<RespFrame, Closed> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let cell: RespCell = OnceCellBlocking::new(&self.rt);
         {

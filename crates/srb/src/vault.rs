@@ -10,6 +10,7 @@
 //! but correctness tests and the compression pipeline round-trip real data.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -40,6 +41,16 @@ pub struct DiskSpec {
     pub bandwidth: Bw,
     /// Fixed positioning cost charged per operation.
     pub seek: Dur,
+    /// Concurrency degradation (the dslab-storage `shared_disk` idiom):
+    /// with `k` operations in flight, the spindle sustains an *aggregate*
+    /// of `bandwidth / (1 + degradation · (k − 1))` — extra seeks and
+    /// queue thrash eat into the streaming rate as concurrency grows. Each
+    /// operation samples `k` at its start and is capped at its `1/k` share
+    /// of that degraded aggregate for its whole transfer, which keeps the
+    /// model deterministic. `0.0` (the default) disables the cap entirely:
+    /// concurrent operations share the full bandwidth max-min fairly,
+    /// bit-identical to the pre-degradation model.
+    pub degradation: f64,
 }
 
 impl Default for DiskSpec {
@@ -48,6 +59,7 @@ impl Default for DiskSpec {
             // A 2006-era high-end storage array.
             bandwidth: Bw::mbyte_per_s(400.0),
             seek: Dur::from_micros(500),
+            degradation: 0.0,
         }
     }
 }
@@ -57,7 +69,10 @@ pub struct Vault {
     rt: Arc<dyn Runtime>,
     disk_net: Arc<Network>,
     disk: LinkId,
-    seek: Dur,
+    spec: DiskSpec,
+    /// Disk operations currently in flight (seek + transfer), sampled by
+    /// each arriving operation to derive its concurrency-degraded cap.
+    in_flight: AtomicUsize,
     objects: Mutex<HashMap<u64, ObjData>>,
 }
 
@@ -70,14 +85,37 @@ impl Vault {
             rt,
             disk_net,
             disk,
-            seek: spec.seek,
+            spec,
+            in_flight: AtomicUsize::new(0),
             objects: Mutex::new(HashMap::new()),
         })
     }
 
+    /// The disk characteristics this vault was built with.
+    pub fn spec(&self) -> DiskSpec {
+        self.spec
+    }
+
+    /// The per-operation bandwidth cap for an operation that starts with
+    /// `k` operations in flight (itself included): its `1/k` share of the
+    /// concurrency-degraded aggregate. `None` when no degradation is
+    /// configured or the operation runs alone — the shared link's max-min
+    /// fairness is then the whole model, exactly as before.
+    fn concurrency_cap(&self, k: usize) -> Option<Bw> {
+        if self.spec.degradation <= 0.0 || k <= 1 {
+            return None;
+        }
+        let aggregate =
+            self.spec.bandwidth.as_bps() / (1.0 + self.spec.degradation * (k as f64 - 1.0));
+        Some(Bw::bps(aggregate / k as f64))
+    }
+
     fn charge_disk(&self, bytes: u64) {
-        self.rt.sleep(self.seek);
-        self.disk_net.transfer(&[self.disk], bytes, None);
+        let k = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.rt.sleep(self.spec.seek);
+        self.disk_net
+            .transfer(&[self.disk], bytes, self.concurrency_cap(k));
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Fault injection: occupy the disk with `bytes` of competing traffic,
@@ -203,6 +241,35 @@ impl Vault {
         out
     }
 
+    /// Read several extents in one vault pass, returning one payload per
+    /// extent (each truncated at EOF, POSIX-style) but charging a single
+    /// seek plus one disk transfer for the combined bytes. This is the
+    /// block-cache miss path: a cache fill wants the missing blocks as
+    /// separate payloads without paying a seek per block.
+    pub fn read_extents(&self, obj_id: u64, extents: &[(u64, u64)]) -> Vec<Payload> {
+        let out: Vec<Payload> = {
+            let g = self.objects.lock();
+            extents
+                .iter()
+                .map(|&(offset, len)| match g.get(&obj_id) {
+                    None => Payload::sized(0),
+                    Some(ObjData::Real(v)) => {
+                        let start = (offset as usize).min(v.len());
+                        let end = ((offset + len) as usize).min(v.len());
+                        Payload::bytes(v[start..end].to_vec())
+                    }
+                    Some(ObjData::Sparse(n)) => {
+                        let avail = n.saturating_sub(offset).min(len);
+                        Payload::sized(avail)
+                    }
+                })
+                .collect()
+        };
+        let total: u64 = out.iter().map(|p| p.len()).sum();
+        self.charge_disk(total);
+        out
+    }
+
     /// Adler-32 of a whole object, charging a full disk read. Errors on
     /// sparse (size-only) objects — there are no bytes to sum.
     pub fn checksum(&self, obj_id: u64) -> Result<u32, crate::types::SrbError> {
@@ -247,6 +314,7 @@ mod tests {
             DiskSpec {
                 bandwidth: Bw::mbyte_per_s(100.0),
                 seek: Dur::from_millis(1),
+                ..DiskSpec::default()
             },
         )
     }
@@ -319,6 +387,102 @@ mod tests {
         });
         // 2 × 50 MB on a shared 100 MB/s disk ≈ 1 s (+ seeks).
         assert!((elapsed.as_secs_f64() - 1.001).abs() < 1e-3, "{elapsed}");
+    }
+
+    #[test]
+    fn degradation_halves_aggregate_for_two_writers() {
+        let elapsed = simulate(|rt| {
+            let v = Vault::new(
+                rt.clone(),
+                DiskSpec {
+                    bandwidth: Bw::mbyte_per_s(100.0),
+                    seek: Dur::from_millis(1),
+                    degradation: 1.0,
+                },
+            );
+            let t0 = rt.now();
+            let mut hs = Vec::new();
+            for i in 0..2u64 {
+                let v2 = v.clone();
+                hs.push(semplar_runtime::spawn(&rt, &format!("w{i}"), move || {
+                    v2.write(i, 0, &Payload::sized(50_000_000));
+                }));
+            }
+            for h in hs {
+                h.join_unwrap();
+            }
+            rt.now() - t0
+        });
+        // degradation 1.0 with k=2 halves the aggregate to 50 MB/s, so each
+        // writer gets a 25 MB/s cap: 50 MB each ≈ 2 s (+ seeks). The second
+        // writer starts while the first is mid-seek (in_flight already 1),
+        // so both sample k=2.
+        assert!((elapsed.as_secs_f64() - 2.001).abs() < 1e-3, "{elapsed}");
+    }
+
+    #[test]
+    fn degradation_zero_is_bit_identical_to_fair_sharing() {
+        let elapsed = simulate(|rt| {
+            let v = test_vault(rt.clone());
+            let t0 = rt.now();
+            let mut hs = Vec::new();
+            for i in 0..2u64 {
+                let v2 = v.clone();
+                hs.push(semplar_runtime::spawn(&rt, &format!("w{i}"), move || {
+                    v2.write(i, 0, &Payload::sized(50_000_000));
+                }));
+            }
+            for h in hs {
+                h.join_unwrap();
+            }
+            rt.now() - t0
+        });
+        assert!((elapsed.as_secs_f64() - 1.001).abs() < 1e-3, "{elapsed}");
+    }
+
+    #[test]
+    fn single_op_never_degraded() {
+        let elapsed = simulate(|rt| {
+            let v = Vault::new(
+                rt.clone(),
+                DiskSpec {
+                    bandwidth: Bw::mbyte_per_s(100.0),
+                    seek: Dur::from_millis(1),
+                    degradation: 4.0,
+                },
+            );
+            v.create(1);
+            let t0 = rt.now();
+            v.write(1, 0, &Payload::sized(100_000_000));
+            rt.now() - t0
+        });
+        // Alone on the disk, degradation never applies: still ~1.001 s.
+        assert!((elapsed.as_secs_f64() - 1.001).abs() < 1e-6, "{elapsed}");
+    }
+
+    #[test]
+    fn read_extents_matches_per_extent_reads_with_one_seek() {
+        simulate(|rt| {
+            let v = test_vault(rt.clone());
+            v.create(1);
+            v.write(1, 0, &Payload::bytes((0..100u8).collect()));
+            let t0 = rt.now();
+            let parts = v.read_extents(1, &[(0, 10), (50, 20), (95, 30)]);
+            let took = rt.now() - t0;
+            assert_eq!(parts.len(), 3);
+            assert_eq!(parts[0].data().unwrap(), &(0..10u8).collect::<Vec<_>>()[..]);
+            assert_eq!(
+                parts[1].data().unwrap(),
+                &(50..70u8).collect::<Vec<_>>()[..]
+            );
+            // Last extent truncated at EOF.
+            assert_eq!(
+                parts[2].data().unwrap(),
+                &(95..100u8).collect::<Vec<_>>()[..]
+            );
+            // One seek (1 ms) for the whole list, not one per extent.
+            assert!(took < Dur::from_millis(2), "{took}");
+        });
     }
 
     #[test]

@@ -130,6 +130,60 @@ pub enum SwarmMode {
     Tasks,
 }
 
+/// Access skew across the swarm's objects: instead of every client owning
+/// its private object (`{coll}/c{i}`), clients target a shared hot set of
+/// `hot_objects` objects (`{coll}/h{j}`), with object `j` drawn from a
+/// Zipf(`theta`) distribution by a deterministic per-client hash. `theta
+/// = 0.0` spreads clients uniformly over the hot set; larger values
+/// concentrate them on the lowest ranks (classic 0.99 ≈ "80/20"). The
+/// knob that gives the block cache and read leases a hot set to hit.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessSkew {
+    /// Zipf exponent; 0 = uniform over the hot set.
+    pub theta: f64,
+    /// Number of distinct objects the swarm touches.
+    pub hot_objects: usize,
+}
+
+/// splitmix64: deterministic 64-bit mix for per-client draws.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// The Zipf rank (0-based) client `client` lands on: inverse-CDF over the
+/// normalized harmonic weights, driven by a hash of `(seed, client)`.
+fn zipf_rank(seed: u64, client: u64, n: usize, theta: f64) -> usize {
+    debug_assert!(n > 0);
+    let u =
+        (mix64(seed ^ client.wrapping_mul(0x9E3779B97F4A7C15)) >> 11) as f64 / (1u64 << 53) as f64;
+    let h: f64 = (1..=n).map(|k| (k as f64).powf(-theta)).sum();
+    let mut acc = 0.0;
+    for k in 1..=n {
+        acc += (k as f64).powf(-theta) / h;
+        if u <= acc {
+            return k - 1;
+        }
+    }
+    n - 1
+}
+
+/// The object path client `i` opens: its private `{coll}/c{i}` without
+/// skew (bit-identical to the pre-skew swarm), a Zipf-ranked member of the
+/// shared hot set with it.
+fn path_for(p: &SwarmParams, client: usize) -> String {
+    match p.skew {
+        None => format!("{}/c{}", p.coll, client),
+        Some(s) => format!(
+            "{}/h{}",
+            p.coll,
+            zipf_rank(p.seed, client as u64, s.hot_objects.max(1), s.theta)
+        ),
+    }
+}
+
 /// Parameters for one swarm run.
 #[derive(Clone, Debug)]
 pub struct SwarmParams {
@@ -169,6 +223,10 @@ pub struct SwarmParams {
     /// its head-of-line — partitioning isolates that, as separate user
     /// communities dialing their own connections would.
     pub per_tenant_streams: bool,
+    /// Optional access skew: route clients onto a shared Zipf-weighted hot
+    /// set instead of private per-client objects. `None` (the default)
+    /// leaves the request stream bit-identical to the pre-skew swarm.
+    pub skew: Option<AccessSkew>,
 }
 
 impl SwarmParams {
@@ -191,6 +249,7 @@ impl SwarmParams {
             coll: "/swarm".into(),
             abuse: None,
             per_tenant_streams: false,
+            skew: None,
         }
     }
 
@@ -610,7 +669,7 @@ pub fn run_swarm(tb: &Testbed, params: &SwarmParams) -> SwarmReport {
                         shape: params.shape_for(params.mix.assign(i)),
                         client: i,
                         conn: conns[i].clone(),
-                        path: format!("{}/c{}", params.coll, i),
+                        path: path_for(&params, i),
                         arrival: arrivals[i],
                         arrival_ns: 0,
                         state: ActorState::Arriving,
@@ -635,7 +694,7 @@ pub fn run_swarm(tb: &Testbed, params: &SwarmParams) -> SwarmReport {
                     let outcomes = outcomes.clone();
                     let arrival = arrivals[i];
                     spawn(&rt, &format!("swarm-cl{i}"), move || {
-                        let path = format!("{}/c{}", params.coll, i);
+                        let path = path_for(&params, i);
                         let out = run_thread_session(&rt2, &params, i, &conn, &path, arrival);
                         outcomes.lock()[i] = Some(out);
                     })
@@ -684,6 +743,7 @@ mod tests {
             coll: "/sw".into(),
             abuse: None,
             per_tenant_streams: false,
+            skew: None,
         }
     }
 
@@ -737,6 +797,62 @@ mod tests {
             acc
         });
         assert_eq!(counts, [300, 100]);
+    }
+
+    #[test]
+    fn zipf_skew_is_deterministic_and_concentrates_on_low_ranks() {
+        let mut p = tiny_params(SwarmMode::Tasks);
+        p.skew = Some(AccessSkew {
+            theta: 0.99,
+            hot_objects: 8,
+        });
+        let paths: Vec<String> = (0..500).map(|i| path_for(&p, i)).collect();
+        assert_eq!(paths, (0..500).map(|i| path_for(&p, i)).collect::<Vec<_>>());
+        // Every path lands in the hot set.
+        assert!(paths.iter().all(|s| {
+            let r: usize = s.strip_prefix("/sw/h").unwrap().parse().unwrap();
+            r < 8
+        }));
+        // Zipf(0.99) over 8 ranks puts ~37% on rank 0 — far above uniform.
+        let rank0 = paths.iter().filter(|s| s.as_str() == "/sw/h0").count();
+        assert!(rank0 > 125, "rank 0 got {rank0}/500, expected skewed mass");
+        // Uniform (theta 0) spreads out: rank 0 near 1/8 of the draws.
+        p.skew = Some(AccessSkew {
+            theta: 0.0,
+            hot_objects: 8,
+        });
+        let rank0_uni = (0..500).filter(|&i| path_for(&p, i) == "/sw/h0").count();
+        assert!(
+            (30..125).contains(&rank0_uni),
+            "uniform rank 0 got {rank0_uni}/500"
+        );
+    }
+
+    /// A skewed swarm runs to completion and the server holds only hot-set
+    /// objects (no private `/c{i}` paths were ever created).
+    #[test]
+    fn skewed_swarm_touches_only_the_hot_set() {
+        let mut params = tiny_params(SwarmMode::Tasks);
+        params.skew = Some(AccessSkew {
+            theta: 0.99,
+            hot_objects: 2,
+        });
+        let sim = SimRuntime::new();
+        sim.run_root(move |rt| {
+            let tb = Testbed::new(rt, das2(), 2);
+            let report = run_swarm(&tb, &params);
+            assert_eq!(report.completed(), 6);
+            let admin = tb.server.connect(tb.route(0), USER, PASSWORD).unwrap();
+            for i in 0..params.clients {
+                let private = format!("{}/c{i}", params.coll);
+                assert!(
+                    admin.stat(&private).is_err(),
+                    "{private} should not exist under skew"
+                );
+            }
+            assert!(admin.stat(&format!("{}/h0", params.coll)).is_ok());
+            admin.disconnect().unwrap();
+        });
     }
 
     #[test]
@@ -804,6 +920,7 @@ mod tests {
                     },
                 )),
                 per_tenant_streams: tenant_aware,
+                skew: None,
             };
             let report = run_swarm(&tb, &params);
             assert_eq!(report.completed(), params.clients);

@@ -24,8 +24,8 @@ pub mod laplace;
 pub mod perf;
 
 pub use actors::{
-    heavy_tailed_arrivals, run_swarm, OpShape, SessionOutcome, SwarmMode, SwarmParams, SwarmReport,
-    TenantMix,
+    heavy_tailed_arrivals, run_swarm, AccessSkew, OpShape, SessionOutcome, SwarmMode, SwarmParams,
+    SwarmReport, TenantMix,
 };
 pub use blast::{run_blast, BlastParams, BlastReport};
 pub use collective::{run_collective, CollectiveMode, CollectiveParams, CollectiveReport};

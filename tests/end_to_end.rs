@@ -218,6 +218,7 @@ fn staging_moves_data_between_backends_with_checksums() {
             DiskSpec {
                 bandwidth: Bw::mbyte_per_s(50.0),
                 seek: Dur::ZERO,
+                ..DiskSpec::default()
             },
             64 * 1024,
         );
