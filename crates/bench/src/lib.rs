@@ -29,8 +29,8 @@ use semplar_runtime::sync::Barrier;
 use semplar_runtime::{spawn, Dur, SimRuntime, SimStats};
 use semplar_srb::vault::DiskSpec;
 use semplar_srb::{
-    CacheSpec, ConnRoute, Eviction, PoolPolicy, ReplStats, Replicator, RetryPolicy, SrbServer,
-    SrbServerCfg, TenantId, TenantScheduler,
+    CacheSpec, CacheStats, ConnRoute, Eviction, MembershipCfg, PoolPolicy, PromotionLedger,
+    ReplStats, Replicator, RetryPolicy, SrbServer, SrbServerCfg, TenantId, TenantScheduler,
 };
 use semplar_workloads::{
     estgen, run_blast, run_collective, run_compress, run_laplace, run_perf, run_swarm, BlastParams,
@@ -1390,6 +1390,7 @@ fn federation_run(
                 primary: primary_fs,
                 replica: replica_fs,
                 replicator: Some(repl),
+                reverse: None,
             });
         }
         let fed = FedFs::new(&rt, fed_shards);
@@ -1522,6 +1523,378 @@ pub fn fig_federation(
         fault_free_sums: clean.primary_sums,
         outage_read_ok: faulted.outage_read_ok,
         faults: faulted.faults.expect("faulted arm has an injector"),
+    }
+}
+
+/// Result of the federation HA experiment: the federated write workload
+/// run fault-free, with failover-only recovery (PR 5), and with membership
+/// governance (epochs, quorum promotion, fencing) plus the replica block
+/// cache — all against the same seeded mid-write crash of one shard's
+/// primary.
+#[derive(Clone, Debug)]
+pub struct FederationHaReport {
+    /// Shards in the federation (each a governed primary + replica pair).
+    pub shards: usize,
+    /// Files written (hash-routed across the shards).
+    pub files: usize,
+    /// Bytes per file.
+    pub bytes_per_file: u64,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Virtual seconds the primary crash lands after the writes start.
+    pub crash_at_secs: f64,
+    /// Virtual seconds the crashed primary stays down.
+    pub down_for_secs: f64,
+    /// Membership heartbeat cadence, milliseconds.
+    pub heartbeat_ms: u64,
+    /// Membership lease timeout, milliseconds.
+    pub lease_ms: u64,
+    /// Fault-free write time, virtual seconds.
+    pub fault_free_secs: f64,
+    /// Fault-free write goodput, Mb/s.
+    pub fault_free_mbps: f64,
+    /// Failover-only arm write time / goodput.
+    pub failover_secs: f64,
+    /// Failover-only arm goodput, Mb/s.
+    pub failover_mbps: f64,
+    /// Promotion arm write time / goodput.
+    pub promo_secs: f64,
+    /// Promotion arm goodput, Mb/s.
+    pub promo_mbps: f64,
+    /// Replica-served operations per arm (failover-only, promotion).
+    pub failovers: [u64; 2],
+    /// Divergence-queue high-water mark per arm (failover-only, promotion).
+    pub div_high_water: [u64; 2],
+    /// The promotion arm's membership transition ledger.
+    pub ledger: PromotionLedger,
+    /// Final epoch per shard in the promotion arm.
+    pub epochs: Vec<u64>,
+    /// Final primary seat per shard in the promotion arm.
+    pub primaries: Vec<usize>,
+    /// Replica block-cache counters of the crashed shard, promotion arm.
+    pub replica_cache: CacheStats,
+    /// Stale-epoch mutations the fenced old primary rejected.
+    pub fenced_rejects: u64,
+    /// Per-shard forward/reverse replicator counters, promotion arm.
+    pub repl: Vec<(ReplStats, ReplStats)>,
+    /// Per-file checksums: fault-free arm.
+    pub fault_free_sums: Vec<u32>,
+    /// Per-file checksums on both seats, failover-only arm.
+    pub failover_sums: (Vec<u32>, Vec<u32>),
+    /// Per-file checksums on both seats, promotion arm.
+    pub promo_sums: (Vec<u32>, Vec<u32>),
+    /// The mid-outage federated read returned the written bytes (per arm).
+    pub outage_read_ok: [bool; 2],
+    /// What the injector did in the promotion arm.
+    pub faults: FaultStats,
+}
+
+impl FederationHaReport {
+    /// Zero acked-byte loss across every arm: all six checksum vectors are
+    /// bit-identical to the fault-free run.
+    pub fn converged(&self) -> bool {
+        self.failover_sums.0 == self.fault_free_sums
+            && self.failover_sums.1 == self.fault_free_sums
+            && self.promo_sums.0 == self.fault_free_sums
+            && self.promo_sums.1 == self.fault_free_sums
+    }
+}
+
+/// The promotion arm: the same federated write as [`federation_run`], but
+/// with every shard under membership governance (forward + reverse
+/// replicators, epoch fencing, quorum promotion) and the replica of every
+/// pair fronted by a PR-9 block cache so failover reads during the outage
+/// are warm. Returns the arm plus membership observables.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+fn federation_ha_run(
+    shards: usize,
+    files: usize,
+    bytes_per_file: u64,
+    chunk: u64,
+    seed: u64,
+    crash: (Dur, Dur),
+    heartbeat: Dur,
+    lease: Dur,
+) -> (
+    FedArm,
+    PromotionLedger,
+    Vec<u64>,
+    Vec<usize>,
+    CacheStats,
+    u64,
+    u64,
+    Vec<(ReplStats, ReplStats)>,
+) {
+    let sim = SimRuntime::new();
+    sim.run_root(move |rt| {
+        let net = Network::new(rt.clone());
+        let mut fed_shards = Vec::with_capacity(shards);
+        let mut primary_servers = Vec::with_capacity(shards);
+        let mut replica_servers = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let route = |name: String, bw_mbps: f64, lat_ms: u64| ConnRoute {
+                fwd: vec![net.add_link(
+                    &format!("{name}-fwd"),
+                    Bw::mbps(bw_mbps),
+                    Dur::from_millis(lat_ms),
+                )],
+                rev: vec![net.add_link(
+                    &format!("{name}-rev"),
+                    Bw::mbps(bw_mbps),
+                    Dur::from_millis(lat_ms),
+                )],
+                send_cap: None,
+                recv_cap: None,
+                bus: None,
+            };
+            let primary = SrbServer::new(net.clone(), SrbServerCfg::default());
+            let replica = SrbServer::new(net.clone(), SrbServerCfg::default());
+            for srv in [&primary, &replica] {
+                srv.mcat().add_user("u", "p");
+                srv.mcat().add_user("fed", "fed");
+            }
+            // Satellite of PR 10: the replica carries the PR-9 block cache,
+            // so mid-outage failover reads are served from warm memory.
+            replica.set_block_cache(CacheSpec::default());
+            let cfg = |r: ConnRoute| SrbFsConfig {
+                route: r,
+                user: "u".into(),
+                password: "p".into(),
+            };
+            let primary_fs = SrbFs::with_retry(
+                primary.clone(),
+                cfg(route(format!("s{s}-client-primary"), 50.0, 10)),
+                RetryPolicy::none(),
+            );
+            let replica_fs = SrbFs::with_retry(
+                replica.clone(),
+                cfg(route(format!("s{s}-client-replica"), 50.0, 10)),
+                RetryPolicy::none(),
+            );
+            let forward = Replicator::start(
+                &rt,
+                primary.clone(),
+                replica.clone(),
+                route(format!("s{s}-repl"), 1000.0, 1),
+                "fed",
+                "fed",
+                RetryPolicy::default(),
+            );
+            let reverse = Replicator::start(
+                &rt,
+                replica.clone(),
+                primary.clone(),
+                route(format!("s{s}-repl-rev"), 1000.0, 1),
+                "fed",
+                "fed",
+                RetryPolicy::default(),
+            );
+            primary_servers.push(primary);
+            replica_servers.push(replica);
+            fed_shards.push(FedShard {
+                primary: primary_fs,
+                replica: replica_fs,
+                replicator: Some(forward),
+                reverse: Some(reverse),
+            });
+        }
+        let fed = FedFs::new(&rt, fed_shards);
+        let membership = fed.enable_membership(MembershipCfg {
+            heartbeat_every: heartbeat,
+            lease_timeout: lease,
+            hop_delay: Dur::from_millis(1),
+            base_epoch: 1,
+            witnesses: 0,
+        });
+        fed.mk_coll_all("/fed").expect("mk /fed everywhere");
+        let paths: Vec<String> = (0..files).map(|i| format!("/fed/data{i}")).collect();
+        let crashed_shard = fed.shard_of(&paths[0]);
+        let (at, down_for) = crash;
+        let inj = FaultPlan::new(seed).server_crash_at(at, down_for).inject(
+            &rt,
+            &net,
+            &primary_servers[crashed_shard],
+        );
+
+        let mut handles: Vec<Box<dyn AdioFile>> = paths
+            .iter()
+            .map(|p| fed.open(p, OpenFlags::CreateRw).expect("open federated"))
+            .collect();
+        let chunks = bytes_per_file / chunk;
+        let mut outage_read_ok = None;
+        let t0 = rt.now();
+        for c in 0..chunks {
+            for (i, h) in handles.iter_mut().enumerate() {
+                let data = Payload::bytes(fed_pattern(i, c * chunk, chunk));
+                let n = h.write_at(c * chunk, &data).expect("federated write");
+                assert_eq!(n, chunk, "short federated write");
+            }
+            if outage_read_ok.is_none() && fed.failovers() > 0 {
+                let mut r = fed.open(&paths[0], OpenFlags::Read).expect("outage open");
+                let got = r.read_at(0, chunk).expect("outage read");
+                let _ = r.close();
+                outage_read_ok = Some(got.data() == Some(&fed_pattern(0, 0, chunk)[..]));
+            }
+        }
+        let secs = (rt.now() - t0).as_secs_f64();
+        // Untimed warm-read pair against the promoted seat: the first
+        // populates its block cache, the second must be served from it.
+        {
+            let mut r = fed.open(&paths[0], OpenFlags::Read).expect("warm open");
+            for _ in 0..2 {
+                let got = r.read_at(0, chunk).expect("warm read");
+                assert_eq!(
+                    got.data(),
+                    Some(&fed_pattern(0, 0, chunk)[..]),
+                    "warm read bytes"
+                );
+            }
+            let _ = r.close();
+        }
+        for mut h in handles {
+            h.close().expect("close federated");
+        }
+        while !inj.done() {
+            rt.sleep(Dur::from_millis(100));
+        }
+        // The deposed primary restarts hard-fenced; membership certifies it
+        // back in as the shard's replica. Wait for the rejoin, then settle
+        // replication in both directions and replay any residue.
+        let mut rounds = 0;
+        while primary_servers[crashed_shard].is_fenced() {
+            rounds += 1;
+            assert!(rounds < 600, "deposed primary never rejoined");
+            rt.sleep(Dur::from_millis(10));
+        }
+        while !fed.reconcile() {
+            rt.sleep(Dur::from_millis(50));
+        }
+        for shard in fed.shards() {
+            for repl in [&shard.replicator, &shard.reverse].into_iter().flatten() {
+                repl.quiesce();
+            }
+        }
+        let mut primary_sums = Vec::with_capacity(files);
+        let mut replica_sums = Vec::with_capacity(files);
+        for p in &paths {
+            let shard = &fed.shards()[fed.shard_of(p)];
+            let conn = shard.primary.admin_conn().expect("primary admin");
+            primary_sums.push(conn.checksum(p).expect("primary checksum"));
+            let _ = conn.disconnect();
+            let conn = shard.replica.admin_conn().expect("replica admin");
+            replica_sums.push(conn.checksum(p).expect("replica checksum"));
+            let _ = conn.disconnect();
+        }
+        let arm = FedArm {
+            secs,
+            primary_sums,
+            replica_sums,
+            failovers: fed.failovers(),
+            recovery: fed.recovery_stats(),
+            ledger: fed.reconcile_ledger(),
+            repl: Vec::new(),
+            outage_read_ok: outage_read_ok.unwrap_or(false),
+            faults: Some(inj.stats()),
+        };
+        let repl = fed
+            .shards()
+            .iter()
+            .map(|s| {
+                (
+                    s.replicator.as_ref().expect("forward").stats(),
+                    s.reverse.as_ref().expect("reverse").stats(),
+                )
+            })
+            .collect();
+        (
+            arm,
+            membership.ledger(),
+            (0..shards).map(|s| membership.epoch(s)).collect(),
+            (0..shards).map(|s| membership.primary_of(s)).collect(),
+            replica_servers[crashed_shard].cache_stats(),
+            primary_servers[crashed_shard].fenced_rejects(),
+            fed.divergence_high_water(),
+            repl,
+        )
+    })
+}
+
+/// The federation HA experiment (PR 10): the same federated write run
+/// three ways — fault-free, failover-only (PR 5 recovery), and under
+/// membership governance where the crashed primary's lease expires, the
+/// replica is promoted by quorum vote at a bumped epoch, and the deposed
+/// primary rejoins fenced. The promotion arm must retain strictly more
+/// goodput than failover-only (writes stop detouring once the replica
+/// *is* the primary) with zero acked-byte loss on any seat.
+#[allow(clippy::too_many_arguments)]
+pub fn fig_federation_ha(
+    shards: usize,
+    files: usize,
+    bytes_per_file: u64,
+    chunk: u64,
+    seed: u64,
+    crash_at: Dur,
+    down_for: Dur,
+    heartbeat: Dur,
+    lease: Dur,
+) -> FederationHaReport {
+    let clean = federation_run(shards, files, bytes_per_file, chunk, seed, None);
+    let failover = federation_run(
+        shards,
+        files,
+        bytes_per_file,
+        chunk,
+        seed,
+        Some((crash_at, down_for)),
+    );
+    let (promo, ledger, epochs, primaries, replica_cache, fenced_rejects, promo_hw, repl) =
+        federation_ha_run(
+            shards,
+            files,
+            bytes_per_file,
+            chunk,
+            seed,
+            (crash_at, down_for),
+            heartbeat,
+            lease,
+        );
+    let total_bits = (files as u64 * bytes_per_file) as f64 * 8.0;
+    FederationHaReport {
+        shards,
+        files,
+        bytes_per_file,
+        seed,
+        crash_at_secs: crash_at.as_secs_f64(),
+        down_for_secs: down_for.as_secs_f64(),
+        heartbeat_ms: heartbeat.as_millis(),
+        lease_ms: lease.as_millis(),
+        fault_free_secs: clean.secs,
+        fault_free_mbps: total_bits / clean.secs / 1e6,
+        failover_secs: failover.secs,
+        failover_mbps: total_bits / failover.secs / 1e6,
+        promo_secs: promo.secs,
+        promo_mbps: total_bits / promo.secs / 1e6,
+        failovers: [failover.failovers, promo.failovers],
+        div_high_water: [
+            failover
+                .repl
+                .iter()
+                .map(|r| r.queue_high_water)
+                .max()
+                .unwrap_or(0),
+            promo_hw,
+        ],
+        ledger,
+        epochs,
+        primaries,
+        replica_cache,
+        fenced_rejects,
+        repl,
+        fault_free_sums: clean.primary_sums,
+        failover_sums: (failover.primary_sums, failover.replica_sums),
+        promo_sums: (promo.primary_sums, promo.replica_sums),
+        outage_read_ok: [failover.outage_read_ok, promo.outage_read_ok],
+        faults: promo.faults.expect("promotion arm has an injector"),
     }
 }
 

@@ -1,5 +1,5 @@
 //! The federated ADIO backend: shard-routed mounts with write-path replica
-//! failover and restart reconciliation.
+//! failover, restart reconciliation, and (opt-in) membership governance.
 //!
 //! [`FedFs`] glues the server-side federation pieces
 //! ([`ShardMap`](semplar_srb::ShardMap) routing and the
@@ -28,6 +28,23 @@
 //!   [`RecoveryStats::reconciles`]/[`RecoveryStats::reconciled_bytes`].
 //!   Replayed writes re-enter the primary's write hook, so the replicator
 //!   re-ships them and both copies converge bit-identically.
+//! * **Membership (opt-in)** — [`FedFs::enable_membership`] puts every
+//!   shard under the `srb::membership` lease/epoch protocol. A primary
+//!   outage that outlives the lease then *promotes* the replica: roles
+//!   swap, the divergence backlog drains asynchronously through the
+//!   shard's reverse replicator (new primary → old primary) instead of
+//!   synchronously in the client path, and the deposed primary is fenced
+//!   by epoch until it rejoins as replica. Without membership, none of
+//!   this machinery runs and behaviour is bit-identical to the
+//!   failover-only federation.
+//! * **Live re-sharding (opt-in)** — [`FedFs::begin_reshard`] migrates the
+//!   namespace onto a different number of active shards *under traffic*: a
+//!   daemon copies moving paths to their new owners, writes keep routing
+//!   to the old owner (dirtied extents are chased), reads of moving paths
+//!   are double-routed (old owner authoritative, new owner as fallback),
+//!   and the cutover to the new [`ShardMap`] version is atomic — at an
+//!   epoch bump when membership is enabled, so writes routed by the old
+//!   map are fenced.
 //!
 //! Shard mounts should be built with [`RetryPolicy::none`]
 //! (federated failover *is* the recovery — a crashed primary then refuses
@@ -36,28 +53,38 @@
 //! [`RetryPolicy::none`]: semplar_srb::RetryPolicy::none
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use semplar_runtime::Runtime;
-use semplar_srb::{IoMeter, OpenFlags, Payload, Replicator, ShardMap, SrbError};
+use semplar_srb::{
+    IoMeter, Membership, MembershipCfg, OpenFlags, Payload, Replicator, ShardMap, SrbError,
+};
 
 use crate::adio::{AdioFile, AdioFs, IoError, IoResult};
 use crate::srbfs::{RecoveryStats, SrbFs, RESUME_BLOCK};
 
-/// One shard of the federation: the primary mount that owns a partition of
-/// the namespace, its replica mount, and (optionally) the replicator that
-/// keeps the replica in sync on the write path.
+/// One shard of the federation: its two seats and the replicators between
+/// them. `primary`/`replica` name the *initial* roles (seat 0 and seat 1);
+/// under membership governance a promotion can swap which seat currently
+/// holds the primary role — [`FedFs`] tracks the live role per shard and
+/// routes accordingly.
 pub struct FedShard {
-    /// Mount of the shard's primary server (owns the partition).
+    /// Seat 0: mount of the shard's initial primary server.
     pub primary: Arc<SrbFs>,
-    /// Mount of the shard's replica server (failover target).
+    /// Seat 1: mount of the shard's initial replica server.
     pub replica: Arc<SrbFs>,
-    /// The primary→replica write-path replicator, if wired. Read failover
-    /// quiesces it so acked-but-unshipped extents land before the read.
+    /// The seat0→seat1 (forward) write-path replicator, if wired. Read
+    /// failover quiesces it so acked-but-unshipped extents land before the
+    /// read.
     pub replicator: Option<Arc<Replicator>>,
+    /// The seat1→seat0 (reverse) replicator, required for membership
+    /// governance: it drains the divergence backlog and carries
+    /// post-promotion writes back to the deposed primary. `None` keeps the
+    /// shard a static failover-only pair.
+    pub reverse: Option<Arc<Replicator>>,
 }
 
 /// Deterministic record of everything reconciliation replayed: one
@@ -73,9 +100,26 @@ pub struct ReconcileLedger {
     pub rounds: u64,
 }
 
+/// Cumulative live re-sharding counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Paths whose bytes were copied to a new owning shard.
+    pub moved_paths: u64,
+    /// Bytes copied between owners (initial snapshot + dirty replays).
+    pub moved_bytes: u64,
+    /// Dirty extents re-copied because traffic wrote to a moving path
+    /// after its snapshot (the chase-the-tail loop).
+    pub dirty_replays: u64,
+    /// Reads served on paths that were mid-migration (the router consulted
+    /// both owners; the old owner stayed authoritative).
+    pub double_routed_reads: u64,
+    /// Completed re-shard cutovers.
+    pub completed: u64,
+}
+
 struct ShardState {
-    /// Extents written to the replica while the primary was unreachable,
-    /// in write order — the replica's divergent suffix.
+    /// Extents written to the failover seat while the primary seat was
+    /// unreachable, in write order — the divergent suffix.
     divergence: Mutex<VecDeque<(String, u64, u64)>>,
     /// Guards a reconciliation round so concurrent callers neither replay
     /// twice nor treat the shard as clean mid-replay.
@@ -83,61 +127,224 @@ struct ShardState {
     /// Set once a failover read has quiesced the replicator (later
     /// failover reads already know the queue order is preserved).
     quiesced: AtomicBool,
+    /// Seat index (0 or 1) currently holding the primary role.
+    primary_seat: AtomicUsize,
+    /// Bumped on every role swap. Open [`FedFile`]s compare it against the
+    /// generation they bound under and rebind when it moved — a handle
+    /// bound to a deposed primary must not fail over *to* it.
+    role_gen: AtomicU64,
+}
+
+/// Live re-sharding state while a migration is in flight.
+struct RemapState {
+    /// The map that takes effect at cutover.
+    to: ShardMap,
+    /// `(path, old_shard, new_shard)` for every path that changes owner.
+    moving: Vec<(String, usize, usize)>,
+    /// Extents written to moving paths since their snapshot copy; the
+    /// migrator chases this tail and only cuts over once it is empty.
+    dirty: VecDeque<(String, u64, u64)>,
 }
 
 /// A federated filesystem over N shards — see the module docs.
 pub struct FedFs {
     rt: Arc<dyn Runtime>,
-    map: ShardMap,
+    /// Current routing function. Interior-mutable for live re-sharding:
+    /// the version bumps at each cutover. Routing only ever spans the
+    /// *active* prefix of `shards`.
+    map: Mutex<ShardMap>,
     shards: Vec<FedShard>,
     state: Vec<ShardState>,
     ledger: Mutex<ReconcileLedger>,
     recovery: Mutex<RecoveryStats>,
     failovers: AtomicU64,
+    /// High-water mark across all shards' divergence queues. Unbounded
+    /// growth here is exactly what membership promotion prevents; the
+    /// federation tests fail if it passes their configured cap.
+    div_high_water: AtomicU64,
+    membership: Mutex<Option<Arc<Membership>>>,
+    remap: Mutex<Option<RemapState>>,
+    mig_moved_paths: AtomicU64,
+    mig_moved_bytes: AtomicU64,
+    mig_dirty_replays: AtomicU64,
+    mig_double_reads: AtomicU64,
+    mig_completed: AtomicU64,
 }
 
 impl FedFs {
-    /// A federation over `shards` (at least one). The shard map is sized to
-    /// the vector, so path routing is a pure function of the shard count.
+    /// A federation over `shards` (at least one), all active. The shard map
+    /// is sized to the vector, so path routing is a pure function of the
+    /// shard count.
     pub fn new(rt: &Arc<dyn Runtime>, shards: Vec<FedShard>) -> Arc<FedFs> {
+        let n = shards.len();
+        FedFs::with_active_shards(rt, shards, n)
+    }
+
+    /// A federation where only the first `active` of `shards` take routing
+    /// traffic; the rest are pre-provisioned targets for a later
+    /// [`FedFs::begin_reshard`]. `active` must be in `1..=shards.len()`.
+    pub fn with_active_shards(
+        rt: &Arc<dyn Runtime>,
+        shards: Vec<FedShard>,
+        active: usize,
+    ) -> Arc<FedFs> {
         assert!(!shards.is_empty(), "a federation needs at least one shard");
+        assert!(
+            (1..=shards.len()).contains(&active),
+            "active shard count out of range"
+        );
         let state = shards
             .iter()
             .map(|_| ShardState {
                 divergence: Mutex::new(VecDeque::new()),
                 reconciling: AtomicBool::new(false),
                 quiesced: AtomicBool::new(false),
+                primary_seat: AtomicUsize::new(0),
+                role_gen: AtomicU64::new(0),
             })
             .collect();
         Arc::new(FedFs {
             rt: rt.clone(),
-            map: ShardMap::new(shards.len()),
+            map: Mutex::new(ShardMap::new(active)),
             shards,
             state,
             ledger: Mutex::new(ReconcileLedger::default()),
             recovery: Mutex::new(RecoveryStats::default()),
             failovers: AtomicU64::new(0),
+            div_high_water: AtomicU64::new(0),
+            membership: Mutex::new(None),
+            remap: Mutex::new(None),
+            mig_moved_paths: AtomicU64::new(0),
+            mig_moved_bytes: AtomicU64::new(0),
+            mig_dirty_replays: AtomicU64::new(0),
+            mig_double_reads: AtomicU64::new(0),
+            mig_completed: AtomicU64::new(0),
         })
     }
 
-    /// The path→shard routing function.
+    /// The current path→shard routing function.
     pub fn shard_map(&self) -> ShardMap {
-        self.map
+        *self.map.lock()
     }
 
-    /// The shard that owns `path`.
+    /// The current map version (bumps at every re-shard cutover).
+    pub fn map_version(&self) -> u64 {
+        self.map.lock().version()
+    }
+
+    /// The shard that owns `path` under the current map.
     pub fn shard_of(&self, path: &str) -> usize {
-        self.map.shard_of(path)
+        self.map.lock().shard_of(path)
     }
 
-    /// The shards (primary/replica mounts) of this federation.
+    /// The shards (seat mounts) of this federation, active and
+    /// pre-provisioned alike.
     pub fn shards(&self) -> &[FedShard] {
         &self.shards
     }
 
-    /// Create a collection on every shard's primary *and* replica
-    /// (metadata is broadcast: any shard may own paths under it). Existing
-    /// collections are tolerated.
+    /// The seat index currently holding `shard`'s primary role.
+    pub fn primary_seat_of(&self, shard: usize) -> usize {
+        self.state[shard].primary_seat.load(Ordering::SeqCst)
+    }
+
+    fn role_gen(&self, shard: usize) -> u64 {
+        self.state[shard].role_gen.load(Ordering::SeqCst)
+    }
+
+    fn seat_fs(&self, shard: usize, seat: usize) -> &Arc<SrbFs> {
+        if seat == 0 {
+            &self.shards[shard].primary
+        } else {
+            &self.shards[shard].replica
+        }
+    }
+
+    /// Mount of the seat currently in the primary role for `shard`.
+    pub fn primary_fs(&self, shard: usize) -> &Arc<SrbFs> {
+        self.seat_fs(shard, self.primary_seat_of(shard))
+    }
+
+    /// Mount of the seat currently in the replica role for `shard`.
+    pub fn replica_fs(&self, shard: usize) -> &Arc<SrbFs> {
+        self.seat_fs(shard, 1 - self.primary_seat_of(shard))
+    }
+
+    /// The replicator shipping in the current primary→replica direction.
+    fn active_replicator(&self, shard: usize) -> Option<&Arc<Replicator>> {
+        if self.primary_seat_of(shard) == 0 {
+            self.shards[shard].replicator.as_ref()
+        } else {
+            self.shards[shard].reverse.as_ref()
+        }
+    }
+
+    /// Put every shard under membership governance (see the module docs
+    /// and [`semplar_srb::membership`]). Every shard needs both its forward
+    /// and reverse replicators wired. Returns the membership handle (epoch
+    /// queries, the promotion ledger).
+    pub fn enable_membership(self: &Arc<Self>, cfg: MembershipCfg) -> Arc<Membership> {
+        let pairs = self
+            .shards
+            .iter()
+            .map(|s| semplar_srb::GovernedPair {
+                servers: [s.primary.server().clone(), s.replica.server().clone()],
+                forward: s
+                    .replicator
+                    .clone()
+                    .expect("membership needs the forward replicator wired"),
+                reverse: s
+                    .reverse
+                    .clone()
+                    .expect("membership needs the reverse replicator wired"),
+            })
+            .collect();
+        let m = Membership::start(&self.rt, cfg, pairs);
+        for (i, s) in self.shards.iter().enumerate() {
+            // Every session of either seat's mount follows the shard epoch.
+            m.register_stamp(i, s.primary.epoch_stamp());
+            m.register_stamp(i, s.replica.epoch_stamp());
+            let fed = self.clone();
+            m.set_promotion_hook(
+                i,
+                Arc::new(move |shard, _epoch, new_primary| fed.on_promoted(shard, new_primary)),
+            );
+        }
+        *self.membership.lock() = Some(m.clone());
+        m
+    }
+
+    /// The membership handle, when [`FedFs::enable_membership`] was called.
+    pub fn membership(&self) -> Option<Arc<Membership>> {
+        self.membership.lock().clone()
+    }
+
+    /// Promotion callback from the membership monitor: swap the shard's
+    /// roles and hand back the divergence backlog for the reverse
+    /// replicator to drain. Runs on the monitor daemon; the role bump and
+    /// the queue drain are atomic under the divergence lock so an
+    /// in-flight failover write either lands in the drained batch or sees
+    /// the new role and routes itself (see [`FedFile::write_failover`]).
+    fn on_promoted(&self, shard: usize, new_primary: usize) -> Vec<(String, u64, u64)> {
+        let state = &self.state[shard];
+        let drained: Vec<(String, u64, u64)> = {
+            let mut q = state.divergence.lock();
+            state.primary_seat.store(new_primary, Ordering::SeqCst);
+            state.role_gen.fetch_add(1, Ordering::SeqCst);
+            q.drain(..).collect()
+        };
+        // The next failover read (if any) must quiesce the *reverse*
+        // replicator, not the forward one it may have quiesced before.
+        state.quiesced.store(false, Ordering::SeqCst);
+        // Roles changed under live readers: coherence over warmth.
+        self.shards[shard].primary.invalidate_lease_all();
+        self.shards[shard].replica.invalidate_lease_all();
+        drained
+    }
+
+    /// Create a collection on every shard's seats (metadata is broadcast:
+    /// any shard may own paths under it). Existing collections are
+    /// tolerated.
     pub fn mk_coll_all(&self, path: &str) -> IoResult<()> {
         for shard in &self.shards {
             for fs in [&shard.primary, &shard.replica] {
@@ -175,6 +382,11 @@ impl FedFs {
         self.state.iter().map(|s| s.divergence.lock().len()).sum()
     }
 
+    /// High-water mark of any shard's divergence queue depth.
+    pub fn divergence_high_water(&self) -> u64 {
+        self.div_high_water.load(Ordering::Relaxed)
+    }
+
     /// Try to reconcile every shard. Returns true when no divergence
     /// remains — every extent written to a replica during an outage has
     /// been replayed to its primary.
@@ -202,9 +414,16 @@ impl FedFs {
         if self.state[shard].quiesced.swap(true, Ordering::SeqCst) {
             return;
         }
-        if let Some(repl) = &self.shards[shard].replicator {
+        if let Some(repl) = self.active_replicator(shard) {
             repl.quiesce();
         }
+    }
+
+    /// True for errors the federation can route around: transient stream
+    /// failures, and stale-epoch rejections (the seat we talked to lost —
+    /// or has not yet reclaimed — write authority; another seat has it).
+    fn routable(e: &IoError) -> bool {
+        e.is_transient() || matches!(e, IoError::Srb(SrbError::StaleEpoch { .. }))
     }
 
     /// One reconciliation attempt for `shard`: replay its divergence queue
@@ -238,9 +457,10 @@ impl FedFs {
                     replayed_bytes += len;
                     replayed.push((path, offset, len));
                 }
-                Err(e) if e.is_transient() => {
-                    // Primary (or replica) still unreachable: requeue this
-                    // extent and stop — order must be preserved.
+                Err(e) if FedFs::routable(&e) => {
+                    // Primary (or replica) still unreachable — or fenced,
+                    // awaiting epoch certification: requeue this extent and
+                    // stop — order must be preserved.
                     let mut q = state.divergence.lock();
                     q.push_front((path, offset, len));
                     failed = true;
@@ -292,8 +512,8 @@ impl FedFs {
     fn replay_extent(&self, shard: usize, path: &str, offset: u64, len: u64) -> IoResult<()> {
         // Probe the primary first (instant refusal while crashed) so a
         // dead primary costs nothing — no replica reads are wasted.
-        let mut dst = self.shards[shard].primary.open(path, OpenFlags::CreateRw)?;
-        let mut src = self.shards[shard].replica.open(path, OpenFlags::Read)?;
+        let mut dst = self.primary_fs(shard).open(path, OpenFlags::CreateRw)?;
+        let mut src = self.replica_fs(shard).open(path, OpenFlags::Read)?;
         let mut done = 0u64;
         let result = loop {
             if done >= len {
@@ -325,6 +545,259 @@ impl FedFs {
         let _ = dst.close();
         result
     }
+
+    // ---- live re-sharding ------------------------------------------------
+
+    /// Start migrating the namespace onto the first `target_active` shards
+    /// (which may be more or fewer than today's active count, but at most
+    /// the provisioned total). `paths` is the population to consider —
+    /// paths whose owner changes under the new map are snapshot-copied to
+    /// their new owner by a background daemon while traffic continues,
+    /// dirtied extents are chased, and the cutover is atomic once the tail
+    /// is dry. With membership enabled, the cutover also bumps every
+    /// shard's epoch so writes routed by the old map are fenced.
+    pub fn begin_reshard(self: &Arc<Self>, target_active: usize, paths: &[String]) {
+        assert!(
+            (1..=self.shards.len()).contains(&target_active),
+            "target shard count out of range"
+        );
+        let from = self.shard_map();
+        let to = ShardMap::versioned(target_active, from.version() + 1);
+        let moving: Vec<(String, usize, usize)> = paths
+            .iter()
+            .filter_map(|p| {
+                let a = from.shard_of(p);
+                let b = to.shard_of(p);
+                (a != b).then(|| (p.clone(), a, b))
+            })
+            .collect();
+        {
+            let mut remap = self.remap.lock();
+            assert!(remap.is_none(), "a re-shard is already in flight");
+            *remap = Some(RemapState {
+                to,
+                moving,
+                dirty: VecDeque::new(),
+            });
+        }
+        let fed = self.clone();
+        self.rt
+            .spawn_daemon("fedfs/migrator", Box::new(move || fed.migrate()));
+    }
+
+    /// True while a re-shard migration is in flight.
+    pub fn resharding(&self) -> bool {
+        self.remap.lock().is_some()
+    }
+
+    /// Snapshot of the re-sharding counters.
+    pub fn migration_stats(&self) -> MigrationStats {
+        MigrationStats {
+            moved_paths: self.mig_moved_paths.load(Ordering::Relaxed),
+            moved_bytes: self.mig_moved_bytes.load(Ordering::Relaxed),
+            dirty_replays: self.mig_dirty_replays.load(Ordering::Relaxed),
+            double_routed_reads: self.mig_double_reads.load(Ordering::Relaxed),
+            completed: self.mig_completed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// If `path` is mid-migration, its `(old_shard, new_shard)` owners.
+    fn moving_owners(&self, path: &str) -> Option<(usize, usize)> {
+        self.remap.lock().as_ref().and_then(|r| {
+            r.moving
+                .iter()
+                .find(|(p, _, _)| p == path)
+                .map(|&(_, a, b)| (a, b))
+        })
+    }
+
+    /// Record a completed write to `path` for the migrator's dirty tail.
+    fn note_remap_write(&self, path: &str, offset: u64, len: u64) {
+        let mut remap = self.remap.lock();
+        if let Some(r) = remap.as_mut() {
+            if r.moving.iter().any(|(p, _, _)| p == path) {
+                r.dirty.push_back((path.to_string(), offset, len));
+            }
+        }
+    }
+
+    /// Record a read of a mid-migration path (double-routed).
+    fn note_remap_read(&self, path: &str) {
+        if self.moving_owners(path).is_some() {
+            self.mig_double_reads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The migrator daemon: snapshot-copy every moving path, chase the
+    /// dirty tail, then cut the map over atomically.
+    fn migrate(self: Arc<Self>) {
+        let moving: Vec<(String, usize, usize)> = self
+            .remap
+            .lock()
+            .as_ref()
+            .map(|r| r.moving.clone())
+            .unwrap_or_default();
+        for (path, a, b) in &moving {
+            self.rt.schedule_point("reshard/copy-path");
+            if let Some(bytes) = self.copy_path(path, *a, *b) {
+                self.mig_moved_paths.fetch_add(1, Ordering::Relaxed);
+                self.mig_moved_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+        }
+        loop {
+            let batch: Vec<(String, u64, u64)> = {
+                let mut remap = self.remap.lock();
+                match remap.as_mut() {
+                    Some(r) => r.dirty.drain(..).collect(),
+                    None => return,
+                }
+            };
+            if batch.is_empty() {
+                // Atomic cutover: flip the map while holding both the
+                // routing lock and the remap lock, but only if no write
+                // dirtied the tail in between. Nothing here blocks on
+                // virtual time, so the flip is a single scheduling step.
+                let mut map = self.map.lock();
+                let mut remap = self.remap.lock();
+                let clean = remap.as_ref().map(|r| r.dirty.is_empty()).unwrap_or(false);
+                if clean {
+                    let st = remap.take().expect("remap checked above");
+                    *map = st.to;
+                    drop(remap);
+                    drop(map);
+                    // Epoch bump fences writes still routed by the old map
+                    // (when membership governs the federation).
+                    if let Some(m) = self.membership.lock().clone() {
+                        m.note_reshard();
+                    }
+                    // The map swap above IS the cutover; count it before
+                    // the (time-consuming) cleanup below, so observers who
+                    // saw `resharding()` go false read a settled counter.
+                    self.mig_completed.fetch_add(1, Ordering::Relaxed);
+                    // The old owners' copies are garbage now; drop them so
+                    // a stale route cannot read a frozen object.
+                    for (path, a, _) in &st.moving {
+                        let _ = self.primary_fs(*a).delete(path);
+                        let _ = self.replica_fs(*a).delete(path);
+                    }
+                    return;
+                }
+                continue;
+            }
+            for (path, off, len) in batch {
+                self.rt.schedule_point("reshard/dirty-replay");
+                if let Some((a, b)) = moving
+                    .iter()
+                    .find(|(p, _, _)| *p == path)
+                    .map(|&(_, a, b)| (a, b))
+                {
+                    if self.copy_extent(&path, a, b, off, len).is_some() {
+                        self.mig_dirty_replays.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Copy the whole current extent of `path` from shard `a` to shard `b`.
+    /// Returns the bytes copied, or `None` if the object does not exist on
+    /// the old owner (never created; nothing to move).
+    fn copy_path(&self, path: &str, a: usize, b: usize) -> Option<u64> {
+        loop {
+            let size = {
+                let mut src = match self.primary_fs(a).open(path, OpenFlags::Read) {
+                    Ok(f) => f,
+                    Err(e) if FedFs::routable(&e) => {
+                        self.rt.sleep(semplar_runtime::Dur::from_millis(10));
+                        continue;
+                    }
+                    Err(_) => return None,
+                };
+                let n = src.size();
+                let _ = src.close();
+                match n {
+                    Ok(n) => n,
+                    Err(_) => return None,
+                }
+            };
+            match self.copy_extent(path, a, b, 0, size) {
+                Some(n) => return Some(n),
+                None => return None,
+            }
+        }
+    }
+
+    /// Copy `[offset, offset+len)` of `path` from shard `a`'s primary to
+    /// shard `b`'s primary in [`RESUME_BLOCK`] blocks, outwaiting transient
+    /// failures. Returns bytes copied (`None` if the object vanished).
+    fn copy_extent(&self, path: &str, a: usize, b: usize, offset: u64, len: u64) -> Option<u64> {
+        let mut done = 0u64;
+        while done < len {
+            let blk = RESUME_BLOCK.min(len - done);
+            self.rt.schedule_point("reshard/copy-block");
+            let data = {
+                let mut src = match self.primary_fs(a).open(path, OpenFlags::Read) {
+                    Ok(f) => f,
+                    Err(e) if FedFs::routable(&e) => {
+                        self.rt.sleep(semplar_runtime::Dur::from_millis(10));
+                        continue;
+                    }
+                    Err(_) => return None,
+                };
+                let r = src.read_at(offset + done, blk);
+                let _ = src.close();
+                match r {
+                    Ok(d) => d,
+                    Err(e) if FedFs::routable(&e) => {
+                        self.rt.sleep(semplar_runtime::Dur::from_millis(10));
+                        continue;
+                    }
+                    Err(_) => return None,
+                }
+            };
+            if data.is_empty() {
+                break;
+            }
+            let n = data.len();
+            let mut dst = match self.primary_fs(b).open(path, OpenFlags::CreateRw) {
+                Ok(f) => f,
+                Err(e) if FedFs::routable(&e) => {
+                    self.rt.sleep(semplar_runtime::Dur::from_millis(10));
+                    continue;
+                }
+                Err(_) => return None,
+            };
+            let w = dst.write_at(offset + done, &data);
+            let _ = dst.close();
+            match w {
+                Ok(_) => done += n,
+                Err(e) if FedFs::routable(&e) => {
+                    self.rt.sleep(semplar_runtime::Dur::from_millis(10));
+                }
+                Err(_) => return None,
+            }
+            if n < blk {
+                break;
+            }
+        }
+        Some(done)
+    }
+
+    /// Fallback read for a mid-migration path whose old owner is
+    /// unreachable: serve from the new owner's (possibly still-chasing)
+    /// copy. `None` when the path is not migrating.
+    fn remap_read_fallback(&self, path: &str, offset: u64, len: u64) -> Option<IoResult<Payload>> {
+        let (_, b) = self.moving_owners(path)?;
+        let r = self
+            .primary_fs(b)
+            .open(path, OpenFlags::Read)
+            .and_then(|mut f| {
+                let r = f.read_at(offset, len);
+                let _ = f.close();
+                r
+            });
+        Some(r)
+    }
 }
 
 impl AdioFs for Arc<FedFs> {
@@ -347,6 +820,8 @@ impl AdioFs for Arc<FedFs> {
             pin,
             primary: None,
             replica: None,
+            gen: self.role_gen(shard),
+            map_version: self.map_version(),
             closed: false,
         };
         // Bind to the owning primary eagerly when it is healthy; a
@@ -355,7 +830,7 @@ impl AdioFs for Arc<FedFs> {
         if !self.shard_degraded(shard) {
             match file.open_primary() {
                 Ok(()) => {}
-                Err(e) if e.is_transient() => {
+                Err(e) if FedFs::routable(&e) => {
                     self.note_failover();
                 }
                 Err(e) => return Err(e),
@@ -366,9 +841,9 @@ impl AdioFs for Arc<FedFs> {
 
     fn delete(&self, path: &str) -> IoResult<()> {
         let shard = self.shard_of(path);
-        let r = self.shards[shard].primary.delete(path);
+        let r = self.primary_fs(shard).delete(path);
         // Best-effort on the replica: it may not have the object yet.
-        let _ = self.shards[shard].replica.delete(path);
+        let _ = self.replica_fs(shard).delete(path);
         r
     }
 
@@ -387,14 +862,19 @@ struct FedFile {
     pin: Option<usize>,
     primary: Option<Box<dyn AdioFile>>,
     replica: Option<Box<dyn AdioFile>>,
+    /// Role generation of `shard` when the handles were bound.
+    gen: u64,
+    /// Map version when `shard` was computed.
+    map_version: u64,
     closed: bool,
 }
 
 impl FedFile {
     fn open_primary(&mut self) -> IoResult<()> {
         if self.primary.is_none() {
-            let f = self.fed.shards[self.shard]
-                .primary
+            let f = self
+                .fed
+                .primary_fs(self.shard)
                 .open_pinned(&self.path, self.flags, self.pin)?;
             self.primary = Some(f);
         }
@@ -411,31 +891,86 @@ impl FedFile {
             } else {
                 OpenFlags::Read
             };
-            let f = self.fed.shards[self.shard]
-                .replica
+            let f = self
+                .fed
+                .replica_fs(self.shard)
                 .open_pinned(&self.path, flags, self.pin)?;
             self.replica = Some(f);
         }
         Ok(self.replica.as_mut().expect("replica handle just opened"))
     }
 
-    /// Write `data` to the replica and queue the extent for replay.
+    /// Re-route if the world changed since the handles were bound: a
+    /// promotion swapped the shard's roles (role generation moved), or a
+    /// re-shard cutover moved the path to a different shard (map version
+    /// moved). Stale handles are dropped; the next use rebinds against the
+    /// current owner/roles. Neither version ever moves without membership
+    /// or re-sharding, so this is pure bookkeeping on the classic path.
+    fn refresh_route(&mut self) {
+        let ver = self.fed.map_version();
+        if ver != self.map_version {
+            self.map_version = ver;
+            self.shard = self.fed.shard_of(&self.path);
+            self.primary = None;
+            self.replica = None;
+            self.gen = self.fed.role_gen(self.shard);
+            return;
+        }
+        let gen = self.fed.role_gen(self.shard);
+        if gen != self.gen {
+            self.gen = gen;
+            self.primary = None;
+            self.replica = None;
+        }
+    }
+
+    /// Write `data` to the failover seat and queue the extent for replay —
+    /// unless that seat was *promoted* while the write was in flight, in
+    /// which case the write is already a primary write and the extent is
+    /// handed straight to the (now active) reverse replicator.
     fn write_failover(&mut self, offset: u64, data: &Payload) -> IoResult<u64> {
-        let n = {
+        let gen0 = self.fed.role_gen(self.shard);
+        let n = loop {
             let f = self.replica_file()?;
-            f.write_at(offset, data)?
+            match f.write_at(offset, data) {
+                Ok(n) => break n,
+                Err(IoError::Srb(SrbError::StaleEpoch { .. })) => {
+                    // The seat was promoted out from under this write and
+                    // the mount's epoch stamp hasn't advanced yet: wait out
+                    // the certification and resend at the new epoch.
+                    self.fed.rt.sleep(semplar_runtime::Dur::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
         };
-        self.fed.state[self.shard]
-            .divergence
-            .lock()
-            .push_back((self.path.clone(), offset, n));
+        let state = &self.fed.state[self.shard];
+        let mut promoted_under_us = false;
+        {
+            // Atomic with the promotion hook's drain: either this extent is
+            // in the queue when promotion drains it, or we observe the new
+            // generation here and route it ourselves.
+            let mut q = state.divergence.lock();
+            if self.fed.role_gen(self.shard) == gen0 {
+                q.push_back((self.path.clone(), offset, n));
+                let depth = q.len() as u64;
+                drop(q);
+                self.fed.div_high_water.fetch_max(depth, Ordering::Relaxed);
+            } else {
+                promoted_under_us = true;
+            }
+        }
+        if promoted_under_us {
+            if let Some(repl) = self.fed.active_replicator(self.shard) {
+                repl.enqueue_extent(&self.path, offset, n);
+            }
+        }
         // The write landed on the replica, so the *primary* mount's
         // write-hook broadcast never fired — revoke its cached lease bytes
         // for the range explicitly, or a lease-holding reader could keep
         // serving pre-failover bytes after the shard reconciles. (The
         // replica mount's own hook fired on the write above.)
-        self.fed.shards[self.shard]
-            .primary
+        self.fed
+            .primary_fs(self.shard)
             .invalidate_lease_range(&self.path, offset, n);
         Ok(n)
     }
@@ -463,6 +998,8 @@ impl AdioFile for FedFile {
         if self.closed {
             return Err(IoError::Closed);
         }
+        self.refresh_route();
+        self.fed.note_remap_read(&self.path);
         if self.settle() {
             match self.open_primary().and_then(|()| {
                 self.primary
@@ -471,7 +1008,7 @@ impl AdioFile for FedFile {
                     .read_at(offset, len)
             }) {
                 Ok(p) => return Ok(p),
-                Err(e) if e.is_transient() => {
+                Err(e) if FedFs::routable(&e) => {
                     self.fed.note_failover();
                     self.primary = None;
                 }
@@ -483,13 +1020,25 @@ impl AdioFile for FedFile {
         // Failover read: make sure everything the primary acked reached
         // the replica, then serve from it.
         self.fed.quiesce_for_reads(self.shard);
-        self.replica_file()?.read_at(offset, len)
+        match self.replica_file().and_then(|f| f.read_at(offset, len)) {
+            Ok(p) => Ok(p),
+            Err(e) if FedFs::routable(&e) => {
+                // Both seats unreachable. Mid-migration, the new owner's
+                // chasing copy can still serve the read (double routing).
+                match self.fed.remap_read_fallback(&self.path, offset, len) {
+                    Some(r) => r,
+                    None => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
     }
 
     fn write_at(&mut self, offset: u64, data: &Payload) -> IoResult<u64> {
         if self.closed {
             return Err(IoError::Closed);
         }
+        self.refresh_route();
         if self.settle() {
             match self.open_primary().and_then(|()| {
                 self.primary
@@ -497,8 +1046,11 @@ impl AdioFile for FedFile {
                     .expect("primary bound by open_primary")
                     .write_at(offset, data)
             }) {
-                Ok(n) => return Ok(n),
-                Err(e) if e.is_transient() => {
+                Ok(n) => {
+                    self.fed.note_remap_write(&self.path, offset, n);
+                    return Ok(n);
+                }
+                Err(e) if FedFs::routable(&e) => {
                     self.fed.note_failover();
                     self.primary = None;
                 }
@@ -511,13 +1063,16 @@ impl AdioFile for FedFile {
         // acknowledged before the cut is also in the extent — replay is
         // idempotent (same bytes, same offsets), so the overlap is
         // harmless and no acked byte can be lost.
-        self.write_failover(offset, data)
+        let n = self.write_failover(offset, data)?;
+        self.fed.note_remap_write(&self.path, offset, n);
+        Ok(n)
     }
 
     fn size(&mut self) -> IoResult<u64> {
         if self.closed {
             return Err(IoError::Closed);
         }
+        self.refresh_route();
         if self.settle() {
             match self.open_primary().and_then(|()| {
                 self.primary
@@ -526,7 +1081,7 @@ impl AdioFile for FedFile {
                     .size()
             }) {
                 Ok(n) => return Ok(n),
-                Err(e) if e.is_transient() => {
+                Err(e) if FedFs::routable(&e) => {
                     self.fed.note_failover();
                     self.primary = None;
                 }

@@ -47,7 +47,7 @@ pub use adio::{
     merge_extents, pack_extents, split_packed, AdioFile, AdioFs, IoError, IoResult, MemFs,
 };
 pub use engine::{EngineCfg, EngineStats, QueueWindow};
-pub use fedfs::{FedFs, FedShard, ReconcileLedger};
+pub use fedfs::{FedFs, FedShard, MigrationStats, ReconcileLedger};
 pub use file::{with_file, File};
 pub use lease::{LeaseCache, LeaseStats};
 pub use pipeline::{

@@ -93,6 +93,11 @@ pub struct SrbFs {
     /// entirely: reads go to the wire exactly as before, bit-identically.
     lease: Mutex<Option<Arc<LeaseCache>>>,
     recovery: Mutex<RecoveryStats>,
+    /// Mount-wide membership-epoch stamp: every session this mount opens
+    /// (admin, pooled, reconnected) carries it, so the membership layer can
+    /// advance the whole mount's view of the shard epoch in one store.
+    /// Stays 0 — un-epoched, never fenced — outside membership governance.
+    epoch: Arc<AtomicU64>,
     next_file: AtomicU64,
 }
 
@@ -179,6 +184,7 @@ impl SrbFs {
             sieve: Mutex::new(0.0),
             lease: Mutex::new(None),
             recovery: Mutex::new(RecoveryStats::default()),
+            epoch: Arc::new(AtomicU64::new(0)),
             next_file: AtomicU64::new(0),
         })
     }
@@ -209,6 +215,18 @@ impl SrbFs {
     /// The connection pool behind this mount.
     pub fn pool(&self) -> &Arc<ConnPool> {
         &self.pool
+    }
+
+    /// The server this mount dials (membership governance, test assertions).
+    pub fn server(&self) -> &Arc<SrbServer> {
+        &self.server
+    }
+
+    /// The mount-wide membership-epoch stamp (see the `epoch` field). The
+    /// membership layer registers this with the governed shard so every
+    /// session's frames follow the shard epoch.
+    pub fn epoch_stamp(&self) -> Arc<AtomicU64> {
+        self.epoch.clone()
     }
 
     /// Snapshot of the recovery counters across every file opened through
@@ -274,9 +292,11 @@ impl SrbFs {
 
     /// One-off administrative connection (collection setup, cleanup).
     pub fn admin_conn(&self) -> IoResult<SrbConn> {
-        Ok(self
-            .server
-            .connect(self.cfg.route.clone(), &self.cfg.user, &self.cfg.password)?)
+        let conn =
+            self.server
+                .connect(self.cfg.route.clone(), &self.cfg.user, &self.cfg.password)?;
+        conn.set_epoch_source(self.epoch.clone());
+        Ok(conn)
     }
 }
 
@@ -342,6 +362,7 @@ impl AdioFs for Arc<SrbFs> {
     ) -> IoResult<Box<dyn AdioFile>> {
         let route = self.route_for(pin).clone();
         let conn = self.pool.session(&route, pin)?;
+        conn.set_epoch_source(self.epoch.clone());
         let fd = conn.open(path, flags)?;
         let file_id = self.next_file.fetch_add(1, Ordering::Relaxed);
         Ok(Box::new(SrbFile {
@@ -377,6 +398,7 @@ impl SrbFile {
     /// without a new handshake (`shared_reconnects`).
     fn reconnect(&mut self) -> Result<(), SrbError> {
         let (conn, shared) = self.fs.pool.reconnect(&self.route, &self.conn)?;
+        conn.set_epoch_source(self.fs.epoch.clone());
         let fd = conn.open(&self.path, self.flags)?;
         self.conn = conn;
         self.fd = fd;

@@ -57,15 +57,20 @@ pub enum FaultEvent {
         /// Capacity multiplier in (0, 1].
         factor: f64,
     },
-    /// Crash the server: sever every connection, refuse new ones.
+    /// Crash a server: sever every connection, refuse new ones.
     ServerCrash {
         /// When to inject.
         at: Dur,
+        /// Which server in the injector's target list (0 for the single-
+        /// server [`FaultPlan::inject`]).
+        server: usize,
     },
-    /// Bring the crashed server back (catalog and vault state intact).
+    /// Bring a crashed server back (catalog and vault state intact).
     ServerRestart {
         /// When to inject.
         at: Dur,
+        /// Which server in the injector's target list.
+        server: usize,
     },
     /// Reset (RST) every live client connection without downing the server.
     ConnReset {
@@ -89,8 +94,8 @@ impl FaultEvent {
             FaultEvent::LinkDown { at, .. }
             | FaultEvent::LinkUp { at, .. }
             | FaultEvent::LinkDegrade { at, .. }
-            | FaultEvent::ServerCrash { at }
-            | FaultEvent::ServerRestart { at }
+            | FaultEvent::ServerCrash { at, .. }
+            | FaultEvent::ServerRestart { at, .. }
             | FaultEvent::ConnReset { at }
             | FaultEvent::VaultStall { at, .. } => *at,
         }
@@ -214,11 +219,21 @@ impl FaultPlan {
         self
     }
 
-    /// Crash the server at `at` and restart it `down_for` later.
-    pub fn server_crash_at(mut self, at: Dur, down_for: Dur) -> FaultPlan {
-        self.events.push(FaultEvent::ServerCrash { at });
-        self.events
-            .push(FaultEvent::ServerRestart { at: at + down_for });
+    /// Crash the (single) server at `at` and restart it `down_for` later.
+    pub fn server_crash_at(self, at: Dur, down_for: Dur) -> FaultPlan {
+        self.server_crash_on(0, at, down_for)
+    }
+
+    /// Crash the `server`-th target of a multi-server injector at `at` and
+    /// restart it `down_for` later. With [`FaultPlan::inject_multi`] the
+    /// index selects from the target list; plain [`FaultPlan::inject`]
+    /// accepts only index 0.
+    pub fn server_crash_on(mut self, server: usize, at: Dur, down_for: Dur) -> FaultPlan {
+        self.events.push(FaultEvent::ServerCrash { at, server });
+        self.events.push(FaultEvent::ServerRestart {
+            at: at + down_for,
+            server,
+        });
         self
     }
 
@@ -244,6 +259,35 @@ impl FaultPlan {
         net: &Arc<Network>,
         server: &Arc<SrbServer>,
     ) -> FaultInjector {
+        self.inject_multi(rt, net, std::slice::from_ref(server))
+    }
+
+    /// Like [`FaultPlan::inject`], but against a *list* of servers so one
+    /// plan can crash and restart different members of a federation.
+    /// Server-targeted events pick their victim by index into `servers`;
+    /// [`FaultEvent::ConnReset`] and [`FaultEvent::VaultStall`] always hit
+    /// `servers[0]`. Panics if an event names an out-of-range index.
+    pub fn inject_multi(
+        &self,
+        rt: &Arc<dyn Runtime>,
+        net: &Arc<Network>,
+        servers: &[Arc<SrbServer>],
+    ) -> FaultInjector {
+        assert!(
+            !servers.is_empty(),
+            "inject_multi needs at least one server"
+        );
+        for ev in &self.events {
+            if let FaultEvent::ServerCrash { server, .. }
+            | FaultEvent::ServerRestart { server, .. } = ev
+            {
+                assert!(
+                    *server < servers.len(),
+                    "event targets server {server} but only {} were given",
+                    servers.len()
+                );
+            }
+        }
         let mut events = self.events.clone();
         // Stable: simultaneous events fire in insertion order.
         events.sort_by_key(|e| e.at());
@@ -255,7 +299,7 @@ impl FaultPlan {
         };
         let rt2 = rt.clone();
         let net = net.clone();
-        let server = server.clone();
+        let servers: Vec<Arc<SrbServer>> = servers.to_vec();
         rt.spawn_daemon(
             "faults/injector",
             Box::new(move || {
@@ -302,22 +346,34 @@ impl FaultPlan {
                             net.set_link_capacity(*link, Bw::bps(cap.as_bps() * factor));
                             (format!("link {:?} degraded x{}", link, factor), 0)
                         }
-                        FaultEvent::ServerCrash { .. } => {
-                            let n = server.crash();
-                            (format!("server crash ({n} conns severed)"), n)
+                        FaultEvent::ServerCrash { server, .. } => {
+                            let n = servers[*server].crash();
+                            // Committed ledgers predate multi-server plans:
+                            // keep the index-0 wording byte-identical.
+                            let who = if *server == 0 {
+                                "server".to_string()
+                            } else {
+                                format!("server {server}")
+                            };
+                            (format!("{who} crash ({n} conns severed)"), n)
                         }
-                        FaultEvent::ServerRestart { .. } => {
-                            server.restart();
-                            ("server restart".to_string(), 0)
+                        FaultEvent::ServerRestart { server, .. } => {
+                            servers[*server].restart();
+                            let who = if *server == 0 {
+                                "server".to_string()
+                            } else {
+                                format!("server {server}")
+                            };
+                            (format!("{who} restart"), 0)
                         }
                         FaultEvent::ConnReset { .. } => {
-                            let n = server.reset_all_connections();
+                            let n = servers[0].reset_all_connections();
                             (format!("connection reset ({n} conns severed)"), n)
                         }
                         FaultEvent::VaultStall { bytes, .. } => {
                             // The stall must occupy the disk without
                             // delaying the rest of the schedule.
-                            let vault = server.vault().clone();
+                            let vault = servers[0].vault().clone();
                             let bytes = *bytes;
                             rt2.spawn_daemon(
                                 "faults/vault-stall",
@@ -402,6 +458,45 @@ mod tests {
             ats,
             vec![Dur::from_secs(3), Dur::from_secs(1), Dur::from_secs(3)]
         );
+    }
+
+    #[test]
+    fn multi_server_plans_crash_the_named_target() {
+        use semplar_srb::SrbServerCfg;
+
+        let (crashed_a_mid, crashed_b_mid, stats) = simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let a = SrbServer::new(net.clone(), SrbServerCfg::default());
+            let b = SrbServer::new(net.clone(), SrbServerCfg::default());
+            let plan =
+                FaultPlan::new(3).server_crash_on(1, Dur::from_millis(100), Dur::from_millis(100));
+            let inj = plan.inject_multi(&rt, &net, &[a.clone(), b.clone()]);
+            rt.sleep(Dur::from_millis(150));
+            let mid = (a.is_crashed(), b.is_crashed());
+            rt.sleep(Dur::from_millis(100));
+            assert!(!b.is_crashed(), "restarted");
+            assert!(inj.done());
+            (mid.0, mid.1, inj.stats())
+        });
+        assert!(!crashed_a_mid, "server 0 untouched");
+        assert!(crashed_b_mid, "server 1 crashed");
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.restarts, 1);
+        assert!(stats.ledger[0].1.contains("server 1 crash"));
+        assert!(stats.ledger[1].1.contains("server 1 restart"));
+    }
+
+    #[test]
+    #[should_panic(expected = "targets server 2")]
+    fn out_of_range_target_panics_at_inject() {
+        use semplar_srb::SrbServerCfg;
+        simulate(|rt| {
+            let net = Network::new(rt.clone());
+            let s = SrbServer::new(net.clone(), SrbServerCfg::default());
+            FaultPlan::new(0)
+                .server_crash_on(2, Dur::from_millis(1), Dur::from_millis(1))
+                .inject_multi(&rt, &net, &[s]);
+        });
     }
 
     #[test]

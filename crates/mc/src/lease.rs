@@ -205,6 +205,7 @@ impl LeaseScenario {
                 primary: primary_fs,
                 replica: replica_fs,
                 replicator: Some(repl),
+                reverse: None,
             }],
         );
         fed.mk_coll_all("/lease")

@@ -31,12 +31,14 @@
 
 mod explore;
 mod lease;
+mod promotion;
 mod scenario;
 mod script;
 mod trace;
 
 pub use explore::{explore, ExploreCfg, ExploreReport, Strategy};
 pub use lease::{LeaseBroken, LeaseObservation, LeaseScenario};
+pub use promotion::{PromotionObservation, PromotionScenario};
 pub use scenario::{BrokenInvariant, FederationScenario, RunObservation, Scenario};
 pub use script::{ChoiceRecord, ScriptHook};
 pub use trace::McTrace;

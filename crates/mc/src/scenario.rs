@@ -245,6 +245,7 @@ impl FederationScenario {
                 primary: primary_fs,
                 replica: replica_fs,
                 replicator: Some(repl),
+                reverse: None,
             });
         }
         let fed = FedFs::new(&rt, shards);

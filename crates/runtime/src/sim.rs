@@ -270,7 +270,11 @@ impl Engine {
             while st.timers.peek().map(|e| e.slot.is_woken()).unwrap_or(false) {
                 st.timers.pop();
             }
-            if st.timers.peek().is_none() {
+            // Daemons do not keep the simulation alive: once every
+            // non-daemon actor has exited, a daemon's pending timer (a
+            // heartbeat loop, a periodic monitor) must not advance the
+            // clock forever. Unwind instead.
+            if st.timers.peek().is_none() || st.actors.values().all(|a| a.daemon) {
                 self.quiesce_or_deadlock_locked(st);
                 return;
             }
@@ -301,7 +305,11 @@ impl Engine {
             while st.timers.peek().map(|e| e.slot.is_woken()).unwrap_or(false) {
                 st.timers.pop();
             }
-            if st.deferred.is_empty() && st.timers.peek().is_none() {
+            // As in the plain schedule: pending daemon timers must not keep
+            // a finished simulation spinning.
+            if (st.deferred.is_empty() && st.timers.peek().is_none())
+                || st.actors.values().all(|a| a.daemon)
+            {
                 self.quiesce_or_deadlock_locked(st);
                 return;
             }

@@ -40,6 +40,12 @@ pub struct SrbConn {
     /// Tenant tag stamped on every request this session issues (0 =
     /// untagged). Rides the fixed wire header, so it changes no wire size.
     tenant: AtomicU32,
+    /// Shared membership-epoch source, read at frame construction time and
+    /// stamped into the fixed wire header. Sessions default to a private
+    /// zero source ("un-epoched"); mounts under membership governance
+    /// share one source per mount so the membership layer can advance
+    /// every live session's view at a promotion or rejoin.
+    epoch: parking_lot::Mutex<Arc<AtomicU64>>,
 }
 
 impl SrbConn {
@@ -53,6 +59,7 @@ impl SrbConn {
             origin: None,
             acked: Arc::new(AtomicU64::new(0)),
             tenant: AtomicU32::new(0),
+            epoch: parking_lot::Mutex::new(Arc::new(AtomicU64::new(0))),
         }
     }
 
@@ -66,6 +73,7 @@ impl SrbConn {
             origin: Some(origin),
             acked: Arc::new(AtomicU64::new(0)),
             tenant: AtomicU32::new(0),
+            epoch: parking_lot::Mutex::new(Arc::new(AtomicU64::new(0))),
         }
     }
 
@@ -85,6 +93,19 @@ impl SrbConn {
         self.origin.as_ref()
     }
 
+    /// Stamp every subsequent request with the membership epoch read from
+    /// `source` at frame-construction time. Mounts governed by
+    /// `srb::membership` share one source per mount; ungoverned sessions
+    /// keep their private zero source and stay un-epoched (never fenced).
+    pub fn set_epoch_source(&self, source: Arc<AtomicU64>) {
+        *self.epoch.lock() = source;
+    }
+
+    /// The membership epoch this session currently stamps on requests.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.lock().load(Ordering::Relaxed)
+    }
+
     /// Issue one synchronous request/response exchange. Charges the request
     /// transmission to the caller; the server handler charges processing,
     /// disk, and the response transmission before replying.
@@ -101,7 +122,13 @@ impl SrbConn {
         };
         let resp = self
             .transport
-            .exchange_hinted(self.session, self.tenant(), req, useful)
+            .exchange_hinted(
+                self.session,
+                self.tenant(),
+                self.current_epoch(),
+                req,
+                useful,
+            )
             .map_err(|_| cut(&self.acked))?;
         match &resp {
             Response::Written(n) => {
@@ -133,6 +160,7 @@ impl SrbConn {
         self.transport.submit_hinted(
             self.session,
             self.tenant(),
+            self.current_epoch(),
             req,
             None,
             Box::new(move |resp| {
@@ -232,6 +260,7 @@ impl SrbConn {
             .exchange_granted(
                 self.session,
                 self.tenant(),
+                self.current_epoch(),
                 Request::Read { fd, offset, len },
                 None,
             )

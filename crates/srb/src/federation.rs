@@ -51,18 +51,32 @@ pub const REPL_BLOCK: u64 = 1 << 20;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ShardMap {
     shards: usize,
+    version: u64,
 }
 
 impl ShardMap {
     /// A map over `shards` servers. `shards` must be at least 1.
     pub fn new(shards: usize) -> ShardMap {
+        ShardMap::versioned(shards, 0)
+    }
+
+    /// A map over `shards` servers at map version `version`. Versions order
+    /// re-sharding generations: routing itself depends only on the shard
+    /// count, but a versioned map lets clients detect that their placement
+    /// is stale after a live re-shard and refresh their routes.
+    pub fn versioned(shards: usize, version: u64) -> ShardMap {
         assert!(shards >= 1, "a federation needs at least one shard");
-        ShardMap { shards }
+        ShardMap { shards, version }
     }
 
     /// Number of shards in the federation.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Re-sharding generation this map belongs to (0 = the initial layout).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The shard that owns `path`. Deterministic and total: the same path
@@ -99,6 +113,10 @@ pub struct ReplStats {
     /// Extents dropped because their object vanished from the primary's
     /// catalog before shipping (unlinked mid-flight).
     pub skipped: u64,
+    /// High-water mark of the job queue depth (extents waiting to ship).
+    /// A primary outage grows this; membership promotion is what bounds it
+    /// — the federation tests fail if it exceeds the configured cap.
+    pub queue_high_water: u64,
 }
 
 /// Asynchronous write-path replication from a shard primary to its replica.
@@ -119,11 +137,21 @@ pub struct Replicator {
     retry: RetryPolicy,
     jobs: Channel<ReplJob>,
     busy: AtomicBool,
+    /// While clear, the write hook drops events instead of enqueuing them.
+    /// Membership gates replicator direction with this: only the *current*
+    /// primary's forward replicator is active, so a deposed primary's
+    /// leftover hook cannot ping-pong freshly reconciled bytes back.
+    active: AtomicBool,
+    /// Membership-epoch stamp for the daemon's client connections to the
+    /// target server. Shared with (and advanced by) the membership layer;
+    /// stays 0 — un-epoched — outside membership governance.
+    epoch: Arc<AtomicU64>,
     enqueued: AtomicU64,
     shipped_blocks: AtomicU64,
     shipped_bytes: AtomicU64,
     reships: AtomicU64,
     skipped: AtomicU64,
+    high_water: AtomicU64,
 }
 
 impl Replicator {
@@ -152,20 +180,21 @@ impl Replicator {
             retry,
             jobs: Channel::new(rt),
             busy: AtomicBool::new(false),
+            active: AtomicBool::new(true),
+            epoch: Arc::new(AtomicU64::new(0)),
             enqueued: AtomicU64::new(0),
             shipped_blocks: AtomicU64::new(0),
             shipped_bytes: AtomicU64::new(0),
             reships: AtomicU64::new(0),
             skipped: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
         });
         let hook = repl.clone();
         primary.set_write_hook(Arc::new(move |path, offset, len| {
-            hook.enqueued.fetch_add(1, Ordering::Relaxed);
-            let _ = hook.jobs.send(ReplJob {
-                path: path.to_string(),
-                offset,
-                len,
-            });
+            if !hook.active.load(Ordering::SeqCst) {
+                return;
+            }
+            hook.push_job(path.to_string(), offset, len);
         }));
         let daemon = repl.clone();
         rt.spawn_daemon("federation/replicator", Box::new(move || daemon.run()));
@@ -180,7 +209,40 @@ impl Replicator {
             shipped_bytes: self.shipped_bytes.load(Ordering::Relaxed),
             reships: self.reships.load(Ordering::Relaxed),
             skipped: self.skipped.load(Ordering::Relaxed),
+            queue_high_water: self.high_water.load(Ordering::Relaxed),
         }
+    }
+
+    fn push_job(&self, path: String, offset: u64, len: u64) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        let _ = self.jobs.send(ReplJob { path, offset, len });
+        self.high_water
+            .fetch_max(self.jobs.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Enqueue one extent directly, bypassing the write hook. Membership
+    /// uses this at promotion to drain the deposed primary's divergence
+    /// backlog into the *reverse* replicator (new primary → old primary).
+    pub fn enqueue_extent(&self, path: &str, offset: u64, len: u64) {
+        self.push_job(path.to_string(), offset, len);
+    }
+
+    /// Gate the write hook: while inactive, write events are dropped
+    /// (already-queued jobs still ship). See the `active` field.
+    pub fn set_active(&self, active: bool) {
+        self.active.store(active, Ordering::SeqCst);
+    }
+
+    /// True while the write hook enqueues replication work.
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// The shared epoch stamp the daemon's connections carry. The
+    /// membership layer advances it so post-promotion ships are accepted by
+    /// an epoch-fenced target once certified.
+    pub fn epoch_stamp(&self) -> Arc<AtomicU64> {
+        self.epoch.clone()
     }
 
     /// Extents queued or currently being shipped.
@@ -255,6 +317,17 @@ impl Replicator {
                         self.rt.sleep(self.retry.backoff(key, attempt.min(8)));
                         attempt += 1;
                     }
+                    Err(SrbError::StaleEpoch { .. }) => {
+                        // The target restarted fenced and has not been
+                        // re-certified yet. Unlike client writes, the
+                        // replicator *must* outwait the fence — membership
+                        // certifies the target as part of its rejoin, and
+                        // the retained block then lands. The stream itself
+                        // is healthy; just back off and replay.
+                        self.reships.fetch_add(1, Ordering::Relaxed);
+                        self.rt.sleep(self.retry.backoff(key, attempt.min(8)));
+                        attempt += 1;
+                    }
                     Err(_) => {
                         self.skipped.fetch_add(1, Ordering::Relaxed);
                         return;
@@ -277,10 +350,13 @@ impl Replicator {
         data: Payload,
     ) -> SrbResult<()> {
         if conn.is_none() {
-            *conn = Some(
-                self.replica
-                    .connect(self.route.clone(), &self.user, &self.password)?,
-            );
+            let c = self
+                .replica
+                .connect(self.route.clone(), &self.user, &self.password)?;
+            // Under membership governance the daemon's frames carry the
+            // shared epoch stamp; outside it the stamp stays 0 (un-epoched).
+            c.set_epoch_source(self.epoch.clone());
+            *conn = Some(c);
         }
         let c = conn.as_ref().expect("connection just established");
         let fd = match fds.get(path) {

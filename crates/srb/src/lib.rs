@@ -26,6 +26,7 @@ pub mod cache;
 pub mod client;
 pub mod federation;
 pub mod mcat;
+pub mod membership;
 pub mod pool;
 pub mod proto;
 pub mod qos;
@@ -39,6 +40,10 @@ pub use cache::{BlockCache, CacheSpec, CacheStats, Eviction};
 pub use client::SrbConn;
 pub use federation::{ReplStats, Replicator, ShardMap, REPL_BLOCK};
 pub use mcat::Mcat;
+pub use membership::{
+    GovernedPair, Membership, MembershipCfg, PromotionHook, PromotionLedger, TransitionKind,
+    TransitionRecord,
+};
 pub use pool::{ConnPool, PoolPolicy, SlotPolicy};
 pub use proto::{SessionId, TenantId};
 pub use qos::TenantScheduler;

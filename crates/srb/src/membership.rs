@@ -1,0 +1,433 @@
+//! Shard membership: leases, epochs, quorum promotion, and fencing.
+//!
+//! The federation's replica (PR 5) only ever *served reads*: a long primary
+//! outage grew the divergence queue without bound because no one else could
+//! accept writes. This module turns each primary/replica pair into a
+//! governed shard with a real high-availability protocol, entirely on
+//! virtual time so every run is deterministic and explorable:
+//!
+//! * **Leases & heartbeats** — a per-shard monitor daemon heartbeats the
+//!   current primary every [`MembershipCfg::heartbeat_every`]. A primary
+//!   that misses heartbeats for [`MembershipCfg::lease_timeout`] loses its
+//!   lease.
+//! * **Quorum promotion** — on lease expiry the monitor runs a collapsed,
+//!   deterministic Bracha-style reliable-broadcast vote over all federation
+//!   seats (every server in every governed shard, plus optional witness
+//!   seats): a *send* round proposes `(shard, epoch+1, replica)`, an *echo*
+//!   round must gather ⌈(n+f+1)/2⌉ echoes, and a *ready* round must gather
+//!   2f+1 readies (with the classic f+1 amplification rule) before the
+//!   promotion is delivered. Seats are honest and rounds take one
+//!   [`MembershipCfg::hop_delay`] each, so the counts collapse to the live
+//!   seat count — but the thresholds genuinely gate: with n = 4 seats and
+//!   f = 1, a promotion needs 3 live seats, which is exactly what one
+//!   crashed primary leaves.
+//! * **Epoch fencing** — every promotion bumps the shard epoch. Epochs ride
+//!   the spare bytes of the fixed 256-byte wire header
+//!   ([`ReqFrame::epoch`](crate::proto::ReqFrame)); servers under
+//!   [`SrbServer::enable_epoch_fencing`] reject stale-epoch mutations, and a
+//!   restarted old primary comes back *hard-fenced* — it cannot accept a
+//!   single write until the monitor certifies its epoch — so a deposed
+//!   primary can never split the brain.
+//! * **Reverse reconciliation** — at promotion the deposed primary's
+//!   divergence backlog (writes acked on the *replica* while the primary
+//!   was down, queued by `semplar::fedfs`) drains through the shard's
+//!   *reverse* replicator (new primary → old primary), and the old primary
+//!   rejoins as the replica of the new epoch. The existing
+//!   [`Replicator`] retained-block machinery does the shipping; membership
+//!   only flips which direction is active.
+//!
+//! Everything here is opt-in: without a [`Membership`] instance no server
+//! fences, no daemon runs, and every byte of the simulation is identical to
+//! the pre-membership tree.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use semplar_runtime::{Dur, Runtime, Time};
+
+use crate::federation::Replicator;
+use crate::server::SrbServer;
+
+/// Tuning knobs for the lease/heartbeat/promotion protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct MembershipCfg {
+    /// How often each shard monitor heartbeats its primary.
+    pub heartbeat_every: Dur,
+    /// Lease duration: a primary silent for this long is deposed.
+    pub lease_timeout: Dur,
+    /// One-way message delay charged per vote round (send, echo, ready).
+    pub hop_delay: Dur,
+    /// Epoch certified on every server when governance starts (≥ 1; epoch 0
+    /// means "unfenced" on the wire).
+    pub base_epoch: u64,
+    /// Extra always-live witness seats in the vote (tie-breakers for tiny
+    /// federations; 0 keeps the quorum exactly the federation's servers).
+    pub witnesses: usize,
+}
+
+impl Default for MembershipCfg {
+    fn default() -> Self {
+        MembershipCfg {
+            heartbeat_every: Dur::from_millis(25),
+            lease_timeout: Dur::from_millis(100),
+            hop_delay: Dur::from_millis(1),
+            base_epoch: 1,
+            witnesses: 0,
+        }
+    }
+}
+
+/// One governed shard handed to [`Membership::start`]: its two seats and
+/// the replicators in both directions between them.
+pub struct GovernedPair {
+    /// Seat 0 (the initial primary) and seat 1 (the initial replica).
+    pub servers: [Arc<SrbServer>; 2],
+    /// Seat 0 → seat 1 replication (active while seat 0 is primary).
+    pub forward: Arc<Replicator>,
+    /// Seat 1 → seat 0 replication (activated at promotion).
+    pub reverse: Arc<Replicator>,
+}
+
+/// What kind of membership transition a ledger entry records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// A quorum vote elevated the replica seat to primary.
+    Promoted,
+    /// A fenced (restarted) seat was re-certified into the current epoch.
+    Rejoined,
+    /// A live re-shard cut over; every governed shard's epoch bumped.
+    Resharded,
+}
+
+/// One committed membership transition. The ledger of these is the
+/// subsystem's externally visible history — the promotion proptest pins it
+/// bit-identical per seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransitionRecord {
+    /// Virtual time the transition committed.
+    pub at: Time,
+    /// Governed shard index.
+    pub shard: usize,
+    /// Epoch in force after the transition.
+    pub epoch: u64,
+    /// Seat index holding the primary role after the transition.
+    pub primary: usize,
+    /// Echo votes gathered (promotions only; 0 otherwise).
+    pub echoes: u32,
+    /// Ready votes gathered (promotions only; 0 otherwise).
+    pub readies: u32,
+    /// What happened.
+    pub kind: TransitionKind,
+}
+
+/// The ordered history of membership transitions across all shards.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PromotionLedger {
+    /// Transitions in commit order.
+    pub entries: Vec<TransitionRecord>,
+}
+
+impl PromotionLedger {
+    /// Promotion entries only.
+    pub fn promotions(&self) -> impl Iterator<Item = &TransitionRecord> {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == TransitionKind::Promoted)
+    }
+}
+
+/// Callback into the client/federation layer at the moment a promotion
+/// commits: `(shard, new_epoch, new_primary_seat)`. Returns the shard's
+/// drained divergence backlog — `(path, offset, len)` extents acked on the
+/// old replica that the *old primary* is missing — which membership feeds
+/// into the reverse replicator.
+pub type PromotionHook = Arc<dyn Fn(usize, u64, usize) -> Vec<(String, u64, u64)> + Send + Sync>;
+
+struct ShardGov {
+    servers: [Arc<SrbServer>; 2],
+    forward: Arc<Replicator>,
+    reverse: Arc<Replicator>,
+    /// Current epoch (monotone; starts at `base_epoch`).
+    epoch: AtomicU64,
+    /// Seat index currently holding the primary lease.
+    primary: AtomicUsize,
+    /// Virtual time of the last heartbeat the primary answered.
+    last_beat: Mutex<Time>,
+    /// Epoch stamps to advance on every transition: the replicators' own
+    /// stamps plus any client-mount stamps registered via
+    /// [`Membership::register_stamp`]. All sessions sharing a stamp move to
+    /// the new epoch atomically.
+    stamps: Mutex<Vec<Arc<AtomicU64>>>,
+    hook: Mutex<Option<PromotionHook>>,
+}
+
+/// The membership service: per-shard monitor daemons plus the shared vote
+/// and ledger state. One instance governs an entire federation.
+pub struct Membership {
+    rt: Arc<dyn Runtime>,
+    cfg: MembershipCfg,
+    shards: Vec<ShardGov>,
+    ledger: Mutex<PromotionLedger>,
+}
+
+impl Membership {
+    /// Put `pairs` under membership governance: enable epoch fencing on
+    /// every seat at [`MembershipCfg::base_epoch`], stamp both replicators
+    /// of each pair into the epoch, deactivate the reverse replicators
+    /// (seat 0 starts as primary), and spawn one monitor daemon per shard.
+    pub fn start(
+        rt: &Arc<dyn Runtime>,
+        cfg: MembershipCfg,
+        pairs: Vec<GovernedPair>,
+    ) -> Arc<Membership> {
+        assert!(!pairs.is_empty(), "membership needs at least one shard");
+        let base = cfg.base_epoch.max(1);
+        let now = rt.now();
+        let shards: Vec<ShardGov> = pairs
+            .into_iter()
+            .map(|p| {
+                for s in &p.servers {
+                    s.enable_epoch_fencing(base);
+                }
+                // Replication starts in the forward direction only; both
+                // daemons' connections carry the shard epoch from now on.
+                p.forward.set_active(true);
+                p.reverse.set_active(false);
+                let f_stamp = p.forward.epoch_stamp();
+                let r_stamp = p.reverse.epoch_stamp();
+                f_stamp.store(base, Ordering::SeqCst);
+                r_stamp.store(base, Ordering::SeqCst);
+                ShardGov {
+                    servers: p.servers,
+                    forward: p.forward,
+                    reverse: p.reverse,
+                    epoch: AtomicU64::new(base),
+                    primary: AtomicUsize::new(0),
+                    last_beat: Mutex::new(now),
+                    stamps: Mutex::new(vec![f_stamp, r_stamp]),
+                    hook: Mutex::new(None),
+                }
+            })
+            .collect();
+        let m = Arc::new(Membership {
+            rt: rt.clone(),
+            cfg: MembershipCfg {
+                base_epoch: base,
+                ..cfg
+            },
+            shards,
+            ledger: Mutex::new(PromotionLedger::default()),
+        });
+        for s in 0..m.shards.len() {
+            let me = m.clone();
+            rt.spawn_daemon(
+                &format!("membership/monitor-{s}"),
+                Box::new(move || me.monitor(s)),
+            );
+        }
+        m
+    }
+
+    /// Register a client-side epoch stamp with `shard`; it is immediately
+    /// set to the shard's current epoch and advanced on every transition.
+    pub fn register_stamp(&self, shard: usize, stamp: Arc<AtomicU64>) {
+        let gov = &self.shards[shard];
+        stamp.store(gov.epoch.load(Ordering::SeqCst), Ordering::SeqCst);
+        gov.stamps.lock().push(stamp);
+    }
+
+    /// Install the promotion callback for `shard` (see [`PromotionHook`]).
+    pub fn set_promotion_hook(&self, shard: usize, hook: PromotionHook) {
+        *self.shards[shard].hook.lock() = Some(hook);
+    }
+
+    /// The epoch currently in force for `shard`.
+    pub fn epoch(&self, shard: usize) -> u64 {
+        self.shards[shard].epoch.load(Ordering::SeqCst)
+    }
+
+    /// The seat index currently holding `shard`'s primary lease.
+    pub fn primary_of(&self, shard: usize) -> usize {
+        self.shards[shard].primary.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the transition ledger.
+    pub fn ledger(&self) -> PromotionLedger {
+        self.ledger.lock().clone()
+    }
+
+    /// A live re-shard committed: bump every governed shard's epoch, certify
+    /// both seats into it, and advance all stamps. Writes routed by the old
+    /// shard map now carry a stale epoch and are fenced — the re-sharding
+    /// cutover is atomic at this bump.
+    pub fn note_reshard(&self) {
+        for (s, gov) in self.shards.iter().enumerate() {
+            let e = gov.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+            for srv in &gov.servers {
+                srv.certify_epoch(e);
+            }
+            for st in gov.stamps.lock().iter() {
+                st.store(e, Ordering::SeqCst);
+            }
+            self.ledger.lock().entries.push(TransitionRecord {
+                at: self.rt.now(),
+                shard: s,
+                epoch: e,
+                primary: gov.primary.load(Ordering::SeqCst),
+                echoes: 0,
+                readies: 0,
+                kind: TransitionKind::Resharded,
+            });
+        }
+    }
+
+    /// Total vote seats: every server of every governed shard, plus
+    /// configured witnesses.
+    fn seat_count(&self) -> usize {
+        2 * self.shards.len() + self.cfg.witnesses
+    }
+
+    /// Seats currently able to vote (witnesses never crash).
+    fn live_seats(&self) -> usize {
+        self.cfg.witnesses
+            + self
+                .shards
+                .iter()
+                .flat_map(|g| g.servers.iter())
+                .filter(|s| !s.is_crashed())
+                .count()
+    }
+
+    /// Per-shard monitor: heartbeat the primary, certify fenced rejoiners,
+    /// depose and replace a primary whose lease expired.
+    fn monitor(self: Arc<Self>, shard: usize) {
+        loop {
+            self.rt.sleep(self.cfg.heartbeat_every);
+            self.rt.schedule_point("membership/heartbeat");
+            let gov = &self.shards[shard];
+            let p = gov.primary.load(Ordering::SeqCst);
+            let r = 1 - p;
+            if !gov.servers[p].is_crashed() {
+                *gov.last_beat.lock() = self.rt.now();
+                // A restarted seat comes back hard-fenced; certify it into
+                // the current epoch so it can serve again. The primary
+                // itself hits this after a sub-lease blip; the deposed
+                // primary hits it below, after promotion, as a rejoin.
+                for seat in [p, r] {
+                    if gov.servers[seat].is_fenced() && !gov.servers[seat].is_crashed() {
+                        self.certify_rejoin(shard, seat);
+                    }
+                }
+                continue;
+            }
+            let silent = self.rt.now().since(*gov.last_beat.lock());
+            if silent < self.cfg.lease_timeout {
+                continue;
+            }
+            // Lease expired. The replica can only take over if it is alive
+            // and the federation can still form a quorum.
+            self.rt.schedule_point("membership/lease-expiry");
+            if gov.servers[r].is_crashed() {
+                continue;
+            }
+            if let Some((echoes, readies)) = self.vote() {
+                self.promote(shard, r, echoes, readies);
+            }
+        }
+    }
+
+    /// Collapsed deterministic Bracha vote. Returns `(echoes, readies)` on
+    /// delivery, `None` if the thresholds cannot be met with the seats
+    /// currently live. n seats, f = ⌊(n−1)/3⌋ tolerated faults,
+    /// echo ≥ ⌈(n+f+1)/2⌉, ready ≥ 2f+1 (f+1 amplification implied).
+    fn vote(&self) -> Option<(u32, u32)> {
+        let n = self.seat_count();
+        let f = (n - 1) / 3;
+        let echo_needed = (n + f + 1).div_ceil(2);
+        let ready_needed = 2 * f + 1;
+        // Send round: the monitor (on behalf of the expiring lease)
+        // proposes the promotion to every seat.
+        self.rt.sleep(self.cfg.hop_delay);
+        self.rt.schedule_point("membership/vote-send");
+        // Echo round: every live, honest seat echoes the proposal.
+        let echoes = self.live_seats();
+        self.rt.sleep(self.cfg.hop_delay);
+        self.rt.schedule_point("membership/vote-echo");
+        if echoes < echo_needed {
+            return None;
+        }
+        // Ready round: seats that saw an echo quorum broadcast ready; the
+        // f+1 amplification rule lets stragglers join, so every live seat
+        // ends up ready.
+        let readies = self.live_seats();
+        self.rt.sleep(self.cfg.hop_delay);
+        self.rt.schedule_point("membership/vote-ready");
+        if readies < ready_needed {
+            return None;
+        }
+        Some((echoes as u32, readies as u32))
+    }
+
+    /// Commit a delivered promotion: drain the forward replicator, flip
+    /// replication direction, hand the divergence backlog to the reverse
+    /// replicator, certify the new primary into the bumped epoch, and
+    /// advance every registered stamp.
+    fn promote(self: &Arc<Self>, shard: usize, new_primary: usize, echoes: u32, readies: u32) {
+        let gov = &self.shards[shard];
+        // Everything the old primary ever acked must reach the new primary
+        // before it takes authority — the old primary's vault survives its
+        // crash, so the forward queue can always drain. This is the
+        // zero-acked-byte-loss half of the protocol.
+        gov.forward.quiesce();
+        gov.forward.set_active(false);
+        // Activate the reverse direction *before* the client layer starts
+        // routing writes to the new primary, so no post-promotion write can
+        // slip past the (now reverse) replication hook.
+        gov.reverse.set_active(true);
+        let epoch = gov.epoch.load(Ordering::SeqCst) + 1;
+        // The client layer swaps roles and returns the divergence backlog:
+        // extents acked by the replica-as-failover-target that the deposed
+        // primary is missing. They drain new-primary → old-primary.
+        let hook = gov.hook.lock().clone();
+        if let Some(h) = hook {
+            for (path, off, len) in h(shard, epoch, new_primary) {
+                gov.reverse.enqueue_extent(&path, off, len);
+            }
+        }
+        gov.servers[new_primary].certify_epoch(epoch);
+        gov.epoch.store(epoch, Ordering::SeqCst);
+        for st in gov.stamps.lock().iter() {
+            st.store(epoch, Ordering::SeqCst);
+        }
+        gov.primary.store(new_primary, Ordering::SeqCst);
+        *gov.last_beat.lock() = self.rt.now();
+        self.ledger.lock().entries.push(TransitionRecord {
+            at: self.rt.now(),
+            shard,
+            epoch,
+            primary: new_primary,
+            echoes,
+            readies,
+            kind: TransitionKind::Promoted,
+        });
+    }
+
+    /// Certify a restarted, hard-fenced seat into the current epoch. If it
+    /// was a deposed primary, its stale writes have been fenced since the
+    /// restart; from here it serves as the shard's replica.
+    fn certify_rejoin(self: &Arc<Self>, shard: usize, seat: usize) {
+        let gov = &self.shards[shard];
+        let epoch = gov.epoch.load(Ordering::SeqCst);
+        gov.servers[seat].certify_epoch(epoch);
+        self.ledger.lock().entries.push(TransitionRecord {
+            at: self.rt.now(),
+            shard,
+            epoch,
+            primary: gov.primary.load(Ordering::SeqCst),
+            echoes: 0,
+            readies: 0,
+            kind: TransitionKind::Rejoined,
+        });
+    }
+}

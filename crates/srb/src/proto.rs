@@ -62,6 +62,17 @@ pub struct ReqFrame {
     pub session: SessionId,
     /// Tenant the issuing session belongs to (0 = untagged).
     pub tenant: TenantId,
+    /// Shard membership epoch the issuing client believes is current.
+    /// Rides the spare space in the fixed [`WIRE_HDR`] header (like
+    /// `seq`/`session`/`tenant`), so epoch tagging changes no wire size.
+    /// `0` means "un-epoched" — the client is not under membership
+    /// governance and the server never stale-checks it (though a
+    /// post-restart hard fence still refuses its mutations until the
+    /// server's epoch is re-certified). Servers with epoch fencing enabled
+    /// reject mutations whose non-zero epoch is stale (below the server's
+    /// certified epoch) with
+    /// [`SrbError`](crate::types::SrbError)`::StaleEpoch`.
+    pub epoch: u64,
     /// The operation itself.
     pub req: Request,
 }

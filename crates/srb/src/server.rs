@@ -199,6 +199,20 @@ pub struct SrbServer {
     /// `None` (the default) skips admission entirely and leaves request
     /// service bit-identical to the pre-QoS server.
     qos: Mutex<Option<Arc<TenantScheduler>>>,
+    /// Minimum membership epoch this server accepts on data mutations.
+    /// `0` (the default) disables epoch fencing entirely and leaves request
+    /// handling bit-identical to the pre-membership server.
+    min_epoch: AtomicU64,
+    /// When set, [`SrbServer::restart`] hard-fences the server: every data
+    /// mutation is refused until [`SrbServer::certify_epoch`] re-certifies
+    /// it. Installed by `enable_epoch_fencing`; a restarted old primary can
+    /// then never accept a write before the membership layer has told it
+    /// which epoch the world is in.
+    fence_on_restart: AtomicBool,
+    /// Hard fence: refuse all data mutations regardless of carried epoch.
+    fenced: AtomicBool,
+    /// Mutations refused by the fence / stale-epoch check.
+    fenced_rejects: AtomicU64,
     connections: AtomicU64,
     requests: AtomicU64,
     bytes_written: AtomicU64,
@@ -235,6 +249,10 @@ impl SrbServer {
             lease_epochs: Mutex::new(Default::default()),
             cache: Mutex::new(None),
             qos: Mutex::new(None),
+            min_epoch: AtomicU64::new(0),
+            fence_on_restart: AtomicBool::new(false),
+            fenced: AtomicBool::new(false),
+            fenced_rejects: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
@@ -288,8 +306,14 @@ impl SrbServer {
 
     /// Fault injection: bring a crashed server back. Connections severed by
     /// the crash stay dead — clients must reconnect — but all catalog and
-    /// vault state is exactly as the crash left it.
+    /// vault state is exactly as the crash left it. Under epoch fencing the
+    /// restarted server comes back *fenced*: it refuses every data mutation
+    /// until the membership layer certifies its epoch, so a deposed primary
+    /// cannot accept writes it no longer has the authority to ack.
     pub fn restart(&self) {
+        if self.fence_on_restart.load(Ordering::SeqCst) {
+            self.fenced.store(true, Ordering::SeqCst);
+        }
         self.crashed.store(false, Ordering::SeqCst);
     }
 
@@ -454,6 +478,70 @@ impl SrbServer {
         *self.qos.lock() = Some(sched);
     }
 
+    /// Enable membership-epoch fencing, certifying `initial` (≥ 1) as the
+    /// current epoch. From here on, data mutations (write, writelist,
+    /// unlink) whose frames carry a non-zero epoch below the certified
+    /// minimum are refused with [`SrbError::StaleEpoch`], and every restart
+    /// hard-fences the server until [`SrbServer::certify_epoch`] runs.
+    /// Un-epoched frames (epoch 0) are never stale-checked — fencing is
+    /// opt-in per client population — but the post-restart hard fence
+    /// refuses them too.
+    pub fn enable_epoch_fencing(&self, initial: u64) {
+        self.min_epoch.store(initial.max(1), Ordering::SeqCst);
+        self.fence_on_restart.store(true, Ordering::SeqCst);
+        self.fenced.store(false, Ordering::SeqCst);
+    }
+
+    /// Certify `epoch` as current: lift the post-restart hard fence and
+    /// raise the stale-mutation floor (the floor never moves backwards).
+    pub fn certify_epoch(&self, epoch: u64) {
+        self.min_epoch.fetch_max(epoch.max(1), Ordering::SeqCst);
+        self.fenced.store(false, Ordering::SeqCst);
+    }
+
+    /// The certified minimum epoch (0 = fencing disabled).
+    pub fn min_epoch(&self) -> u64 {
+        self.min_epoch.load(Ordering::SeqCst)
+    }
+
+    /// True while the post-restart hard fence holds (awaiting
+    /// [`SrbServer::certify_epoch`]).
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::SeqCst)
+    }
+
+    /// Mutations refused by the fence / stale-epoch check so far.
+    pub fn fenced_rejects(&self) -> u64 {
+        self.fenced_rejects.load(Ordering::Relaxed)
+    }
+
+    /// The fencing verdict for one frame; `None` means admit. Only data
+    /// mutations are fenced — metadata ops (mkcoll, create, open, stat) stay
+    /// admissible so a fenced server can still be probed and prepared for
+    /// reconciliation.
+    fn fence_check(&self, epoch: u64, req: &Request) -> Option<SrbError> {
+        let min = self.min_epoch.load(Ordering::SeqCst);
+        if min == 0 {
+            return None; // fencing disabled: pre-membership behaviour
+        }
+        if !matches!(
+            req,
+            Request::Write { .. } | Request::WriteList { .. } | Request::Unlink(_)
+        ) {
+            return None;
+        }
+        let stale = self.fenced.load(Ordering::SeqCst) || (epoch > 0 && epoch < min);
+        if stale {
+            self.fenced_rejects.fetch_add(1, Ordering::Relaxed);
+            Some(SrbError::StaleEpoch {
+                sent: epoch,
+                current: min,
+            })
+        } else {
+            None
+        }
+    }
+
     /// Snapshot of the server counters.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
@@ -614,6 +702,7 @@ impl SrbServer {
                 seq,
                 session,
                 tenant,
+                epoch,
                 req,
             } = frame;
             // Per-tenant fair queueing (when installed) gates the vault +
@@ -637,6 +726,8 @@ impl SrbServer {
             let (resp, lease) = if matches!(req, Request::EndSession) {
                 sessions.remove(&session);
                 (Response::Ok, None)
+            } else if let Some(e) = self.fence_check(epoch, &req) {
+                (Response::Error(e), None)
             } else {
                 let space = sessions.entry(session).or_default();
                 self.handle(req, space)

@@ -308,7 +308,7 @@ impl Transport {
     /// processing, disk, and the response transfer before replying. Fails
     /// with [`Closed`] when the stream is severed.
     pub fn exchange(&self, session: SessionId, req: Request) -> Result<Response, Closed> {
-        self.exchange_hinted(session, TenantId::default(), req, None)
+        self.exchange_hinted(session, TenantId::default(), 0, req, None)
     }
 
     /// Like [`Transport::exchange`], but meters at most `useful` payload
@@ -320,10 +320,11 @@ impl Transport {
         &self,
         session: SessionId,
         tenant: TenantId,
+        epoch: u64,
         req: Request,
         useful: Option<u64>,
     ) -> Result<Response, Closed> {
-        self.exchange_granted(session, tenant, req, useful)
+        self.exchange_granted(session, tenant, epoch, req, useful)
             .map(|(resp, _)| resp)
     }
 
@@ -335,6 +336,7 @@ impl Transport {
         &self,
         session: SessionId,
         tenant: TenantId,
+        epoch: u64,
         req: Request,
         useful: Option<u64>,
     ) -> Result<(Response, Option<u64>), Closed> {
@@ -348,6 +350,7 @@ impl Transport {
                     seq,
                     session,
                     tenant,
+                    epoch,
                     req,
                 };
                 let send = || -> Result<(Response, Option<u64>), Closed> {
@@ -368,7 +371,7 @@ impl Transport {
                 ..
             } => {
                 inflight.acquire();
-                let r = self.exchange_mux(pending, send_lock, dead, session, tenant, req);
+                let r = self.exchange_mux(pending, send_lock, dead, session, tenant, epoch, req);
                 inflight.release();
                 r.map(|frame| (frame.resp, frame.lease))
             }
@@ -391,6 +394,7 @@ impl Transport {
         r
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exchange_mux(
         &self,
         pending: &Mutex<HashMap<u64, Pending>>,
@@ -398,6 +402,7 @@ impl Transport {
         dead: &AtomicBool,
         session: SessionId,
         tenant: TenantId,
+        epoch: u64,
         req: Request,
     ) -> Result<RespFrame, Closed> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
@@ -416,6 +421,7 @@ impl Transport {
             seq,
             session,
             tenant,
+            epoch,
             req,
         };
         {
@@ -448,6 +454,7 @@ impl Transport {
         self: &Arc<Self>,
         session: SessionId,
         tenant: TenantId,
+        epoch: u64,
         req: Request,
         useful: Option<u64>,
         cb: SubmitCallback,
@@ -497,6 +504,7 @@ impl Transport {
             seq,
             session,
             tenant,
+            epoch,
             req,
         };
         let jobs = {

@@ -118,6 +118,17 @@ pub enum SrbError {
     },
     /// Malformed request arguments.
     InvalidArg(String),
+    /// The request carried a stale membership epoch (or the server is
+    /// fenced after a restart, awaiting epoch certification). The write
+    /// was rejected: this server is no longer — or not yet again — the
+    /// primary the client believes it is. The client must refresh its
+    /// shard roles/epoch and re-route.
+    StaleEpoch {
+        /// Epoch the request carried.
+        sent: u64,
+        /// Epoch the server currently requires (its certified minimum).
+        current: u64,
+    },
 }
 
 impl SrbError {
@@ -142,6 +153,9 @@ impl std::fmt::Display for SrbError {
                 write!(f, "connection closed ({acked} bytes acknowledged)")
             }
             SrbError::InvalidArg(m) => write!(f, "invalid argument: {m}"),
+            SrbError::StaleEpoch { sent, current } => {
+                write!(f, "stale epoch {sent} (server requires {current})")
+            }
         }
     }
 }
@@ -265,6 +279,13 @@ mod tests {
             SrbError::PermissionDenied,
             SrbError::BadFd(3),
             SrbError::InvalidArg("m".into()),
+            // A stale epoch is NOT transient: retrying the same frame at
+            // the same server fails identically. The federation layer
+            // handles it by refreshing roles and re-routing instead.
+            SrbError::StaleEpoch {
+                sent: 1,
+                current: 2,
+            },
         ] {
             assert!(!e.is_transient(), "{e}");
         }

@@ -242,6 +242,7 @@ fn federation_run(seed: u64, caches: bool) -> (Vec<u32>, Vec<u32>, u64, u64) {
                 primary: primary_fs,
                 replica: replica_fs,
                 replicator: Some(repl),
+                reverse: None,
             });
         }
         let fed = FedFs::new(&rt, shards);

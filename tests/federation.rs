@@ -6,6 +6,7 @@
 
 use std::sync::Arc;
 
+use proptest::prelude::*;
 use semplar::{AdioFile, AdioFs, FedFs, FedShard, OpenFlags, Payload, ReconcileLedger, SrbFs};
 use semplar_repro::faults::FaultPlan;
 use semplar_repro::netsim::{Bw, Network};
@@ -34,6 +35,10 @@ struct RunResult {
     failovers: u64,
     reconciles: u64,
     reconciled_bytes: u64,
+    /// Deepest the divergence queue ever got across all shards.
+    div_high_water: u64,
+    /// Deepest any shard's replicator backlog ever got.
+    repl_high_water: u64,
 }
 
 /// Write FILES files round-robin through a SHARDS-shard federation; with
@@ -86,6 +91,7 @@ fn federation_run(seed: u64, crash: Option<(Dur, Dur)>) -> RunResult {
                 primary: primary_fs,
                 replica: replica_fs,
                 replicator: Some(repl),
+                reverse: None,
             });
         }
         let fed = FedFs::new(&rt, shards);
@@ -164,6 +170,14 @@ fn federation_run(seed: u64, crash: Option<(Dur, Dur)>) -> RunResult {
             failovers: fed.failovers(),
             reconciles: recovery.reconciles,
             reconciled_bytes: recovery.reconciled_bytes,
+            div_high_water: fed.divergence_high_water(),
+            repl_high_water: fed
+                .shards()
+                .iter()
+                .filter_map(|s| s.replicator.as_ref())
+                .map(|r| r.stats().queue_high_water)
+                .max()
+                .unwrap_or(0),
         }
     })
 }
@@ -204,6 +218,42 @@ fn shard_crash_mid_write_loses_no_acked_bytes() {
     assert_eq!(faulted.reconciled_bytes, faulted.ledger.bytes);
     assert_eq!(clean.failovers, 0);
     assert_eq!(clean.ledger, ReconcileLedger::default());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The divergence queue is **bounded**: however the crash timing
+    /// lands, the failover queue can never hold more extents than the
+    /// workload wrote in total — each queued entry is one acked chunk,
+    /// drained in order by reconciliation, never duplicated. A leak here
+    /// (replays re-queued, drains lost) blows straight past the cap.
+    /// The replicator backlog obeys the same cap on its side.
+    #[test]
+    fn divergence_queue_is_bounded_by_written_extents(
+        seed in 0u64..1000,
+        crash_ms in 100u64..500,
+        down_ms in 100u64..600,
+    ) {
+        let cap = (FILES as u64) * (BYTES_PER_FILE / CHUNK);
+        let crash = Some((Dur::from_millis(crash_ms), Dur::from_millis(down_ms)));
+        let run = federation_run(seed, crash);
+        prop_assert!(
+            run.div_high_water <= cap,
+            "divergence queue leaked: high-water {} > {} written extents",
+            run.div_high_water,
+            cap
+        );
+        prop_assert!(
+            run.repl_high_water <= cap,
+            "replicator backlog leaked: high-water {} > {} written extents",
+            run.repl_high_water,
+            cap
+        );
+        // The bound is meaningful: a mid-write crash actually queued
+        // divergence before reconciliation drained it.
+        prop_assert!(run.failovers == 0 || run.div_high_water >= 1);
+    }
 }
 
 /// Same seed ⇒ bit-identical recovery: the reconciliation ledger (entries,
