@@ -1680,7 +1680,7 @@ fn federation_ha_run(
                 "fed",
                 RetryPolicy::default(),
             );
-            let reverse = Replicator::start(
+            let reverse = Replicator::start_inactive(
                 &rt,
                 replica.clone(),
                 primary.clone(),

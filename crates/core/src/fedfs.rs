@@ -40,11 +40,12 @@
 //! * **Live re-sharding (opt-in)** — [`FedFs::begin_reshard`] migrates the
 //!   namespace onto a different number of active shards *under traffic*: a
 //!   daemon copies moving paths to their new owners, writes keep routing
-//!   to the old owner (dirtied extents are chased), reads of moving paths
-//!   are double-routed (old owner authoritative, new owner as fallback),
-//!   and the cutover to the new [`ShardMap`] version is atomic — at an
-//!   epoch bump when membership is enabled, so writes routed by the old
-//!   map are fenced.
+//!   to the old owner (dirtied extents are chased; a write still on the
+//!   wire pins the cutover open until its extent is recorded), reads of
+//!   moving paths are double-routed (old owner authoritative, new owner
+//!   as fallback), and the cutover to the new [`ShardMap`] version is
+//!   atomic — at an epoch bump when membership is enabled, so writes
+//!   routed by the old map are fenced.
 //!
 //! Shard mounts should be built with [`RetryPolicy::none`]
 //! (federated failover *is* the recovery — a crashed primary then refuses
@@ -144,6 +145,13 @@ struct RemapState {
     /// Extents written to moving paths since their snapshot copy; the
     /// migrator chases this tail and only cuts over once it is empty.
     dirty: VecDeque<(String, u64, u64)>,
+    /// Writes to moving paths currently on the wire. A dirty extent is
+    /// only recorded once the server acks, and the server applies the
+    /// write *before* the client resumes (the response transfer is a
+    /// scheduling point) — so the cutover must also wait for this count
+    /// to reach zero, or it could take its clean check inside that
+    /// window, delete the old owner's copy, and lose the acked bytes.
+    inflight: usize,
 }
 
 /// A federated filesystem over N shards — see the module docs.
@@ -193,6 +201,15 @@ impl FedFs {
             (1..=shards.len()).contains(&active),
             "active shard count out of range"
         );
+        // A wired reverse replicator must start dormant: seat 0 holds the
+        // primary role until a promotion says otherwise, and two live
+        // hooks would ping-pong every forward ship back as a reverse one.
+        // (Membership re-activates the reverse direction at promotion.)
+        for s in &shards {
+            if let Some(rev) = &s.reverse {
+                rev.set_active(false);
+            }
+        }
         let state = shards
             .iter()
             .map(|_| ShardState {
@@ -578,6 +595,7 @@ impl FedFs {
                 to,
                 moving,
                 dirty: VecDeque::new(),
+                inflight: 0,
             });
         }
         let fed = self.clone();
@@ -611,12 +629,38 @@ impl FedFs {
         })
     }
 
-    /// Record a completed write to `path` for the migrator's dirty tail.
-    fn note_remap_write(&self, path: &str, offset: u64, len: u64) {
+    /// Declare a write to `path` *before* it goes on the wire. If the path
+    /// is mid-migration, the re-shard cutover is pinned open (the in-flight
+    /// count blocks the migrator's clean check) until the matching
+    /// [`FedFs::end_remap_write`] records the outcome — the acked extent
+    /// must reach the dirty tail before the cutover may delete the old
+    /// owner's copy. Returns whether the cutover was pinned.
+    fn begin_remap_write(&self, path: &str) -> bool {
         let mut remap = self.remap.lock();
         if let Some(r) = remap.as_mut() {
             if r.moving.iter().any(|(p, _, _)| p == path) {
-                r.dirty.push_back((path.to_string(), offset, len));
+                r.inflight += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Close out a write declared via [`FedFs::begin_remap_write`]:
+    /// record the acked extent (if any) in the migrator's dirty tail and
+    /// release the cutover pin. Also records the extent when a re-shard
+    /// started *during* the write (`pinned` false but the path is moving
+    /// now) — the snapshot copy may already have run past it.
+    fn end_remap_write(&self, pinned: bool, path: &str, acked: Option<(u64, u64)>) {
+        let mut remap = self.remap.lock();
+        if let Some(r) = remap.as_mut() {
+            if let Some((offset, len)) = acked {
+                if r.moving.iter().any(|(p, _, _)| p == path) {
+                    r.dirty.push_back((path.to_string(), offset, len));
+                }
+            }
+            if pinned {
+                r.inflight -= 1;
             }
         }
     }
@@ -655,11 +699,17 @@ impl FedFs {
             if batch.is_empty() {
                 // Atomic cutover: flip the map while holding both the
                 // routing lock and the remap lock, but only if no write
-                // dirtied the tail in between. Nothing here blocks on
+                // dirtied the tail in between and none is still on the
+                // wire (its dirty extent is recorded only after the ack —
+                // cutting over inside that window would drop acked bytes
+                // with the old owner's copy). Nothing here blocks on
                 // virtual time, so the flip is a single scheduling step.
                 let mut map = self.map.lock();
                 let mut remap = self.remap.lock();
-                let clean = remap.as_ref().map(|r| r.dirty.is_empty()).unwrap_or(false);
+                let clean = remap
+                    .as_ref()
+                    .map(|r| r.dirty.is_empty() && r.inflight == 0)
+                    .unwrap_or(false);
                 if clean {
                     let st = remap.take().expect("remap checked above");
                     *map = st.to;
@@ -682,6 +732,11 @@ impl FedFs {
                     }
                     return;
                 }
+                drop(remap);
+                drop(map);
+                // An in-flight write is blocked on the wire (or a fence);
+                // let it finish on virtual time before re-checking.
+                self.rt.sleep(semplar_runtime::Dur::from_millis(1));
                 continue;
             }
             for (path, off, len) in batch {
@@ -929,15 +984,27 @@ impl FedFile {
     /// which case the write is already a primary write and the extent is
     /// handed straight to the (now active) reverse replicator.
     fn write_failover(&mut self, offset: u64, data: &Payload) -> IoResult<u64> {
+        /// How many 10 ms certification waits a stale-epoch write sits out
+        /// before surfacing the error. Certification normally lands within
+        /// a heartbeat (tens of milliseconds); a second of virtual time
+        /// means the quorum is unreachable and the epoch may never certify.
+        const STALE_EPOCH_WAITS: u32 = 100;
         let gen0 = self.fed.role_gen(self.shard);
+        let mut stale_waits = 0u32;
         let n = loop {
             let f = self.replica_file()?;
             match f.write_at(offset, data) {
                 Ok(n) => break n,
-                Err(IoError::Srb(SrbError::StaleEpoch { .. })) => {
+                Err(e @ IoError::Srb(SrbError::StaleEpoch { .. })) => {
                     // The seat was promoted out from under this write and
                     // the mount's epoch stamp hasn't advanced yet: wait out
-                    // the certification and resend at the new epoch.
+                    // the certification and resend at the new epoch. Bounded
+                    // — an uncertifiable seat (no reachable quorum) must
+                    // surface the error, not spin forever.
+                    stale_waits += 1;
+                    if stale_waits > STALE_EPOCH_WAITS {
+                        return Err(e);
+                    }
                     self.fed.rt.sleep(semplar_runtime::Dur::from_millis(10));
                 }
                 Err(e) => return Err(e),
@@ -973,6 +1040,34 @@ impl FedFile {
             .primary_fs(self.shard)
             .invalidate_lease_range(&self.path, offset, n);
         Ok(n)
+    }
+
+    /// The routed body of [`AdioFile::write_at`]: primary write with
+    /// failover, minus the re-shard bookkeeping (the caller pins the
+    /// cutover open around this whole call).
+    fn write_at_routed(&mut self, offset: u64, data: &Payload) -> IoResult<u64> {
+        if self.settle() {
+            match self.open_primary().and_then(|()| {
+                self.primary
+                    .as_mut()
+                    .expect("primary bound by open_primary")
+                    .write_at(offset, data)
+            }) {
+                Ok(n) => return Ok(n),
+                Err(e) if FedFs::routable(&e) => {
+                    self.fed.note_failover();
+                    self.primary = None;
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            self.fed.note_failover();
+        }
+        // The whole payload goes to the replica. Any prefix the primary
+        // acknowledged before the cut is also in the extent — replay is
+        // idempotent (same bytes, same offsets), so the overlap is
+        // harmless and no acked byte can be lost.
+        self.write_failover(offset, data)
     }
 
     /// Reconcile-first: replay any divergence on this shard before
@@ -1039,33 +1134,19 @@ impl AdioFile for FedFile {
             return Err(IoError::Closed);
         }
         self.refresh_route();
-        if self.settle() {
-            match self.open_primary().and_then(|()| {
-                self.primary
-                    .as_mut()
-                    .expect("primary bound by open_primary")
-                    .write_at(offset, data)
-            }) {
-                Ok(n) => {
-                    self.fed.note_remap_write(&self.path, offset, n);
-                    return Ok(n);
-                }
-                Err(e) if FedFs::routable(&e) => {
-                    self.fed.note_failover();
-                    self.primary = None;
-                }
-                Err(e) => return Err(e),
-            }
-        } else {
-            self.fed.note_failover();
-        }
-        // The whole payload goes to the replica. Any prefix the primary
-        // acknowledged before the cut is also in the extent — replay is
-        // idempotent (same bytes, same offsets), so the overlap is
-        // harmless and no acked byte can be lost.
-        let n = self.write_failover(offset, data)?;
-        self.fed.note_remap_write(&self.path, offset, n);
-        Ok(n)
+        // Pin the re-shard cutover open *before* the write goes on the
+        // wire: the server applies and acks before this client resumes, so
+        // recording the dirty extent only afterwards would leave a window
+        // where the migrator sees a dry tail, cuts over, and deletes the
+        // old owner's copy — losing the acked bytes.
+        let pinned = self.fed.begin_remap_write(&self.path);
+        let result = self.write_at_routed(offset, data);
+        self.fed.end_remap_write(
+            pinned,
+            &self.path,
+            result.as_ref().ok().map(|&n| (offset, n)),
+        );
+        result
     }
 
     fn size(&mut self) -> IoResult<u64> {

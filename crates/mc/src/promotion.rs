@@ -225,7 +225,7 @@ impl PromotionScenario {
                 "fed",
                 RetryPolicy::default(),
             );
-            let reverse = Replicator::start(
+            let reverse = Replicator::start_inactive(
                 &rt,
                 replica.clone(),
                 primary.clone(),

@@ -170,6 +170,39 @@ impl Replicator {
         password: &str,
         retry: RetryPolicy,
     ) -> Arc<Replicator> {
+        Replicator::start_with(rt, primary, replica, route, user, password, retry, true)
+    }
+
+    /// Like [`Replicator::start`], but the write hook begins *inactive*:
+    /// events are dropped until [`Replicator::set_active`] turns it on.
+    /// This is the right constructor for a shard's *reverse* replicator —
+    /// membership activates it at promotion. Constructing it live would
+    /// leave both directions' hooks armed at once: every forward ship
+    /// fires the replica's write hook, which enqueues a reverse ship,
+    /// which fires the primary's hook again — an unbounded ping-pong.
+    pub fn start_inactive(
+        rt: &Arc<dyn Runtime>,
+        primary: Arc<SrbServer>,
+        replica: Arc<SrbServer>,
+        route: ConnRoute,
+        user: &str,
+        password: &str,
+        retry: RetryPolicy,
+    ) -> Arc<Replicator> {
+        Replicator::start_with(rt, primary, replica, route, user, password, retry, false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_with(
+        rt: &Arc<dyn Runtime>,
+        primary: Arc<SrbServer>,
+        replica: Arc<SrbServer>,
+        route: ConnRoute,
+        user: &str,
+        password: &str,
+        retry: RetryPolicy,
+        active: bool,
+    ) -> Arc<Replicator> {
         let repl = Arc::new(Replicator {
             rt: rt.clone(),
             primary: primary.clone(),
@@ -180,7 +213,7 @@ impl Replicator {
             retry,
             jobs: Channel::new(rt),
             busy: AtomicBool::new(false),
-            active: AtomicBool::new(true),
+            active: AtomicBool::new(active),
             epoch: Arc::new(AtomicU64::new(0)),
             enqueued: AtomicU64::new(0),
             shipped_blocks: AtomicU64::new(0),

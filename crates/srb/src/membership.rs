@@ -265,7 +265,14 @@ impl Membership {
         for (s, gov) in self.shards.iter().enumerate() {
             let e = gov.epoch.fetch_add(1, Ordering::SeqCst) + 1;
             for srv in &gov.servers {
-                srv.certify_epoch(e);
+                // A seat that restarted and is still hard-fenced has not
+                // been re-admitted; certifying it here would silently lift
+                // the fence with no `Rejoined` record. Leave it fenced —
+                // the monitor's certify_rejoin path admits it into the
+                // (post-reshard) epoch and writes the ledger entry.
+                if !srv.is_fenced() {
+                    srv.certify_epoch(e);
+                }
             }
             for st in gov.stamps.lock().iter() {
                 st.store(e, Ordering::SeqCst);

@@ -515,10 +515,12 @@ impl SrbServer {
         self.fenced_rejects.load(Ordering::Relaxed)
     }
 
-    /// The fencing verdict for one frame; `None` means admit. Only data
-    /// mutations are fenced — metadata ops (mkcoll, create, open, stat) stay
-    /// admissible so a fenced server can still be probed and prepared for
-    /// reconciliation.
+    /// The fencing verdict for one frame; `None` means admit. Only
+    /// mutations are fenced — writes, unlink, rmcoll (namespace removal),
+    /// and replicate (which pushes this server's object data to a peer on
+    /// its own authority). Additive metadata ops (mkcoll, create, open,
+    /// stat) stay admissible so a fenced server can still be probed and
+    /// prepared for reconciliation.
     fn fence_check(&self, epoch: u64, req: &Request) -> Option<SrbError> {
         let min = self.min_epoch.load(Ordering::SeqCst);
         if min == 0 {
@@ -526,7 +528,11 @@ impl SrbServer {
         }
         if !matches!(
             req,
-            Request::Write { .. } | Request::WriteList { .. } | Request::Unlink(_)
+            Request::Write { .. }
+                | Request::WriteList { .. }
+                | Request::Unlink(_)
+                | Request::RmColl(_)
+                | Request::Replicate { .. }
         ) {
             return None;
         }
